@@ -1,0 +1,242 @@
+//! Aggregator-side frequency estimation for categorical attributes.
+//!
+//! Every [`FrequencyOracle`] exposes a debiased per-report `support`; the
+//! estimator is `scale/n · Σ support` where `scale = 1` for dense protocols
+//! and `d/k` for Algorithm 4 (§IV-C: only a `k/d` fraction of users report
+//! any given attribute, and the scaling restores unbiasedness).
+
+use ldp_core::{CategoricalReport, FrequencyOracle, LdpError, Result};
+
+/// Streaming accumulator for the value frequencies of one categorical
+/// attribute.
+#[derive(Debug, Clone)]
+pub struct FrequencyAccumulator {
+    supports: Vec<f64>,
+    /// Number of reports absorbed (users who actually reported this
+    /// attribute).
+    reports: usize,
+    /// Total population `n` the estimate divides by (≥ `reports` under
+    /// attribute sampling). Set by [`FrequencyAccumulator::set_population`];
+    /// defaults to the report count.
+    population: Option<usize>,
+    scale: f64,
+}
+
+impl FrequencyAccumulator {
+    /// An empty accumulator for a `k`-value attribute with the given
+    /// protocol scale (`1.0` dense, `d/k` for Algorithm 4).
+    pub fn new(k: u32, scale: f64) -> Self {
+        FrequencyAccumulator {
+            supports: vec![0.0; k as usize],
+            reports: 0,
+            population: None,
+            scale,
+        }
+    }
+
+    /// Domain size.
+    pub fn k(&self) -> u32 {
+        self.supports.len() as u32
+    }
+
+    /// Number of absorbed reports.
+    pub fn reports(&self) -> usize {
+        self.reports
+    }
+
+    /// Absorbs one report through its oracle's debiasing.
+    pub fn add(&mut self, oracle: &dyn FrequencyOracle, report: &CategoricalReport) {
+        debug_assert_eq!(oracle.k(), self.k(), "oracle/accumulator domain mismatch");
+        for v in 0..self.k() {
+            self.supports[v as usize] += oracle.support(report, v);
+        }
+        self.reports += 1;
+    }
+
+    /// Declares the total population `n` (including users who sampled other
+    /// attributes and therefore sent nothing for this one).
+    pub fn set_population(&mut self, n: usize) {
+        self.population = Some(n);
+    }
+
+    /// Merges another accumulator (for sharded aggregation). Populations are
+    /// not merged — call [`FrequencyAccumulator::set_population`] on the
+    /// result.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] on differing domain sizes.
+    pub fn merge(&mut self, other: &FrequencyAccumulator) -> Result<()> {
+        if other.supports.len() != self.supports.len() {
+            return Err(LdpError::DimensionMismatch {
+                expected: self.supports.len(),
+                actual: other.supports.len(),
+            });
+        }
+        for (s, o) in self.supports.iter_mut().zip(&other.supports) {
+            *s += o;
+        }
+        self.reports += other.reports;
+        Ok(())
+    }
+
+    /// The unbiased frequency estimates `scale/n · Σ support`.
+    ///
+    /// # Errors
+    /// [`LdpError::EmptyInput`] if no reports arrived and no population was
+    /// declared.
+    pub fn estimate(&self) -> Result<Vec<f64>> {
+        let n = self.population.unwrap_or(self.reports);
+        if n == 0 {
+            return Err(LdpError::EmptyInput("reports"));
+        }
+        Ok(self
+            .supports
+            .iter()
+            .map(|s| self.scale * s / n as f64)
+            .collect())
+    }
+
+    /// Post-processed estimates: clamped to `[0, 1]` and renormalized to sum
+    /// to one (post-processing preserves LDP and reduces error when the raw
+    /// estimates stray outside the simplex).
+    ///
+    /// # Errors
+    /// As [`FrequencyAccumulator::estimate`].
+    pub fn estimate_normalized(&self) -> Result<Vec<f64>> {
+        let mut est: Vec<f64> = self
+            .estimate()?
+            .into_iter()
+            .map(|f| f.clamp(0.0, 1.0))
+            .collect();
+        let total: f64 = est.iter().sum();
+        if total > 0.0 {
+            for f in &mut est {
+                *f /= total;
+            }
+        } else {
+            // Degenerate all-clamped-to-zero case: fall back to uniform.
+            let k = est.len() as f64;
+            est.iter_mut().for_each(|f| *f = 1.0 / k);
+        }
+        Ok(est)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::categorical::{Grr, Oue};
+    use ldp_core::rng::seeded_rng;
+    use ldp_core::Epsilon;
+    use rand::Rng;
+
+    fn sample_value(rng: &mut impl Rng, freqs: &[f64]) -> u32 {
+        let mut u: f64 = rng.random();
+        for (v, f) in freqs.iter().enumerate() {
+            u -= f;
+            if u <= 0.0 {
+                return v as u32;
+            }
+        }
+        freqs.len() as u32 - 1
+    }
+
+    #[test]
+    fn oue_frequencies_converge() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let oracle = Oue::new(eps, 4).unwrap();
+        let truth = [0.55, 0.25, 0.15, 0.05];
+        let mut rng = seeded_rng(310);
+        let mut acc = FrequencyAccumulator::new(4, 1.0);
+        let n = 150_000;
+        for _ in 0..n {
+            let v = sample_value(&mut rng, &truth);
+            let rep = oracle.perturb(v, &mut rng).unwrap();
+            acc.add(&oracle, &rep);
+        }
+        let est = acc.estimate().unwrap();
+        for (v, (&e, &t)) in est.iter().zip(&truth).enumerate() {
+            assert!((e - t).abs() < 0.02, "v={v}: {e} vs {t}");
+        }
+    }
+
+    #[test]
+    fn grr_frequencies_converge() {
+        let eps = Epsilon::new(2.0).unwrap();
+        let oracle = Grr::new(eps, 3).unwrap();
+        let truth = [0.7, 0.2, 0.1];
+        let mut rng = seeded_rng(311);
+        let mut acc = FrequencyAccumulator::new(3, 1.0);
+        for _ in 0..150_000 {
+            let v = sample_value(&mut rng, &truth);
+            acc.add(&oracle, &oracle.perturb(v, &mut rng).unwrap());
+        }
+        let est = acc.estimate().unwrap();
+        for (v, (&e, &t)) in est.iter().zip(&truth).enumerate() {
+            assert!((e - t).abs() < 0.02, "v={v}: {e} vs {t}");
+        }
+    }
+
+    #[test]
+    fn sampling_scale_restores_unbiasedness() {
+        // Simulate Algorithm 4 with d = 3, k = 1: each user reports this
+        // attribute with probability 1/3; the d/k = 3 scaling must undo that.
+        let eps = Epsilon::new(1.0).unwrap();
+        let oracle = Oue::new(eps, 3).unwrap();
+        let truth = [0.5, 0.3, 0.2];
+        let mut rng = seeded_rng(312);
+        let n = 240_000;
+        let mut acc = FrequencyAccumulator::new(3, 3.0);
+        for _ in 0..n {
+            if rng.random::<f64>() < 1.0 / 3.0 {
+                let v = sample_value(&mut rng, &truth);
+                acc.add(&oracle, &oracle.perturb(v, &mut rng).unwrap());
+            }
+        }
+        acc.set_population(n);
+        let est = acc.estimate().unwrap();
+        for (v, (&e, &t)) in est.iter().zip(&truth).enumerate() {
+            assert!((e - t).abs() < 0.03, "v={v}: {e} vs {t}");
+        }
+    }
+
+    #[test]
+    fn normalized_estimates_form_distribution() {
+        let eps = Epsilon::new(0.5).unwrap();
+        let oracle = Oue::new(eps, 5).unwrap();
+        let mut rng = seeded_rng(313);
+        let mut acc = FrequencyAccumulator::new(5, 1.0);
+        for _ in 0..500 {
+            acc.add(&oracle, &oracle.perturb(0, &mut rng).unwrap());
+        }
+        let est = acc.estimate_normalized().unwrap();
+        assert!((est.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(est.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    #[test]
+    fn empty_and_merge_behaviour() {
+        let acc = FrequencyAccumulator::new(3, 1.0);
+        assert!(acc.estimate().is_err());
+
+        let eps = Epsilon::new(1.0).unwrap();
+        let oracle = Oue::new(eps, 3).unwrap();
+        let mut rng = seeded_rng(314);
+        let mut a = FrequencyAccumulator::new(3, 1.0);
+        let mut b = FrequencyAccumulator::new(3, 1.0);
+        let mut whole = FrequencyAccumulator::new(3, 1.0);
+        for i in 0..50 {
+            let rep = oracle.perturb(i % 3, &mut rng).unwrap();
+            whole.add(&oracle, &rep);
+            if i % 2 == 0 { &mut a } else { &mut b }.add(&oracle, &rep);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.reports(), whole.reports());
+        // Merged and sequential sums differ only in addition order.
+        for (x, y) in a.estimate().unwrap().iter().zip(whole.estimate().unwrap()) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+        let bad = FrequencyAccumulator::new(4, 1.0);
+        assert!(a.merge(&bad).is_err());
+    }
+}

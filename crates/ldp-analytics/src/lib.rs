@@ -1,0 +1,28 @@
+//! # ldp-analytics — aggregator-side estimation for LDP reports
+//!
+//! The aggregator half of the protocols in Wang et al. (ICDE 2019):
+//!
+//! * [`mean`] — unbiased mean estimation from dense or Algorithm 4 sparse
+//!   reports, with mergeable accumulators for sharded simulation.
+//! * [`frequency`] — debiased frequency estimation through any
+//!   [`ldp_core::FrequencyOracle`], including the `d/k` sampling correction.
+//! * [`pipeline`] — end-to-end collection runs: the paper's proposal
+//!   ([`Protocol::Sampling`]) vs the best-effort composition of prior work
+//!   ([`Protocol::BestEffort`]), exactly as configured in §VI-A.
+//! * [`metrics`] / [`confidence`] — MSE / max-error metrics and
+//!   Bernstein-style instantiations of the Lemma 2/5 accuracy guarantees.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod confidence;
+pub mod frequency;
+pub mod mean;
+pub mod metrics;
+pub mod pipeline;
+
+pub use frequency::FrequencyAccumulator;
+pub use mean::MeanAccumulator;
+pub use pipeline::{
+    categorical_mse, numeric_mse, BestEffortNumeric, CollectionResult, Collector, Protocol,
+};

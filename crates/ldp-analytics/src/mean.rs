@@ -1,0 +1,216 @@
+//! Aggregator-side mean estimation.
+//!
+//! All mechanisms in this library produce *unbiased* per-user reports, so
+//! the aggregator's estimator is a plain average (§III: `1/n Σ t*_i`;
+//! Algorithm 4's `d/k` scaling already happened user-side). The accumulator
+//! is mergeable so the pipeline can shard users across threads.
+
+use ldp_core::multidim::SparseReport;
+use ldp_core::{AttrReport, LdpError, Result};
+
+/// Streaming accumulator for per-attribute means of numeric reports.
+#[derive(Debug, Clone)]
+pub struct MeanAccumulator {
+    sums: Vec<f64>,
+    n: usize,
+}
+
+impl MeanAccumulator {
+    /// An empty accumulator over `d` attributes.
+    pub fn new(d: usize) -> Self {
+        MeanAccumulator {
+            sums: vec![0.0; d],
+            n: 0,
+        }
+    }
+
+    /// Number of attributes tracked.
+    pub fn d(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Number of reports absorbed.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Absorbs a dense report (one value per attribute).
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] on wrong arity.
+    pub fn add_dense(&mut self, report: &[f64]) -> Result<()> {
+        if report.len() != self.sums.len() {
+            return Err(LdpError::DimensionMismatch {
+                expected: self.sums.len(),
+                actual: report.len(),
+            });
+        }
+        for (s, x) in self.sums.iter_mut().zip(report) {
+            *s += x;
+        }
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Absorbs the numeric entries of an Algorithm 4 sparse report.
+    /// Unsampled attributes contribute zero, exactly as in the dense view;
+    /// categorical entries are ignored (they flow to the frequency
+    /// accumulators).
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] if the report's `d` differs.
+    pub fn add_sparse(&mut self, report: &SparseReport) -> Result<()> {
+        if report.d != self.sums.len() {
+            return Err(LdpError::DimensionMismatch {
+                expected: self.sums.len(),
+                actual: report.d,
+            });
+        }
+        for (j, rep) in &report.entries {
+            if let AttrReport::Numeric(x) = rep {
+                self.sums[*j as usize] += x;
+            }
+        }
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Merges another accumulator (for sharded aggregation).
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] if the dimensionalities differ.
+    pub fn merge(&mut self, other: &MeanAccumulator) -> Result<()> {
+        if other.sums.len() != self.sums.len() {
+            return Err(LdpError::DimensionMismatch {
+                expected: self.sums.len(),
+                actual: other.sums.len(),
+            });
+        }
+        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
+            *s += o;
+        }
+        self.n += other.n;
+        Ok(())
+    }
+
+    /// The per-attribute mean estimates `1/n Σ t*_i`.
+    ///
+    /// # Errors
+    /// [`LdpError::EmptyInput`] before any report arrives.
+    pub fn estimate(&self) -> Result<Vec<f64>> {
+        if self.n == 0 {
+            return Err(LdpError::EmptyInput("reports"));
+        }
+        Ok(self.sums.iter().map(|s| s / self.n as f64).collect())
+    }
+
+    /// Estimates clamped into the attribute domain `[-1, 1]` — a standard
+    /// aggregator-side post-processing step (post-processing preserves LDP)
+    /// that can only reduce error since the true mean lies in `[-1, 1]`.
+    ///
+    /// # Errors
+    /// As [`MeanAccumulator::estimate`].
+    pub fn estimate_clamped(&self) -> Result<Vec<f64>> {
+        Ok(self
+            .estimate()?
+            .into_iter()
+            .map(|x| x.clamp(-1.0, 1.0))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::multidim::SamplingPerturber;
+    use ldp_core::rng::seeded_rng;
+    use ldp_core::{AttrSpec, Epsilon, NumericKind, OracleKind};
+
+    #[test]
+    fn dense_average() {
+        let mut acc = MeanAccumulator::new(2);
+        acc.add_dense(&[1.0, -1.0]).unwrap();
+        acc.add_dense(&[0.0, 1.0]).unwrap();
+        assert_eq!(acc.estimate().unwrap(), vec![0.5, 0.0]);
+        assert_eq!(acc.n(), 2);
+        assert!(acc.add_dense(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn empty_estimate_fails() {
+        let acc = MeanAccumulator::new(3);
+        assert!(matches!(acc.estimate(), Err(LdpError::EmptyInput(_))));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = MeanAccumulator::new(2);
+        let mut b = MeanAccumulator::new(2);
+        let mut whole = MeanAccumulator::new(2);
+        for i in 0..10 {
+            let row = [i as f64 / 10.0, -(i as f64) / 20.0];
+            whole.add_dense(&row).unwrap();
+            if i % 2 == 0 {
+                a.add_dense(&row).unwrap();
+            } else {
+                b.add_dense(&row).unwrap();
+            }
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate().unwrap(), whole.estimate().unwrap());
+        let bad = MeanAccumulator::new(3);
+        assert!(a.merge(&bad).is_err());
+    }
+
+    #[test]
+    fn clamped_estimate_stays_in_domain() {
+        let mut acc = MeanAccumulator::new(1);
+        acc.add_dense(&[5.0]).unwrap();
+        assert_eq!(acc.estimate().unwrap(), vec![5.0]);
+        assert_eq!(acc.estimate_clamped().unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn sparse_reports_estimate_means_end_to_end() {
+        // Algorithm 4 (k < d) through the accumulator: the estimate should
+        // converge to the true per-attribute means.
+        let d = 4;
+        let eps = Epsilon::new(6.0).unwrap(); // k = 2
+        let p = SamplingPerturber::new(
+            eps,
+            vec![AttrSpec::Numeric; d],
+            NumericKind::Hybrid,
+            OracleKind::Oue,
+        )
+        .unwrap();
+        assert_eq!(p.k(), 2);
+        let mut rng = seeded_rng(300);
+        let t = [0.8, -0.2, 0.0, 0.4];
+        let tuple: Vec<_> = t.iter().map(|&x| ldp_core::AttrValue::Numeric(x)).collect();
+        let mut acc = MeanAccumulator::new(d);
+        for _ in 0..120_000 {
+            acc.add_sparse(&p.perturb(&tuple, &mut rng).unwrap())
+                .unwrap();
+        }
+        let est = acc.estimate().unwrap();
+        for j in 0..d {
+            assert!(
+                (est[j] - t[j]).abs() < 0.05,
+                "j={j}: {} vs {}",
+                est[j],
+                t[j]
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_dimension_mismatch() {
+        let mut acc = MeanAccumulator::new(2);
+        let report = SparseReport {
+            d: 3,
+            k: 1,
+            entries: vec![],
+        };
+        assert!(acc.add_sparse(&report).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Accuracy metrics used throughout the evaluation (§VI reports MSE for
+//! estimation tasks and misclassification rates for ERM).
+
+use ldp_core::{LdpError, Result};
+
+/// Mean squared error between an estimate vector and the ground truth.
+///
+/// # Errors
+/// Rejects length mismatches and empty inputs.
+pub fn mse(estimate: &[f64], truth: &[f64]) -> Result<f64> {
+    if estimate.len() != truth.len() {
+        return Err(LdpError::DimensionMismatch {
+            expected: truth.len(),
+            actual: estimate.len(),
+        });
+    }
+    if estimate.is_empty() {
+        return Err(LdpError::EmptyInput("values"));
+    }
+    Ok(estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum::<f64>()
+        / estimate.len() as f64)
+}
+
+/// Maximum absolute error, the `max_j |Z[A_j] − X[A_j]|` of Lemma 5.
+///
+/// # Errors
+/// As [`mse`].
+pub fn max_abs_error(estimate: &[f64], truth: &[f64]) -> Result<f64> {
+    if estimate.len() != truth.len() {
+        return Err(LdpError::DimensionMismatch {
+            expected: truth.len(),
+            actual: estimate.len(),
+        });
+    }
+    if estimate.is_empty() {
+        return Err(LdpError::EmptyInput("values"));
+    }
+    Ok(estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).abs())
+        .fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Sample mean of a slice.
+///
+/// # Errors
+/// [`LdpError::EmptyInput`] on an empty slice.
+pub fn sample_mean(values: &[f64]) -> Result<f64> {
+    if values.is_empty() {
+        return Err(LdpError::EmptyInput("values"));
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population-style sample variance (divides by `n`, matching the variance
+/// formulas the mechanisms are tested against).
+///
+/// # Errors
+/// [`LdpError::EmptyInput`] on an empty slice.
+pub fn sample_variance(values: &[f64]) -> Result<f64> {
+    let m = sample_mean(values)?;
+    Ok(values.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / values.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basic() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]).unwrap(), 0.0);
+        assert_eq!(mse(&[1.0, 3.0], &[0.0, 1.0]).unwrap(), 2.5);
+        assert!(mse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn max_abs_basic() {
+        assert_eq!(max_abs_error(&[1.0, -2.0], &[0.5, 1.0]).unwrap(), 3.0);
+        assert!(max_abs_error(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(sample_mean(&v).unwrap(), 2.5);
+        assert_eq!(sample_variance(&v).unwrap(), 1.25);
+        assert!(sample_mean(&[]).is_err());
+        assert!(sample_variance(&[]).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the aggregator-side estimators.
+
+use ldp_analytics::{FrequencyAccumulator, MeanAccumulator};
+use ldp_core::categorical::Oue;
+use ldp_core::rng::seeded_rng;
+use ldp_core::{Epsilon, FrequencyOracle};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The mean estimate is exactly the arithmetic average of the absorbed
+    /// dense reports (no hidden scaling).
+    #[test]
+    fn mean_accumulator_is_plain_average(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3), 1..50),
+    ) {
+        let mut acc = MeanAccumulator::new(3);
+        for row in &rows {
+            acc.add_dense(row).unwrap();
+        }
+        let est = acc.estimate().unwrap();
+        for j in 0..3 {
+            let expect: f64 = rows.iter().map(|r| r[j]).sum::<f64>() / rows.len() as f64;
+            prop_assert!((est[j] - expect).abs() < 1e-9);
+        }
+        // Clamped estimates are the same values clipped to [-1, 1].
+        for (c, e) in acc.estimate_clamped().unwrap().iter().zip(&est) {
+            prop_assert_eq!(*c, e.clamp(-1.0, 1.0));
+        }
+    }
+
+    /// Merging any 2-way split of the reports gives the same estimate as
+    /// sequential accumulation (up to addition order).
+    #[test]
+    fn mean_merge_is_associative(
+        rows in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 2), 2..60),
+        cut in 1usize..59,
+    ) {
+        prop_assume!(cut < rows.len());
+        let mut whole = MeanAccumulator::new(2);
+        let mut left = MeanAccumulator::new(2);
+        let mut right = MeanAccumulator::new(2);
+        for (i, row) in rows.iter().enumerate() {
+            whole.add_dense(row).unwrap();
+            if i < cut { &mut left } else { &mut right }.add_dense(row).unwrap();
+        }
+        left.merge(&right).unwrap();
+        prop_assert_eq!(left.n(), whole.n());
+        for (a, b) in left.estimate().unwrap().iter().zip(whole.estimate().unwrap()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Frequency estimates are linear in the declared population: doubling
+    /// n halves every estimate.
+    #[test]
+    fn frequency_population_scaling(seed in 0u64..200, k in 2u32..12) {
+        let oracle = Oue::new(Epsilon::new(1.0).unwrap(), k).unwrap();
+        let mut rng = seeded_rng(seed);
+        let mut acc = FrequencyAccumulator::new(k, 1.0);
+        for i in 0..20u32 {
+            let rep = oracle.perturb(i % k, &mut rng).unwrap();
+            acc.add(&oracle, &rep);
+        }
+        acc.set_population(100);
+        let at_100 = acc.estimate().unwrap();
+        acc.set_population(200);
+        let at_200 = acc.estimate().unwrap();
+        for (a, b) in at_100.iter().zip(&at_200) {
+            prop_assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+    }
+
+    /// Normalized frequency estimates always form a probability vector.
+    #[test]
+    fn normalized_estimates_on_simplex(seed in 0u64..200, k in 2u32..12, n in 1usize..40) {
+        let oracle = Oue::new(Epsilon::new(0.5).unwrap(), k).unwrap();
+        let mut rng = seeded_rng(seed);
+        let mut acc = FrequencyAccumulator::new(k, 1.0);
+        for i in 0..n as u32 {
+            let rep = oracle.perturb(i % k, &mut rng).unwrap();
+            acc.add(&oracle, &rep);
+        }
+        let est = acc.estimate_normalized().unwrap();
+        prop_assert!((est.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(est.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+}

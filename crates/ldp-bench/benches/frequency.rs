@@ -1,0 +1,48 @@
+//! Throughput of the frequency oracles (perturb + debiased support), over
+//! the census-like domain sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_core::rng::seeded_rng;
+use ldp_core::{Epsilon, OracleKind};
+use std::hint::black_box;
+
+fn bench_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frequency_oracle");
+    let eps = Epsilon::new(1.0).unwrap();
+    for k in [4u32, 27] {
+        for kind in OracleKind::ALL {
+            let oracle = kind.build(eps, k).unwrap();
+            let mut rng = seeded_rng(5);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_perturb", kind.name()), k),
+                &k,
+                |b, _| {
+                    let mut v = 0u32;
+                    b.iter(|| {
+                        v = (v + 1) % k;
+                        black_box(oracle.perturb(black_box(v), &mut rng).unwrap())
+                    })
+                },
+            );
+            let mut rng = seeded_rng(6);
+            let report = oracle.perturb(1, &mut rng).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_support_scan", kind.name()), k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        let mut acc = 0.0;
+                        for v in 0..k {
+                            acc += oracle.support(black_box(&report), v);
+                        }
+                        black_box(acc)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

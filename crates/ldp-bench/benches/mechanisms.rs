@@ -1,0 +1,52 @@
+//! Throughput of the six one-dimensional mechanisms (perturbations/sec).
+//!
+//! LDP perturbation runs on user devices and, in simulation, dominates the
+//! harness runtime, so per-call cost matters. The figure-regenerating
+//! experiment harness lives in `src/bin/`; these criterion benches measure
+//! the mechanisms themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_core::rng::seeded_rng;
+use ldp_core::{Epsilon, NumericKind};
+use std::hint::black_box;
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric_perturb");
+    for kind in NumericKind::ALL {
+        for eps in [0.5, 4.0] {
+            let mech = kind.build(Epsilon::new(eps).unwrap());
+            let mut rng = seeded_rng(1);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("eps={eps}")),
+                &eps,
+                |b, _| {
+                    let mut t = -1.0;
+                    b.iter(|| {
+                        // Sweep the input to defeat branch-predictor luck;
+                        // wrap before +0.1 can push past 1.0 (float drift).
+                        t = if t > 0.95 { -1.0 } else { t + 0.1 };
+                        black_box(mech.perturb(black_box(t), &mut rng).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_variance_formulas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variance_closed_forms");
+    group.bench_function("hm_1d_worst_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=100 {
+                acc += ldp_core::variance::hm_1d_worst(black_box(i as f64 * 0.08));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturb, bench_variance_formulas);
+criterion_main!(benches);

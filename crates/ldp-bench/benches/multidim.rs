@@ -1,0 +1,59 @@
+//! Throughput of the multidimensional perturbers: the paper's Algorithm 4
+//! vs Duchi et al.'s Algorithm 3 vs the ε/d composition baseline, at the
+//! census dimensionalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_core::multidim::{CompositionPerturber, DuchiMultidim, SamplingPerturber};
+use ldp_core::rng::seeded_rng;
+use ldp_core::{AttrSpec, Epsilon, NumericKind, OracleKind};
+use std::hint::black_box;
+
+fn tuple(d: usize) -> Vec<f64> {
+    (0..d).map(|j| (j as f64 / d as f64) * 1.8 - 0.9).collect()
+}
+
+fn bench_multidim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multidim_perturb");
+    let eps = Epsilon::new(1.0).unwrap();
+    for d in [16usize, 94] {
+        let t = tuple(d);
+        let sampling = SamplingPerturber::new(
+            eps,
+            vec![AttrSpec::Numeric; d],
+            NumericKind::Hybrid,
+            OracleKind::Oue,
+        )
+        .unwrap();
+        let duchi = DuchiMultidim::new(eps, d).unwrap();
+        let composition = CompositionPerturber::new(
+            eps,
+            vec![AttrSpec::Numeric; d],
+            NumericKind::Piecewise,
+            OracleKind::Oue,
+        )
+        .unwrap();
+
+        let mut rng = seeded_rng(2);
+        group.bench_with_input(BenchmarkId::new("algorithm4_hm", d), &d, |b, _| {
+            b.iter(|| black_box(sampling.perturb_numeric(black_box(&t), &mut rng).unwrap()))
+        });
+        let mut rng = seeded_rng(3);
+        group.bench_with_input(BenchmarkId::new("duchi_md", d), &d, |b, _| {
+            b.iter(|| black_box(duchi.perturb(black_box(&t), &mut rng).unwrap()))
+        });
+        let mut rng = seeded_rng(4);
+        group.bench_with_input(BenchmarkId::new("composition_pm", d), &d, |b, _| {
+            b.iter(|| {
+                black_box(
+                    composition
+                        .perturb_numeric(black_box(&t), &mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multidim);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Cost of a short LDP-SGD training run (gradient + clip + perturb +
+//! aggregate) at the §VI-B dimensionality (d = 90), per mechanism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_core::{Epsilon, NumericKind};
+use ldp_data::census::generate_br;
+use ldp_data::{DesignMatrix, TargetKind};
+use ldp_ml::{GradientMechanism, LdpSgd, LossKind, SgdConfig};
+use std::hint::black_box;
+
+fn bench_ldp_sgd(c: &mut Criterion) {
+    let ds = generate_br(2_000, 1).unwrap();
+    let data = DesignMatrix::encode(&ds, "total_income", TargetKind::BinaryAtMean).unwrap();
+    let rows: Vec<usize> = (0..2_000).collect();
+    let eps = Epsilon::new(1.0).unwrap();
+
+    let mut group = c.benchmark_group("ldp_sgd_2000_users");
+    group.sample_size(10);
+    for mech in [
+        GradientMechanism::Sampling(NumericKind::Hybrid),
+        GradientMechanism::DuchiMultidim,
+        GradientMechanism::LaplaceSplit,
+    ] {
+        // Group size 500 → 4 iterations over the 2 000 users.
+        let trainer = LdpSgd::new(
+            SgdConfig::paper_defaults(LossKind::Logistic),
+            eps,
+            mech,
+            500,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new(mech.label(), data.dim()), &mech, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(trainer.train(&data, black_box(&rows), seed).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ldp_sgd);
+criterion_main!(benches);

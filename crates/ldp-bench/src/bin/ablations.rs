@@ -1,0 +1,7 @@
+//! Runs the design-choice ablations (k of Equation 12, α of Lemma 3,
+//! frequency-oracle comparison).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit("ablations", &ldp_bench::figures::ablations::run(&args));
+}

@@ -1,0 +1,9 @@
+//! Regenerates fig01_worst_case_variance (see `ldp_bench::figures::fig01`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit(
+        "fig01_worst_case_variance",
+        &ldp_bench::figures::fig01::run(&args),
+    );
+}

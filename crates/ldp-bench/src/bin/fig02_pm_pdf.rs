@@ -1,0 +1,6 @@
+//! Regenerates fig02_pm_pdf (see `ldp_bench::figures::fig02`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit("fig02_pm_pdf", &ldp_bench::figures::fig02::run(&args));
+}

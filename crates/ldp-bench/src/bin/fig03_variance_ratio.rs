@@ -1,0 +1,9 @@
+//! Regenerates fig03_variance_ratio (see `ldp_bench::figures::fig03`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit(
+        "fig03_variance_ratio",
+        &ldp_bench::figures::fig03::run(&args),
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig04_real_data (see `ldp_bench::figures::fig04`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit("fig04_real_data", &ldp_bench::figures::fig04::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig05_gaussian (see `ldp_bench::figures::fig05`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit("fig05_gaussian", &ldp_bench::figures::fig05::run(&args));
+}

@@ -1,0 +1,9 @@
+//! Regenerates fig06_distributions (see `ldp_bench::figures::fig06`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit(
+        "fig06_distributions",
+        &ldp_bench::figures::fig06::run(&args),
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig07_users (see `ldp_bench::figures::fig07`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit("fig07_users", &ldp_bench::figures::fig07::run(&args));
+}

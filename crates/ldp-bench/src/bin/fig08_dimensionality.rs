@@ -1,0 +1,9 @@
+//! Regenerates fig08_dimensionality (see `ldp_bench::figures::fig08`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit(
+        "fig08_dimensionality",
+        &ldp_bench::figures::fig08::run(&args),
+    );
+}

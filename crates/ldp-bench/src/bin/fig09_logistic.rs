@@ -1,0 +1,6 @@
+//! Regenerates fig09_logistic (see `ldp_bench::figures::fig09`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit("fig09_logistic", &ldp_bench::figures::fig09::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig10_svm (see `ldp_bench::figures::fig10`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit("fig10_svm", &ldp_bench::figures::fig10::run(&args));
+}

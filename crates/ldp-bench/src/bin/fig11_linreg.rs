@@ -1,0 +1,6 @@
+//! Regenerates fig11_linreg (see `ldp_bench::figures::fig11`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit("fig11_linreg", &ldp_bench::figures::fig11::run(&args));
+}

@@ -1,0 +1,44 @@
+//! Regenerates every table and figure in sequence, printing one combined
+//! report (this is the command EXPERIMENTS.md records).
+//!
+//! ```text
+//! cargo run --release -p ldp-bench --bin run_all              # default scale
+//! cargo run --release -p ldp-bench --bin run_all -- --quick   # smoke test
+//! cargo run --release -p ldp-bench --bin run_all -- --full-scale  # paper scale
+//! ```
+
+use ldp_bench::{emit, figures, Args};
+use std::time::Instant;
+
+type Experiment = (&'static str, fn(&Args) -> String);
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "run_all: users = {}, runs = {}, ml_users = {}, {}-fold x {}, threads = {}, seed = {}\n",
+        args.users, args.runs, args.ml_users, args.folds, args.repeats, args.threads, args.seed
+    );
+    let experiments: Vec<Experiment> = vec![
+        ("Table 1 (variance regimes)", figures::table1::run),
+        ("Figure 1 (1-D worst-case variance)", figures::fig01::run),
+        ("Figure 2 (PM output pdf)", figures::fig02::run),
+        ("Figure 3 (multidim variance ratios)", figures::fig03::run),
+        ("Figure 4 (BR/MX mean & frequency MSE)", figures::fig04::run),
+        ("Figure 5 (Gaussian MSE)", figures::fig05::run),
+        ("Figure 6 (uniform & power-law MSE)", figures::fig06::run),
+        ("Figure 7 (MSE vs number of users)", figures::fig07::run),
+        ("Figure 8 (MSE vs dimensionality)", figures::fig08::run),
+        ("Figure 9 (logistic regression)", figures::fig09::run),
+        ("Figure 10 (SVM)", figures::fig10::run),
+        ("Figure 11 (linear regression)", figures::fig11::run),
+        ("Ablations", figures::ablations::run),
+    ];
+    let total = Instant::now();
+    for (name, f) in experiments {
+        let start = Instant::now();
+        let report = f(&args);
+        emit(name, &report);
+        println!("[{name} took {:.1?}]\n", start.elapsed());
+    }
+    println!("run_all finished in {:.1?}", total.elapsed());
+}

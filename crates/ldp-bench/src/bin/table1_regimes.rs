@@ -1,0 +1,6 @@
+//! Regenerates table1_regimes (see `ldp_bench::figures::table1`).
+
+fn main() {
+    let args = ldp_bench::Args::parse();
+    ldp_bench::emit("table1_regimes", &ldp_bench::figures::table1::run(&args));
+}

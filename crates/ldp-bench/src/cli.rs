@@ -1,0 +1,165 @@
+//! Minimal flag parsing shared by every experiment binary (no external CLI
+//! dependency — the harness only needs a handful of numeric flags).
+
+/// Runtime configuration for an experiment binary.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Number of simulated users (estimation experiments).
+    pub users: usize,
+    /// Number of repetitions averaged per configuration.
+    pub runs: usize,
+    /// Shard count for parallel simulation.
+    pub threads: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Cross-validation folds (ERM experiments).
+    pub folds: usize,
+    /// Cross-validation repeats (ERM experiments).
+    pub repeats: usize,
+    /// Users for the ERM experiments (smaller: each CV fold trains a model).
+    pub ml_users: usize,
+    /// Paper-scale mode: n = 4M, 100 runs, 10-fold × 5 CV.
+    pub full_scale: bool,
+    /// Quick mode for smoke tests: tiny n and runs.
+    pub quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            users: 200_000,
+            runs: 10,
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            seed: 20190408, // ICDE 2019 opened April 8, 2019
+            folds: 5,
+            repeats: 1,
+            ml_users: 40_000,
+            full_scale: false,
+            quick: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`, honoring `--users`, `--runs`, `--threads`,
+    /// `--seed`, `--folds`, `--repeats`, `--ml-users`, `--full-scale`, and
+    /// `--quick`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed flags (these are operator
+    /// binaries; failing fast beats guessing).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    ///
+    /// # Panics
+    /// As [`Args::parse`].
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> u64 {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+                    .parse()
+                    .unwrap_or_else(|e| panic!("bad value for {name}: {e}"))
+            };
+            match flag.as_str() {
+                "--users" => out.users = take("--users") as usize,
+                "--runs" => out.runs = take("--runs") as usize,
+                "--threads" => out.threads = take("--threads") as usize,
+                "--seed" => out.seed = take("--seed"),
+                "--folds" => out.folds = take("--folds") as usize,
+                "--repeats" => out.repeats = take("--repeats") as usize,
+                "--ml-users" => out.ml_users = take("--ml-users") as usize,
+                "--full-scale" => out.full_scale = true,
+                "--quick" => out.quick = true,
+                other => panic!(
+                    "unknown flag `{other}`; supported: --users --runs --threads --seed \
+                     --folds --repeats --ml-users --full-scale --quick"
+                ),
+            }
+        }
+        out.resolve()
+    }
+
+    /// Applies the `--full-scale` / `--quick` presets.
+    fn resolve(mut self) -> Self {
+        if self.full_scale {
+            self.users = 4_000_000;
+            self.runs = 100;
+            self.folds = 10;
+            self.repeats = 5;
+            self.ml_users = 4_000_000;
+        } else if self.quick {
+            self.users = 20_000;
+            self.runs = 3;
+            self.folds = 3;
+            self.repeats = 1;
+            self.ml_users = 6_000;
+        }
+        self
+    }
+
+    /// Per-run seed derivation.
+    pub fn run_seed(&self, run: usize) -> u64 {
+        self.seed
+            .wrapping_add(run as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse_from(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let a = parse(&[]);
+        assert_eq!(a.users, 200_000);
+        assert_eq!(a.runs, 10);
+        assert!(!a.full_scale);
+    }
+
+    #[test]
+    fn numeric_flags() {
+        let a = parse(&["--users", "5000", "--runs", "2", "--seed", "9"]);
+        assert_eq!(a.users, 5000);
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn quick_preset() {
+        let a = parse(&["--quick"]);
+        assert_eq!(a.users, 20_000);
+        assert_eq!(a.runs, 3);
+    }
+
+    #[test]
+    fn full_scale_preset() {
+        let a = parse(&["--full-scale"]);
+        assert_eq!(a.users, 4_000_000);
+        assert_eq!(a.runs, 100);
+        assert_eq!(a.folds, 10);
+        assert_eq!(a.repeats, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flag() {
+        parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn run_seeds_differ() {
+        let a = parse(&[]);
+        assert_ne!(a.run_seed(0), a.run_seed(1));
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 1: worst-case noise variance vs ε for one-dimensional numeric
+//! data (Laplace, SCDF, Staircase, Duchi, PM, HM).
+
+use crate::cli::Args;
+use crate::table::{fixed, Table};
+use ldp_core::math::{epsilon_sharp, epsilon_star};
+use ldp_core::{variance, Epsilon, NumericKind};
+
+/// Regenerates Figure 1's curves (closed forms, plus the paper's two
+/// crossover observations). SCDF and Staircase are included as columns even
+/// though the paper's plot omits them (it discusses them in §III-A).
+pub fn run(_args: &Args) -> String {
+    let mut table = Table::new(
+        "Figure 1: worst-case noise variance vs eps (d = 1)",
+        &["eps", "Laplace", "SCDF", "Staircase", "Duchi", "PM", "HM"],
+    );
+    for i in 1..=32 {
+        let eps = i as f64 * 0.25;
+        let e = Epsilon::new(eps).expect("positive");
+        let scdf = NumericKind::Scdf.build(e).worst_case_variance();
+        let stair = NumericKind::Staircase.build(e).worst_case_variance();
+        table.row(vec![
+            format!("{eps:.2}"),
+            fixed(variance::laplace(eps)),
+            fixed(scdf),
+            fixed(stair),
+            fixed(variance::duchi_1d_worst(eps)),
+            fixed(variance::pm_1d_worst(eps)),
+            fixed(variance::hm_1d_worst(eps)),
+        ]);
+    }
+    let mut out = table.render();
+
+    // The two qualitative claims the figure supports.
+    let es = epsilon_star();
+    let esh = epsilon_sharp();
+    let pm_beats_laplace = (1..=64).all(|i| {
+        let eps = i as f64 * 0.125;
+        variance::pm_1d_worst(eps) < variance::laplace(eps)
+    });
+    out.push_str(&format!(
+        "\nPM < Laplace for every eps in (0, 8]: {pm_beats_laplace}\n\
+         PM/Duchi crossover at eps# = {esh:.4}: PM({:.4})={:.4} vs Duchi={:.4}\n\
+         HM degenerates to Duchi for eps <= eps* = {es:.4}\n",
+        esh,
+        variance::pm_1d_worst(esh),
+        variance::duchi_1d_worst(esh),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape() {
+        let report = run(&Args::default());
+        assert!(report.contains("PM < Laplace for every eps in (0, 8]: true"));
+        // 32 data rows.
+        assert!(report.contains("8.00"));
+        assert!(report.contains("0.25"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 2: the Piecewise Mechanism's output density for t ∈ {0, 0.5, 1}.
+
+use crate::cli::Args;
+use crate::table::Table;
+use ldp_core::{numeric::Piecewise, Epsilon};
+
+/// Regenerates Figure 2: evaluates `pdf(t* = x | t)` on a grid for the
+/// three inputs the paper plots, and prints the piece boundaries
+/// `ℓ(t), r(t)` and the two density levels `p`, `p/e^ε`.
+pub fn run(_args: &Args) -> String {
+    let eps = 1.0;
+    let pm = Piecewise::new(Epsilon::new(eps).expect("positive"));
+    let c = pm.c();
+    let mut out = format!(
+        "eps = {eps}, C = {c:.4}; density levels: p = {:.4} (centre), p/e^eps = {:.4} (sides)\n\n",
+        pm.pdf(pm.left(0.0), 0.0),
+        pm.pdf(-c + 1e-9, 0.0),
+    );
+    for t in [0.0, 0.5, 1.0] {
+        out.push_str(&format!(
+            "t = {t}: centre piece [l(t), r(t)] = [{:.4}, {:.4}]\n",
+            pm.left(t),
+            pm.right(t)
+        ));
+    }
+    out.push('\n');
+
+    let mut table = Table::new(
+        "Figure 2: pdf(t* = x | t) for eps = 1",
+        &["x", "t=0", "t=0.5", "t=1"],
+    );
+    let steps = 24;
+    for i in 0..=steps {
+        let x = -c + 2.0 * c * i as f64 / steps as f64;
+        table.row(vec![
+            format!("{x:.3}"),
+            format!("{:.4}", pm.pdf(x, 0.0)),
+            format!("{:.4}", pm.pdf(x, 0.5)),
+            format!("{:.4}", pm.pdf(x, 1.0)),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shows_piece_geometry() {
+        let report = run(&Args::default());
+        assert!(report.contains("centre piece"));
+        assert!(report.contains("t=0.5"));
+        // At t = 1 the centre piece ends exactly at C.
+        let pm = Piecewise::new(Epsilon::new(1.0).unwrap());
+        assert!((pm.right(1.0) - pm.c()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 3: worst-case variance of PM (resp. HM) as a fraction of
+//! Duchi et al.'s, for d ∈ {5, 10, 20, 40}.
+
+use crate::cli::Args;
+use crate::table::{fixed, Table};
+use ldp_core::variance;
+
+/// Regenerates Figure 3's four panels as one table, and checks the §IV-B
+/// claim that HM's worst case is at most 77% of Duchi et al.'s.
+pub fn run(_args: &Args) -> String {
+    let dims = [5usize, 10, 20, 40];
+    let mut out = String::new();
+    let mut max_hm_ratio = 0.0f64;
+    for &d in &dims {
+        let mut table = Table::new(
+            &format!("Figure 3({}): variance ratio vs Duchi, d = {d}", panel(d)),
+            &["eps", "PM/Duchi", "HM/Duchi"],
+        );
+        for i in 1..=32 {
+            let eps = i as f64 * 0.25;
+            let du = variance::duchi_md_worst(eps, d);
+            let pm_ratio = variance::pm_md_worst(eps, d) / du;
+            let hm_ratio = variance::hm_md_worst(eps, d) / du;
+            max_hm_ratio = max_hm_ratio.max(hm_ratio);
+            table.row(vec![format!("{eps:.2}"), fixed(pm_ratio), fixed(hm_ratio)]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "max HM/Duchi ratio over all panels: {:.4} (paper: at most 0.77)\n",
+        max_hm_ratio
+    ));
+    out
+}
+
+fn panel(d: usize) -> &'static str {
+    match d {
+        5 => "a",
+        10 => "b",
+        20 => "c",
+        _ => "d",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hm_ratio_stays_below_paper_bound() {
+        let report = run(&Args::default());
+        assert!(report.contains("d = 40"));
+        // Extract the reported maximum and check it.
+        let line = report.lines().find(|l| l.contains("max HM/Duchi")).unwrap();
+        let value: f64 = line
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(value <= 0.77, "max ratio {value}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 7: estimation accuracy vs the number of users (MX data, ε = 1).
+
+use crate::cli::Args;
+use crate::figures::{averaged_mse, numeric_protocols};
+use crate::table::{sci, Table};
+use ldp_analytics::Protocol;
+use ldp_core::{NumericKind, OracleKind};
+use ldp_data::census::generate_mx;
+
+/// Regenerates Figure 7. The paper sweeps n ∈ {0.25, 0.5, 1, 2, 4}·10⁶ for
+/// the numeric panel and n ∈ {1/16 … 1}·10⁶ for the categorical panel; by
+/// default both sweeps are scaled down 10× (`--full-scale` restores the
+/// paper's sizes, `--users` rescales the maximum).
+pub fn run(args: &Args) -> String {
+    let eps = 1.0;
+    let scale = if args.full_scale {
+        1.0
+    } else {
+        args.users as f64 / 4_000_000.0
+    };
+    let numeric_ns: Vec<usize> = [0.25, 0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|m| (m * 1e6 * scale) as usize)
+        .collect();
+    let categorical_ns: Vec<usize> = [1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0]
+        .iter()
+        .map(|m| (m * 1e6 * scale) as usize)
+        .collect();
+    let max_n = *numeric_ns.last().expect("non-empty sweep");
+    let base = generate_mx(max_n, args.seed).expect("generator is domain-safe");
+
+    let mut numeric = Table::new(
+        &format!("Figure 7(a): numeric MSE vs n on MX, eps = {eps}"),
+        &["n", "Laplace", "SCDF", "Staircase", "Duchi", "PM", "HM"],
+    );
+    for &n in &numeric_ns {
+        let ds = base.head(n).expect("n within range");
+        let mut row = vec![n.to_string()];
+        for protocol in numeric_protocols() {
+            let (num, _) = averaged_mse(&ds, protocol, eps, args).expect("collection runs");
+            row.push(sci(num.expect("MX has numeric attributes")));
+        }
+        numeric.row(row);
+    }
+
+    let mut categorical = Table::new(
+        &format!("Figure 7(b): categorical MSE vs n on MX, eps = {eps}"),
+        &["n", "OUE", "Proposed"],
+    );
+    for &n in &categorical_ns {
+        let ds = base.head(n).expect("n within range");
+        let (_, split) = averaged_mse(
+            &ds,
+            Protocol::BestEffort {
+                numeric: ldp_analytics::BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+                oracle: OracleKind::Oue,
+            },
+            eps,
+            args,
+        )
+        .expect("collection runs");
+        let (_, proposed) = averaged_mse(
+            &ds,
+            Protocol::Sampling {
+                numeric: NumericKind::Hybrid,
+                oracle: OracleKind::Oue,
+            },
+            eps,
+            args,
+        )
+        .expect("collection runs");
+        categorical.row(vec![
+            n.to_string(),
+            sci(split.expect("MX has categorical attributes")),
+            sci(proposed.expect("MX has categorical attributes")),
+        ]);
+    }
+    format!("{}\n{}", numeric.render(), categorical.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_sweeps_user_counts() {
+        let args = Args {
+            users: 40_000,
+            runs: 1,
+            ..Args::default()
+        }; // users = max n of the sweep
+        let report = run(&args);
+        assert!(report.contains("Figure 7(a)"));
+        assert!(report.contains("Figure 7(b)"));
+        // Smallest numeric n = 40 000/16... scale = 1e-2 → 2 500.
+        assert!(report.contains("2500"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 8: estimation accuracy vs dimensionality d ∈ {5, 10, 15, 19}
+//! (MX data).
+
+use crate::cli::Args;
+use crate::figures::{averaged_mse, numeric_protocols};
+use crate::table::{sci, Table};
+use ldp_analytics::Protocol;
+use ldp_core::{NumericKind, OracleKind};
+use ldp_data::census::generate_mx;
+use ldp_data::Dataset;
+
+/// Builds a `d`-attribute slice of MX with numeric and categorical
+/// attributes interleaved, so every prefix contains both kinds (the paper
+/// measures both panels at every d).
+fn mixed_prefix(base: &Dataset, d: usize) -> Dataset {
+    let schema = base.schema();
+    let numeric = schema.numeric_indices();
+    let categorical = schema.categorical_indices();
+    let mut order = Vec::with_capacity(schema.d());
+    let mut ni = numeric.iter();
+    let mut ci = categorical.iter();
+    loop {
+        match (ni.next(), ci.next()) {
+            (None, None) => break,
+            (a, b) => {
+                if let Some(&j) = a {
+                    order.push(j);
+                }
+                if let Some(&j) = b {
+                    order.push(j);
+                }
+            }
+        }
+    }
+    base.select_attributes(&order[..d]).expect("valid prefix")
+}
+
+/// Regenerates Figure 8 with ε = 1.
+pub fn run(args: &Args) -> String {
+    let eps = 1.0;
+    let base = generate_mx(args.users, args.seed).expect("generator is domain-safe");
+    let dims = [5usize, 10, 15, 19];
+
+    let mut numeric = Table::new(
+        &format!(
+            "Figure 8(a): numeric MSE vs dimensionality on MX, eps = {eps}, n = {}",
+            base.n()
+        ),
+        &["d", "Laplace", "SCDF", "Staircase", "Duchi", "PM", "HM"],
+    );
+    let mut categorical = Table::new(
+        &format!(
+            "Figure 8(b): categorical MSE vs dimensionality on MX, eps = {eps}, n = {}",
+            base.n()
+        ),
+        &["d", "OUE", "Proposed"],
+    );
+    for d in dims {
+        let ds = mixed_prefix(&base, d);
+        let mut row = vec![d.to_string()];
+        let mut cat_split = None;
+        let mut cat_proposed = None;
+        for protocol in numeric_protocols() {
+            let (num, cat) = averaged_mse(&ds, protocol, eps, args).expect("collection runs");
+            row.push(sci(num.expect("prefix keeps numeric attributes")));
+            match protocol {
+                Protocol::BestEffort {
+                    numeric: ldp_analytics::BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+                    ..
+                } => cat_split = cat,
+                Protocol::Sampling {
+                    numeric: NumericKind::Hybrid,
+                    oracle: OracleKind::Oue,
+                } => cat_proposed = cat,
+                _ => {}
+            }
+        }
+        numeric.row(row);
+        categorical.row(vec![
+            d.to_string(),
+            sci(cat_split.expect("prefix keeps categorical attributes")),
+            sci(cat_proposed.expect("prefix keeps categorical attributes")),
+        ]);
+    }
+    format!("{}\n{}", numeric.render(), categorical.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_prefix_contains_both_kinds() {
+        let base = generate_mx(500, 1).unwrap();
+        for d in [5usize, 10, 15, 19] {
+            let ds = mixed_prefix(&base, d);
+            assert_eq!(ds.schema().d(), d);
+            assert!(!ds.schema().numeric_indices().is_empty(), "d={d}");
+            assert!(!ds.schema().categorical_indices().is_empty(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn quick_run_sweeps_dimensions() {
+        let args = Args {
+            users: 6_000,
+            runs: 1,
+            ..Args::default()
+        };
+        let report = run(&args);
+        assert!(report.contains("Figure 8(a)"));
+        assert!(report.contains("19"));
+    }
+}

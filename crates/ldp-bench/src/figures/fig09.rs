@@ -1,0 +1,15 @@
+//! Figure 9: logistic regression misclassification rate vs ε (BR, MX).
+
+use crate::cli::Args;
+use crate::figures::erm::{run_erm, Metric};
+use ldp_ml::LossKind;
+
+/// Regenerates Figure 9.
+pub fn run(args: &Args) -> String {
+    run_erm(
+        "Figure 9",
+        LossKind::Logistic,
+        Metric::Misclassification,
+        args,
+    )
+}

@@ -1,0 +1,15 @@
+//! Figure 10: SVM misclassification rate vs ε (BR, MX).
+
+use crate::cli::Args;
+use crate::figures::erm::{run_erm, Metric};
+use ldp_ml::LossKind;
+
+/// Regenerates Figure 10.
+pub fn run(args: &Args) -> String {
+    run_erm(
+        "Figure 10",
+        LossKind::SvmHinge,
+        Metric::Misclassification,
+        args,
+    )
+}

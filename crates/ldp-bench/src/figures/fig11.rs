@@ -1,0 +1,19 @@
+//! Figure 11: linear regression MSE vs ε (BR, MX).
+//!
+//! The paper omits the Laplace column from its plot because the values are
+//! off-scale; we keep the column (the table format has no such constraint)
+//! so the gap is visible.
+
+use crate::cli::Args;
+use crate::figures::erm::{run_erm, Metric};
+use ldp_ml::LossKind;
+
+/// Regenerates Figure 11.
+pub fn run(args: &Args) -> String {
+    run_erm(
+        "Figure 11",
+        LossKind::LinearRegression,
+        Metric::RegressionMse,
+        args,
+    )
+}

@@ -1,0 +1,127 @@
+//! One module per table/figure of the paper's evaluation, each exposing
+//! `run(&Args) -> String` so the per-figure binaries and `run_all` share the
+//! same implementation.
+
+pub mod ablations;
+pub mod erm;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod table1;
+
+use crate::cli::Args;
+use ldp_analytics::{categorical_mse, numeric_mse, Collector, Protocol};
+use ldp_core::{Epsilon, Result};
+use ldp_data::Dataset;
+
+/// The privacy budgets of the paper's x-axes.
+pub const EPSILONS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+/// Averages the numeric and categorical MSE of a protocol over
+/// `args.runs` repetitions.
+///
+/// Returns `(numeric_mse, categorical_mse)`; a side is `None` when the
+/// dataset has no attributes of that type.
+pub fn averaged_mse(
+    dataset: &Dataset,
+    protocol: Protocol,
+    eps: f64,
+    args: &Args,
+) -> Result<(Option<f64>, Option<f64>)> {
+    let collector = Collector::new(protocol, Epsilon::new(eps)?).with_threads(args.threads);
+    let mut num = 0.0;
+    let mut cat = 0.0;
+    let has_num = !dataset.schema().numeric_indices().is_empty();
+    let has_cat = !dataset.schema().categorical_indices().is_empty();
+    for run in 0..args.runs {
+        let result = collector.run(dataset, args.run_seed(run))?;
+        if has_num {
+            num += numeric_mse(&result, dataset)?;
+        }
+        if has_cat {
+            cat += categorical_mse(&result, dataset)?;
+        }
+    }
+    let r = args.runs as f64;
+    Ok((has_num.then_some(num / r), has_cat.then_some(cat / r)))
+}
+
+/// The numeric-method lineup of Figures 4(a,b), 5, 6, 7(a), 8(a):
+/// Laplace / SCDF / Staircase split baselines, Duchi et al.'s Algorithm 3,
+/// and the proposed PM / HM sampling protocols.
+pub fn numeric_protocols() -> Vec<Protocol> {
+    use ldp_analytics::BestEffortNumeric as BE;
+    use ldp_core::{NumericKind, OracleKind};
+    vec![
+        Protocol::BestEffort {
+            numeric: BE::PerAttribute(NumericKind::Laplace),
+            oracle: OracleKind::Oue,
+        },
+        Protocol::BestEffort {
+            numeric: BE::PerAttribute(NumericKind::Scdf),
+            oracle: OracleKind::Oue,
+        },
+        Protocol::BestEffort {
+            numeric: BE::PerAttribute(NumericKind::Staircase),
+            oracle: OracleKind::Oue,
+        },
+        Protocol::BestEffort {
+            numeric: BE::DuchiMultidim,
+            oracle: OracleKind::Oue,
+        },
+        Protocol::Sampling {
+            numeric: NumericKind::Piecewise,
+            oracle: OracleKind::Oue,
+        },
+        Protocol::Sampling {
+            numeric: NumericKind::Hybrid,
+            oracle: OracleKind::Oue,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::{NumericKind, OracleKind};
+    use ldp_data::synthetic::{gaussian, numeric_dataset};
+
+    #[test]
+    fn averaged_mse_numeric_only() {
+        let ds = numeric_dataset(5_000, 4, gaussian(0.0), 11).unwrap();
+        let args = Args {
+            runs: 2,
+            users: 5_000,
+            ..Args::default()
+        };
+        let (num, cat) = averaged_mse(
+            &ds,
+            Protocol::Sampling {
+                numeric: NumericKind::Hybrid,
+                oracle: OracleKind::Oue,
+            },
+            1.0,
+            &args,
+        )
+        .unwrap();
+        assert!(num.unwrap() > 0.0);
+        assert!(cat.is_none());
+    }
+
+    #[test]
+    fn protocol_lineup_labels() {
+        let labels: Vec<String> = numeric_protocols().iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Laplace", "SCDF", "Staircase", "Duchi", "PM", "HM"]
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # ldp-bench — the experiment harness
+//!
+//! One binary per table/figure of Wang et al. (ICDE 2019), each printing
+//! the same rows/series the paper plots, plus ablation benches and criterion
+//! micro-benchmarks. `run_all` executes everything and is what
+//! EXPERIMENTS.md records.
+//!
+//! Common flags (see [`cli::Args`]): `--users`, `--runs`, `--threads`,
+//! `--seed`, `--folds`, `--repeats`, `--ml-users`, `--quick`,
+//! `--full-scale` (paper-scale: n = 4M, 100 runs, 10-fold × 5 CV).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod figures;
+pub mod table;
+
+pub use cli::Args;
+
+/// Prints a report with a separating banner (shared by the binaries).
+pub fn emit(name: &str, report: &str) {
+    println!("==== {name} ====");
+    println!("{report}");
+}

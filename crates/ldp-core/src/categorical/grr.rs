@@ -1,0 +1,177 @@
+//! Generalized randomized response (k-RR / direct encoding).
+
+use crate::budget::Epsilon;
+use crate::categorical::{check_category, check_domain_size};
+use crate::error::Result;
+use crate::mechanism::{CategoricalReport, FrequencyOracle};
+use crate::rng::bernoulli;
+use rand::{Rng, RngCore};
+
+/// k-ary randomized response: report the true category with probability
+/// `p = e^ε/(e^ε + k − 1)`, otherwise one of the `k−1` other categories
+/// uniformly (each with probability `q = 1/(e^ε + k − 1)`).
+///
+/// The `p/q = e^ε` ratio gives ε-LDP directly. GRR's estimator variance
+/// grows linearly in `k`, so it loses to OUE once `k > 3e^ε + 2`; it is
+/// included as the classic baseline and for small domains (e.g. binary
+/// attributes) where it is optimal.
+#[derive(Debug, Clone)]
+pub struct Grr {
+    epsilon: Epsilon,
+    k: u32,
+    p: f64,
+    q: f64,
+}
+
+impl Grr {
+    /// Creates the oracle for domain size `k ≥ 2` and budget `ε`.
+    ///
+    /// # Errors
+    /// [`crate::LdpError::InvalidParameter`] if `k < 2`.
+    pub fn new(epsilon: Epsilon, k: u32) -> Result<Self> {
+        check_domain_size(k)?;
+        let e = epsilon.exp();
+        let denom = e + k as f64 - 1.0;
+        Ok(Grr {
+            epsilon,
+            k,
+            p: e / denom,
+            q: 1.0 / denom,
+        })
+    }
+
+    /// Probability of reporting the true category.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability of reporting any *specific* other category.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+}
+
+impl FrequencyOracle for Grr {
+    fn k(&self) -> u32 {
+        self.k
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    fn name(&self) -> &'static str {
+        "GRR"
+    }
+
+    fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Result<CategoricalReport> {
+        check_category(value, self.k)?;
+        if bernoulli(rng, self.p) {
+            Ok(CategoricalReport::Value(value))
+        } else {
+            // Uniform over the k−1 categories other than `value`.
+            let r = rng.random_range(0..self.k - 1);
+            Ok(CategoricalReport::Value(if r >= value { r + 1 } else { r }))
+        }
+    }
+
+    fn support(&self, report: &CategoricalReport, v: u32) -> f64 {
+        let hit = match report {
+            CategoricalReport::Value(x) => *x == v,
+            CategoricalReport::Bits(bits) => bits.get(v),
+        };
+        let b = if hit { 1.0 } else { 0.0 };
+        (b - self.q) / (self.p - self.q)
+    }
+
+    fn support_variance(&self, f: f64) -> f64 {
+        let p_one = f * self.p + (1.0 - f) * self.q;
+        p_one * (1.0 - p_one) / ((self.p - self.q) * (self.p - self.q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn oracle(eps: f64, k: u32) -> Grr {
+        Grr::new(Epsilon::new(eps).unwrap(), k).unwrap()
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let o = oracle(1.0, 7);
+        let total = o.p() + (o.k() - 1) as f64 * o.q();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((o.p() / o.q() - 1.0f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truthful_report_rate_matches_p() {
+        let o = oracle(2.0, 5);
+        let mut rng = seeded_rng(90);
+        let n = 200_000;
+        let truthful = (0..n)
+            .filter(|_| matches!(o.perturb(3, &mut rng).unwrap(), CategoricalReport::Value(3)))
+            .count();
+        let frac = truthful as f64 / n as f64;
+        assert!((frac - o.p()).abs() < 0.01, "{frac} vs {}", o.p());
+    }
+
+    #[test]
+    fn lies_are_uniform_over_other_categories() {
+        let o = oracle(1.0, 4);
+        let mut rng = seeded_rng(91);
+        let n = 300_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            if let CategoricalReport::Value(x) = o.perturb(1, &mut rng).unwrap() {
+                counts[x as usize] += 1;
+            }
+        }
+        // Categories 0, 2, 3 should each appear with probability q.
+        for v in [0usize, 2, 3] {
+            let frac = counts[v] as f64 / n as f64;
+            assert!((frac - o.q()).abs() < 0.01, "v={v}: {frac}");
+        }
+        assert_eq!(counts[1] + counts[0] + counts[2] + counts[3], n);
+    }
+
+    #[test]
+    fn support_is_unbiased() {
+        let o = oracle(1.5, 6);
+        let mut rng = seeded_rng(92);
+        let n = 200_000;
+        let mut sum_true = 0.0;
+        let mut sum_other = 0.0;
+        for _ in 0..n {
+            let r = o.perturb(4, &mut rng).unwrap();
+            sum_true += o.support(&r, 4);
+            sum_other += o.support(&r, 0);
+        }
+        assert!((sum_true / n as f64 - 1.0).abs() < 0.03);
+        assert!((sum_other / n as f64).abs() < 0.03);
+    }
+
+    #[test]
+    fn support_variance_matches_simulation() {
+        let o = oracle(1.0, 4);
+        let mut rng = seeded_rng(93);
+        let n = 200_000;
+        let vals: Vec<f64> = (0..n)
+            .map(|_| o.support(&o.perturb(2, &mut rng).unwrap(), 2))
+            .collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let expect = o.support_variance(1.0);
+        assert!((var - expect).abs() / expect < 0.05, "{var} vs {expect}");
+    }
+
+    #[test]
+    fn binary_domain_equals_classic_randomized_response() {
+        let o = oracle(1.0, 2);
+        // Warner's RR: truthful with e^ε/(e^ε+1).
+        assert!((o.p() - 1.0f64.exp() / (1.0f64.exp() + 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Frequency oracles for a single categorical attribute with domain
+//! `{0, …, k-1}`.
+//!
+//! * [`Oue`] — Optimized Unary Encoding (Wang et al., USENIX Security 2017),
+//!   the oracle the paper plugs into Algorithm 4 (§IV-C, §VI-A).
+//! * [`Grr`] — generalized (k-ary) randomized response, the classic direct
+//!   mechanism; better than OUE when `k < 3e^ε + 2`.
+//! * [`Sue`] — symmetric unary encoding (basic RAPPOR), included as an
+//!   ablation baseline.
+
+mod grr;
+mod oue;
+mod sue;
+
+pub use grr::Grr;
+pub use oue::Oue;
+pub use sue::Sue;
+
+use crate::budget::Epsilon;
+use crate::error::{LdpError, Result};
+use crate::kinds::OracleKind;
+
+/// Wang et al.'s (USENIX Security 2017) selection rule: GRR has lower
+/// estimator variance than OUE exactly when `k − 2 < 3e^ε` (GRR's variance
+/// grows with `k`, OUE's does not), so pick GRR for small domains and OUE
+/// otherwise.
+///
+/// ```
+/// use ldp_core::{categorical::best_oracle, Epsilon, OracleKind};
+/// let eps = Epsilon::new(1.0)?;
+/// assert_eq!(best_oracle(eps, 2), OracleKind::Grr);   // binary: classic RR
+/// assert_eq!(best_oracle(eps, 27), OracleKind::Oue);  // large domain: OUE
+/// # Ok::<(), ldp_core::LdpError>(())
+/// ```
+pub fn best_oracle(epsilon: Epsilon, k: u32) -> OracleKind {
+    if (f64::from(k) - 2.0) < 3.0 * epsilon.exp() {
+        OracleKind::Grr
+    } else {
+        OracleKind::Oue
+    }
+}
+
+/// Validates a category against a domain of size `k`.
+#[inline]
+pub(crate) fn check_category(value: u32, k: u32) -> Result<()> {
+    if value < k {
+        Ok(())
+    } else {
+        Err(LdpError::InvalidCategory { value, k })
+    }
+}
+
+/// Validates a domain size (`k ≥ 2`: a one-value attribute carries no
+/// information and would divide by zero in the estimators).
+pub(crate) fn check_domain_size(k: u32) -> Result<()> {
+    if k >= 2 {
+        Ok(())
+    } else {
+        Err(LdpError::InvalidParameter {
+            name: "k",
+            message: format!("categorical domain needs k ≥ 2, got {k}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_validation() {
+        assert!(check_category(0, 3).is_ok());
+        assert!(check_category(2, 3).is_ok());
+        assert!(check_category(3, 3).is_err());
+    }
+
+    #[test]
+    fn domain_size_validation() {
+        assert!(check_domain_size(2).is_ok());
+        assert!(check_domain_size(100).is_ok());
+        assert!(check_domain_size(1).is_err());
+        assert!(check_domain_size(0).is_err());
+    }
+
+    use crate::mechanism::FrequencyOracle;
+
+    #[test]
+    fn best_oracle_rule_matches_variance_comparison() {
+        // The selection rule must agree with the oracles' own
+        // support_variance at f → 0 (the regime the rule optimizes).
+        for eps in [0.5, 1.0, 2.0, 4.0] {
+            let e = Epsilon::new(eps).unwrap();
+            for k in [2u32, 4, 8, 16, 32, 64, 128] {
+                let chosen = best_oracle(e, k);
+                let grr = Grr::new(e, k).unwrap().support_variance(0.0);
+                let oue = Oue::new(e, k).unwrap().support_variance(0.0);
+                let better = if grr <= oue {
+                    OracleKind::Grr
+                } else {
+                    OracleKind::Oue
+                };
+                assert_eq!(chosen, better, "eps={eps} k={k}: grr={grr} oue={oue}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_oracle_threshold_is_sharp() {
+        // At the boundary k = 3e^ε + 2 the variances coincide (up to the
+        // integrality of k); check the rule flips within one step of it.
+        let e = Epsilon::new(1.0).unwrap();
+        let boundary = (3.0 * 1.0f64.exp() + 2.0).floor() as u32; // 10
+        assert_eq!(best_oracle(e, boundary), OracleKind::Grr);
+        assert_eq!(best_oracle(e, boundary + 1), OracleKind::Oue);
+    }
+}

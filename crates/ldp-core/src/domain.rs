@@ -1,0 +1,168 @@
+//! Attribute domains and rescaling between user domains and the canonical
+//! `[-1, 1]` interval all numeric mechanisms operate on.
+//!
+//! The paper (§III-B, remark after Algorithm 2) assumes each user knows the
+//! public domain `[-r, r]` of her attribute, normalizes to `[-1, 1]`,
+//! perturbs, and the aggregator rescales. [`NumericDomain`] generalizes this
+//! to an arbitrary interval `[lo, hi]` via an affine map, which keeps
+//! unbiasedness: if `E[t*] = t` on `[-1, 1]`, then
+//! `E[denormalize(t*)] = denormalize(t)`.
+
+use crate::error::{LdpError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A public, bounded numeric attribute domain `[lo, hi]` with `lo < hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NumericDomain {
+    lo: f64,
+    hi: f64,
+}
+
+impl NumericDomain {
+    /// The canonical mechanism domain `[-1, 1]`.
+    pub const UNIT: NumericDomain = NumericDomain { lo: -1.0, hi: 1.0 };
+
+    /// Creates a domain, validating `lo < hi` and finiteness.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for non-finite or empty intervals.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(LdpError::InvalidParameter {
+                name: "domain",
+                message: format!("need finite lo < hi, got [{lo}, {hi}]"),
+            });
+        }
+        Ok(NumericDomain { lo, hi })
+    }
+
+    /// Lower bound.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Interval width `hi - lo`.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Interval midpoint.
+    #[inline]
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether `x` lies in the (closed) domain.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        x.is_finite() && x >= self.lo && x <= self.hi
+    }
+
+    /// Affinely maps `x ∈ [lo, hi]` to `[-1, 1]`.
+    ///
+    /// # Errors
+    /// [`LdpError::OutOfDomain`] if `x` is outside the domain.
+    pub fn normalize(&self, x: f64) -> Result<f64> {
+        if !self.contains(x) {
+            return Err(LdpError::OutOfDomain {
+                value: x,
+                lo: self.lo,
+                hi: self.hi,
+            });
+        }
+        // Clamp to absorb floating-point rounding at the edges.
+        Ok(((2.0 * (x - self.lo) / self.width()) - 1.0).clamp(-1.0, 1.0))
+    }
+
+    /// Inverse of [`NumericDomain::normalize`]; accepts any real `y`
+    /// (mechanism outputs routinely fall outside `[-1, 1]`).
+    #[inline]
+    pub fn denormalize(&self, y: f64) -> f64 {
+        self.mid() + 0.5 * self.width() * y
+    }
+
+    /// Clamps `x` into the domain (used when cleaning raw data, never on
+    /// mechanism outputs — clamping outputs would bias the estimates).
+    #[inline]
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+impl std::fmt::Display for NumericDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_domains() {
+        assert!(NumericDomain::new(1.0, 1.0).is_err());
+        assert!(NumericDomain::new(2.0, 1.0).is_err());
+        assert!(NumericDomain::new(f64::NAN, 1.0).is_err());
+        assert!(NumericDomain::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normalize_maps_endpoints_and_midpoint() {
+        let d = NumericDomain::new(10.0, 30.0).unwrap();
+        assert_eq!(d.normalize(10.0).unwrap(), -1.0);
+        assert_eq!(d.normalize(30.0).unwrap(), 1.0);
+        assert_eq!(d.normalize(20.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn normalize_rejects_out_of_domain() {
+        let d = NumericDomain::new(0.0, 1.0).unwrap();
+        assert!(d.normalize(-0.1).is_err());
+        assert!(d.normalize(1.1).is_err());
+        assert!(d.normalize(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn denormalize_inverts_normalize() {
+        let d = NumericDomain::new(-5.0, 3.0).unwrap();
+        for x in [-5.0, -1.25, 0.0, 2.9999, 3.0] {
+            let y = d.normalize(x).unwrap();
+            assert!((d.denormalize(y) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn denormalize_accepts_out_of_unit_values() {
+        // PM outputs reach ±C > 1; denormalize must extrapolate linearly.
+        let d = NumericDomain::new(0.0, 10.0).unwrap();
+        assert_eq!(d.denormalize(3.0), 20.0);
+        assert_eq!(d.denormalize(-3.0), -10.0);
+    }
+
+    #[test]
+    fn unit_domain_is_identity() {
+        let d = NumericDomain::UNIT;
+        for x in [-1.0, -0.3, 0.7, 1.0] {
+            assert!((d.normalize(x).unwrap() - x).abs() < 1e-15);
+            assert!((d.denormalize(x) - x).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn clamp_is_idempotent() {
+        let d = NumericDomain::new(-1.0, 1.0).unwrap();
+        assert_eq!(d.clamp(5.0), 1.0);
+        assert_eq!(d.clamp(-5.0), -1.0);
+        assert_eq!(d.clamp(0.5), 0.5);
+        assert_eq!(d.clamp(d.clamp(7.0)), 1.0);
+    }
+}

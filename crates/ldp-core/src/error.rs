@@ -1,0 +1,135 @@
+//! Error types shared by every mechanism in the crate.
+
+use std::fmt;
+
+/// Errors returned by LDP mechanisms and their constructors.
+///
+/// All constructors validate their parameters eagerly so that perturbation
+/// paths (which run once per user, potentially millions of times) only need
+/// cheap domain checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LdpError {
+    /// The privacy budget must be a finite, strictly positive number.
+    InvalidEpsilon {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A numeric input fell outside the normalized domain `[lo, hi]`.
+    OutOfDomain {
+        /// The rejected value (may be NaN).
+        value: f64,
+        /// Lower end of the accepted domain.
+        lo: f64,
+        /// Upper end of the accepted domain.
+        hi: f64,
+    },
+    /// A categorical input was not in `{0, 1, …, k-1}`.
+    InvalidCategory {
+        /// The rejected category index.
+        value: u32,
+        /// Domain size of the attribute.
+        k: u32,
+    },
+    /// A tuple had the wrong number of attributes.
+    DimensionMismatch {
+        /// Dimensionality the mechanism was constructed for.
+        expected: usize,
+        /// Dimensionality of the offending input.
+        actual: usize,
+    },
+    /// A structural parameter (dimension, domain size, sample size, …) was
+    /// rejected by a constructor.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// An aggregation was attempted over zero reports.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for LdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdpError::InvalidEpsilon { value } => {
+                write!(f, "privacy budget must be finite and > 0, got {value}")
+            }
+            LdpError::OutOfDomain { value, lo, hi } => {
+                write!(f, "input {value} outside the domain [{lo}, {hi}]")
+            }
+            LdpError::InvalidCategory { value, k } => {
+                write!(
+                    f,
+                    "category {value} outside the domain {{0, …, {}}}",
+                    k.saturating_sub(1)
+                )
+            }
+            LdpError::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "expected a {expected}-dimensional tuple, got {actual} attributes"
+                )
+            }
+            LdpError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            LdpError::EmptyInput(what) => write!(f, "cannot aggregate zero {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LdpError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LdpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LdpError::InvalidEpsilon { value: -1.0 };
+        assert!(e.to_string().contains("-1"));
+
+        let e = LdpError::OutOfDomain {
+            value: 2.0,
+            lo: -1.0,
+            hi: 1.0,
+        };
+        assert!(e.to_string().contains("[-1, 1]"));
+
+        let e = LdpError::InvalidCategory { value: 7, k: 5 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('4'));
+
+        let e = LdpError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+
+        let e = LdpError::InvalidParameter {
+            name: "d",
+            message: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("`d`"));
+
+        let e = LdpError::EmptyInput("reports");
+        assert!(e.to_string().contains("reports"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LdpError>();
+    }
+
+    #[test]
+    fn invalid_category_with_zero_k_does_not_underflow() {
+        let e = LdpError::InvalidCategory { value: 0, k: 0 };
+        // Must not panic; the message uses saturating_sub.
+        assert!(e.to_string().contains('0'));
+    }
+}

@@ -1,0 +1,72 @@
+//! # ldp-core — mechanisms for local differential privacy
+//!
+//! A faithful implementation of the mechanisms in *Wang et al., "Collecting
+//! and Analyzing Multidimensional Data with Local Differential Privacy",
+//! ICDE 2019*, together with the baselines the paper compares against.
+//!
+//! ## One numeric attribute (§III)
+//!
+//! Six mechanisms perturb a value `t ∈ [-1, 1]` under ε-LDP, all behind the
+//! [`NumericMechanism`] trait:
+//!
+//! | Mechanism | Output support | Worst-case variance |
+//! |---|---|---|
+//! | [`numeric::Laplace`] | unbounded | `8/ε²` |
+//! | [`numeric::Scdf`] | unbounded | data-independent stepped noise |
+//! | [`numeric::Staircase`] | unbounded | data-independent stepped noise |
+//! | [`numeric::Duchi1d`] | `{±(e^ε+1)/(e^ε−1)}` | `((e^ε+1)/(e^ε−1))²` |
+//! | [`numeric::Piecewise`] (PM) | `[-C, C]` | `4e^{ε/2}/(3(e^{ε/2}−1)²)` |
+//! | [`numeric::Hybrid`] (HM) | `[-C, C]` | Equation 8 — never worse than PM or Duchi |
+//!
+//! ## Multidimensional tuples (§IV)
+//!
+//! * [`multidim::SamplingPerturber`] — the paper's Algorithm 4: sample
+//!   `k = max(1, min(d, ⌊ε/2.5⌋))` attributes, spend `ε/k` on each, scale by
+//!   `d/k`. Handles mixed numeric/categorical schemas (§IV-C).
+//! * [`multidim::DuchiMultidim`] — Duchi et al.'s Algorithm 3 baseline.
+//! * [`multidim::CompositionPerturber`] — the naive ε/d splitting baseline.
+//!
+//! ## Categorical attributes
+//!
+//! Frequency oracles behind the [`FrequencyOracle`] trait:
+//! [`categorical::Oue`] (the paper's choice), [`categorical::Grr`], and
+//! [`categorical::Sue`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ldp_core::{Epsilon, NumericMechanism, numeric::Hybrid, rng::seeded_rng};
+//!
+//! let eps = Epsilon::new(1.0)?;
+//! let hm = Hybrid::new(eps);
+//! let mut rng = seeded_rng(7);
+//! let noisy = hm.perturb(0.25, &mut rng)?;
+//! assert!(noisy.abs() <= hm.output_bound().unwrap());
+//! # Ok::<(), ldp_core::LdpError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod budget;
+mod domain;
+mod error;
+mod kinds;
+mod mechanism;
+
+pub mod categorical;
+pub mod math;
+pub mod multidim;
+pub mod numeric;
+pub mod rng;
+pub mod theory;
+pub mod variance;
+
+pub use budget::Epsilon;
+pub use domain::NumericDomain;
+pub use error::{LdpError, Result};
+pub use kinds::{NumericKind, OracleKind};
+pub use mechanism::{
+    check_unit_interval, BitVec, CategoricalReport, FrequencyOracle, NumericMechanism,
+};
+pub use multidim::{AttrReport, AttrSpec, AttrValue};

@@ -1,0 +1,181 @@
+//! Numeric helpers: log-gamma, log-binomial, and the paper's special
+//! constants (`ε*` from Equation 6 and `ε#` from Table I).
+//!
+//! Duchi et al.'s multidimensional constant `C_d` (Equation 9) involves
+//! central binomial coefficients at dimensions up to ~100 (the one-hot
+//! encoded census data has d = 94), which overflow `u128` well before that.
+//! All combinatorics therefore run in log space with a Lanczos log-gamma.
+
+/// Lanczos coefficients (g = 7, n = 9), giving ~15 significant digits for
+/// real arguments ≥ 0.5; reflection handles (0, 0.5).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function for `x > 0`.
+///
+/// # Panics
+/// Panics in debug builds if `x <= 0` or `x` is not finite.
+pub fn ln_gamma(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS_COEF[0];
+    for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln n!` via `ln_gamma(n + 1)`.
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// `ln C(n, k)`; returns `f64::NEG_INFINITY` when `k > n`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Binomial coefficient evaluated in log space; exact for small `n`,
+/// accurate to ~13 digits for large `n`.
+pub fn binomial(n: u64, k: u64) -> f64 {
+    ln_binomial(n, k).exp()
+}
+
+/// The paper's `ε*` (Equation 6): the threshold below which the Hybrid
+/// Mechanism degenerates to Duchi et al.'s solution (α = 0).
+///
+/// `ε* = ln((-5 + 2·∛(6353 − 405√241) + 2·∛(6353 + 405√241)) / 27) ≈ 0.61`.
+pub fn epsilon_star() -> f64 {
+    let s = 241f64.sqrt();
+    let a = (6353.0 - 405.0 * s).cbrt();
+    let b = (6353.0 + 405.0 * s).cbrt();
+    ((-5.0 + 2.0 * a + 2.0 * b) / 27.0).ln()
+}
+
+/// The paper's `ε#` (Table I): the budget at which PM's and Duchi et al.'s
+/// one-dimensional worst-case variances are equal.
+///
+/// `ε# = ln((7 + 4√7 + 2√(20 + 14√7)) / 9) ≈ 1.29`.
+pub fn epsilon_sharp() -> f64 {
+    let s7 = 7f64.sqrt();
+    ((7.0 + 4.0 * s7 + 2.0 * (20.0 + 14.0 * s7).sqrt()) / 9.0).ln()
+}
+
+/// Numerically stable `ln(1 + e^x)`.
+pub fn ln_1p_exp(x: f64) -> f64 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// The logistic sigmoid `1 / (1 + e^{-x})`, stable for large `|x|`.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1u64..20 {
+            fact *= n as f64;
+            assert_close(ln_gamma(n as f64 + 1.0), fact.ln(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π.
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        // Γ(3/2) = √π / 2.
+        assert_close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn binomial_small_exact() {
+        assert_close(binomial(5, 2), 10.0, 1e-12);
+        assert_close(binomial(10, 5), 252.0, 1e-12);
+        assert_close(binomial(0, 0), 1.0, 1e-15);
+        assert_eq!(binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn binomial_large_stable() {
+        // C(94, 47) ≈ 6.6e26; compare against the exact u128 computation.
+        let mut exact: u128 = 1;
+        for i in 0..47u128 {
+            exact = exact * (94 - i) / (i + 1);
+        }
+        assert_close(binomial(94, 47), exact as f64, 1e-10);
+    }
+
+    #[test]
+    fn paper_constants_match_reported_values() {
+        // The paper reports ε* ≈ 0.61 and ε# ≈ 1.29.
+        assert!((epsilon_star() - 0.61).abs() < 0.005, "{}", epsilon_star());
+        assert!(
+            (epsilon_sharp() - 1.29).abs() < 0.005,
+            "{}",
+            epsilon_sharp()
+        );
+    }
+
+    #[test]
+    fn sigmoid_stable_and_symmetric() {
+        assert_close(sigmoid(0.0), 0.5, 1e-15);
+        assert!(sigmoid(800.0) <= 1.0 && sigmoid(800.0) > 0.999);
+        assert!(sigmoid(-800.0) >= 0.0 && sigmoid(-800.0) < 1e-10);
+        for x in [-3.0, -0.7, 0.0, 1.3, 5.0] {
+            assert_close(sigmoid(x) + sigmoid(-x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_1p_exp_matches_naive_in_safe_range() {
+        for x in [-20.0, -1.0, 0.0, 1.0, 20.0] {
+            assert_close(ln_1p_exp(x), (1.0 + x.exp()).ln(), 1e-12);
+        }
+        // No overflow for huge x: ln(1+e^x) → x.
+        assert_close(ln_1p_exp(1e3), 1e3, 1e-12);
+    }
+}

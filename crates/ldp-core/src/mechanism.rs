@@ -1,0 +1,219 @@
+//! Core traits implemented by every perturbation primitive.
+
+use crate::budget::Epsilon;
+use crate::error::{LdpError, Result};
+use rand::RngCore;
+
+/// A one-dimensional ε-LDP mechanism for numeric values in `[-1, 1]`.
+///
+/// Implementations must be unbiased (`E[perturb(t)] = t`) and must satisfy
+/// ε-local differential privacy in the sense of Definition 1 of the paper:
+/// for any inputs `t, t'` and output `x`, `pdf(x|t) ≤ e^ε · pdf(x|t')`.
+/// Both properties are exercised by the crate's statistical and property
+/// tests for every implementation.
+///
+/// The trait is object-safe (the experiment harness iterates over
+/// `Box<dyn NumericMechanism>`), hence the `&mut dyn RngCore` parameter.
+pub trait NumericMechanism: Send + Sync {
+    /// The privacy budget this mechanism was constructed with.
+    fn epsilon(&self) -> Epsilon;
+
+    /// Short stable name used in experiment output ("PM", "HM", "Duchi", …).
+    fn name(&self) -> &'static str;
+
+    /// Perturbs a single value `t ∈ [-1, 1]`.
+    ///
+    /// # Errors
+    /// [`LdpError::OutOfDomain`] if `t` is NaN or outside `[-1, 1]`.
+    fn perturb(&self, input: f64, rng: &mut dyn RngCore) -> Result<f64>;
+
+    /// Closed-form output variance `Var[t* | t]` for the given input.
+    ///
+    /// The value is meaningful only for `t ∈ [-1, 1]`.
+    fn variance(&self, input: f64) -> f64;
+
+    /// `max_{t ∈ [-1,1]} Var[t* | t]` — the quantity Table I and Figures 1
+    /// and 3 of the paper compare across mechanisms.
+    fn worst_case_variance(&self) -> f64;
+
+    /// If the output support is bounded, its symmetric bound `b`
+    /// (i.e. `|t*| ≤ b`); `None` for mechanisms with unbounded output such as
+    /// Laplace, SCDF and Staircase.
+    fn output_bound(&self) -> Option<f64>;
+}
+
+/// Validates a numeric input against the canonical domain `[-1, 1]`.
+#[inline]
+pub fn check_unit_interval(t: f64) -> Result<()> {
+    if t.is_finite() && (-1.0..=1.0).contains(&t) {
+        Ok(())
+    } else {
+        Err(LdpError::OutOfDomain {
+            value: t,
+            lo: -1.0,
+            hi: 1.0,
+        })
+    }
+}
+
+/// A mechanism for one categorical attribute with domain `{0, …, k-1}`,
+/// supporting frequency estimation ("frequency oracle" in the LDP
+/// literature; the paper plugs OUE into Algorithm 4 in §IV-C).
+pub trait FrequencyOracle: Send + Sync {
+    /// Domain size `k ≥ 2`.
+    fn k(&self) -> u32;
+
+    /// The privacy budget this oracle was constructed with.
+    fn epsilon(&self) -> Epsilon;
+
+    /// Short stable name used in experiment output ("OUE", "GRR", "SUE").
+    fn name(&self) -> &'static str;
+
+    /// Perturbs a category `v ∈ {0, …, k-1}`.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidCategory`] if `v ≥ k`.
+    fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Result<CategoricalReport>;
+
+    /// The *debiased* contribution of `report` to the count estimate of
+    /// category `v`: summing this over all reports and dividing by `n` yields
+    /// an unbiased estimate of the frequency of `v`.
+    fn support(&self, report: &CategoricalReport, v: u32) -> f64;
+
+    /// Per-report variance of [`FrequencyOracle::support`] when the true
+    /// frequency of the target category is `f` (used for accuracy analysis
+    /// and tested against simulation).
+    fn support_variance(&self, f: f64) -> f64;
+}
+
+/// The perturbed message a user sends for one categorical attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CategoricalReport {
+    /// A single perturbed category (direct encoding, e.g. GRR).
+    Value(u32),
+    /// A perturbed bit per category (unary encodings: OUE, SUE).
+    Bits(BitVec),
+}
+
+/// A compact fixed-length bit vector used by unary-encoding oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    len: u32,
+    words: Box<[u64]>,
+}
+
+impl BitVec {
+    /// An all-zero bit vector of length `len`.
+    pub fn zeros(len: u32) -> Self {
+        let words = vec![0u64; (len as usize).div_ceil(64)].into_boxed_slice();
+        BitVec { len, words }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True if the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: u32, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let word = &mut self.words[(i / 64) as usize];
+        if value {
+            *word |= 1 << (i % 64);
+        } else {
+            *word &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterates over all bits in index order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_unit_interval_accepts_boundary() {
+        assert!(check_unit_interval(-1.0).is_ok());
+        assert!(check_unit_interval(1.0).is_ok());
+        assert!(check_unit_interval(0.0).is_ok());
+    }
+
+    #[test]
+    fn check_unit_interval_rejects_bad_values() {
+        for v in [1.0000001, -1.1, f64::NAN, f64::INFINITY] {
+            assert!(check_unit_interval(v).is_err(), "{v}");
+        }
+    }
+
+    #[test]
+    fn bitvec_set_get_roundtrip() {
+        let mut b = BitVec::zeros(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        for i in [0u32, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!b.get(i));
+            b.set(i, true);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_ones(), 8);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 7);
+    }
+
+    #[test]
+    fn bitvec_iter_matches_get() {
+        let mut b = BitVec::zeros(70);
+        b.set(3, true);
+        b.set(69, true);
+        let collected: Vec<bool> = b.iter().collect();
+        assert_eq!(collected.len(), 70);
+        for (i, &bit) in collected.iter().enumerate() {
+            assert_eq!(bit, b.get(i as u32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitvec_get_out_of_range_panics() {
+        BitVec::zeros(8).get(8);
+    }
+
+    #[test]
+    fn bitvec_zero_length() {
+        let b = BitVec::zeros(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter().count(), 0);
+    }
+}

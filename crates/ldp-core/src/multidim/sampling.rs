@@ -1,0 +1,449 @@
+//! The paper's Algorithm 4 and its §IV-C mixed-type extension.
+
+use crate::budget::Epsilon;
+use crate::error::{LdpError, Result};
+use crate::kinds::{NumericKind, OracleKind};
+use crate::mechanism::{FrequencyOracle, NumericMechanism};
+use crate::multidim::{AttrReport, AttrSpec, AttrValue};
+use crate::rng::sample_distinct;
+use rand::RngCore;
+
+/// The paper's choice of the number of sampled attributes (Equation 12):
+/// `k = max(1, min(d, ⌊ε/2.5⌋))`.
+///
+/// Sampling `k` of `d` attributes raises the per-attribute budget from `ε/d`
+/// to `ε/k` at the cost of sampling error; Equation 12 balances the two to
+/// minimize worst-case variance.
+pub fn optimal_k(epsilon: Epsilon, d: usize) -> usize {
+    ((epsilon.value() / 2.5).floor() as usize).clamp(1, d.max(1))
+}
+
+/// The sparse perturbed tuple a user submits under Algorithm 4.
+///
+/// Exactly `k` of the `d` attributes carry a report; numeric entries are
+/// already scaled by `d/k` (line 6 of Algorithm 4), so the aggregator's mean
+/// estimator is a plain average with zeros for missing entries.
+#[derive(Debug, Clone)]
+pub struct SparseReport {
+    /// Total number of attributes in the schema.
+    pub d: usize,
+    /// Number of sampled attributes.
+    pub k: usize,
+    /// `(attribute index, report)` pairs, sorted by index, length `k`.
+    pub entries: Vec<(u32, AttrReport)>,
+}
+
+impl SparseReport {
+    /// Densifies a numeric-only report into the `t* ∈ ℝ^d` tuple of
+    /// Algorithm 4 (zeros at unsampled positions).
+    ///
+    /// # Panics
+    /// Panics if the report contains categorical entries.
+    pub fn to_dense_numeric(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.d];
+        for (j, rep) in &self.entries {
+            match rep {
+                AttrReport::Numeric(x) => out[*j as usize] = *x,
+                AttrReport::Categorical(_) => {
+                    panic!("to_dense_numeric on a report with categorical entries")
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Algorithm 4 with the §IV-C extension: perturbs tuples over an arbitrary
+/// mixed numeric/categorical schema by sampling `k` attributes and spending
+/// `ε/k` on each through a 1-D mechanism (numeric) or frequency oracle
+/// (categorical).
+///
+/// Privacy: each sampled attribute's sub-report is `ε/k`-LDP, the `k`
+/// sampled indices are chosen independently of the data, and each attribute
+/// is perturbed at most once, so by composition the full report is ε-LDP.
+///
+/// ```
+/// use ldp_core::multidim::SamplingPerturber;
+/// use ldp_core::{AttrSpec, AttrValue, Epsilon, NumericKind, OracleKind, rng::seeded_rng};
+///
+/// let specs = vec![AttrSpec::Numeric, AttrSpec::Categorical { k: 4 }, AttrSpec::Numeric];
+/// let perturber = SamplingPerturber::new(
+///     Epsilon::new(1.0)?, specs, NumericKind::Hybrid, OracleKind::Oue)?;
+/// let tuple = [AttrValue::Numeric(0.2), AttrValue::Categorical(3), AttrValue::Numeric(-0.9)];
+/// let report = perturber.perturb(&tuple, &mut seeded_rng(1))?;
+/// assert_eq!(report.entries.len(), perturber.k()); // k sampled attributes
+/// # Ok::<(), ldp_core::LdpError>(())
+/// ```
+pub struct SamplingPerturber {
+    epsilon: Epsilon,
+    specs: Vec<AttrSpec>,
+    k: usize,
+    numeric: Option<Box<dyn NumericMechanism>>,
+    /// One oracle per attribute slot (None for numeric slots), all at ε/k.
+    oracles: Vec<Option<Box<dyn FrequencyOracle>>>,
+    scale: f64,
+}
+
+impl SamplingPerturber {
+    /// Builds the perturber with the optimal `k` of Equation 12.
+    ///
+    /// `numeric_kind` selects the 1-D mechanism used for numeric attributes
+    /// (the paper evaluates PM and HM here); `oracle_kind` the frequency
+    /// oracle for categorical ones (the paper uses OUE).
+    ///
+    /// # Errors
+    /// Fails on an empty schema or invalid categorical domain sizes.
+    pub fn new(
+        epsilon: Epsilon,
+        specs: Vec<AttrSpec>,
+        numeric_kind: NumericKind,
+        oracle_kind: OracleKind,
+    ) -> Result<Self> {
+        let k = optimal_k(epsilon, specs.len());
+        Self::with_k(epsilon, specs, numeric_kind, oracle_kind, k)
+    }
+
+    /// Builds the perturber with an explicit `k` (exposed for the
+    /// `ablation_k_choice` bench, which sweeps `k` to verify Equation 12).
+    ///
+    /// # Errors
+    /// Fails if `k` is not in `{1, …, d}` or the schema is invalid.
+    pub fn with_k(
+        epsilon: Epsilon,
+        specs: Vec<AttrSpec>,
+        numeric_kind: NumericKind,
+        oracle_kind: OracleKind,
+        k: usize,
+    ) -> Result<Self> {
+        let d = specs.len();
+        if d == 0 {
+            return Err(LdpError::InvalidParameter {
+                name: "specs",
+                message: "schema must contain at least one attribute".into(),
+            });
+        }
+        if k == 0 || k > d {
+            return Err(LdpError::InvalidParameter {
+                name: "k",
+                message: format!("k must be in 1..={d}, got {k}"),
+            });
+        }
+        let per_attr = epsilon.split(k)?;
+        let any_numeric = specs.iter().any(AttrSpec::is_numeric);
+        let numeric = any_numeric.then(|| numeric_kind.build(per_attr));
+        let oracles = specs
+            .iter()
+            .map(|spec| match spec {
+                AttrSpec::Numeric => Ok(None),
+                AttrSpec::Categorical { k: dom } => oracle_kind.build(per_attr, *dom).map(Some),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let scale = d as f64 / k as f64;
+        Ok(SamplingPerturber {
+            epsilon,
+            specs,
+            k,
+            numeric,
+            oracles,
+            scale,
+        })
+    }
+
+    /// Total privacy budget.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// Number of attributes `d`.
+    pub fn d(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Number of sampled attributes `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The scaling factor `d/k` applied to numeric reports (and to
+    /// categorical supports by the aggregator).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The schema this perturber was built for.
+    pub fn specs(&self) -> &[AttrSpec] {
+        &self.specs
+    }
+
+    /// Perturbs one user tuple.
+    ///
+    /// # Errors
+    /// Rejects tuples whose length or attribute types do not match the
+    /// schema, or whose values are out of domain.
+    pub fn perturb(&self, tuple: &[AttrValue], rng: &mut dyn RngCore) -> Result<SparseReport> {
+        let d = self.specs.len();
+        if tuple.len() != d {
+            return Err(LdpError::DimensionMismatch {
+                expected: d,
+                actual: tuple.len(),
+            });
+        }
+        for (i, (value, spec)) in tuple.iter().zip(&self.specs).enumerate() {
+            value.validate(spec, i)?;
+        }
+        let sampled = sample_distinct(rng, d, self.k);
+        let mut entries = Vec::with_capacity(self.k);
+        for j in sampled {
+            let report = match tuple[j as usize] {
+                AttrValue::Numeric(x) => {
+                    // Lines 5–6 of Algorithm 4: perturb with budget ε/k and
+                    // scale by d/k.
+                    let mech = self
+                        .numeric
+                        .as_ref()
+                        .expect("schema has numeric attributes");
+                    AttrReport::Numeric(self.scale * mech.perturb(x, rng)?)
+                }
+                AttrValue::Categorical(v) => {
+                    let oracle = self.oracles[j as usize]
+                        .as_ref()
+                        .expect("schema marks this attribute categorical");
+                    AttrReport::Categorical(oracle.perturb(v, rng)?)
+                }
+            };
+            entries.push((j, report));
+        }
+        Ok(SparseReport {
+            d,
+            k: self.k,
+            entries,
+        })
+    }
+
+    /// Convenience for numeric-only schemas: perturbs `t ∈ [-1,1]^d` and
+    /// densifies, exactly matching Algorithm 4's output tuple.
+    ///
+    /// # Errors
+    /// As [`SamplingPerturber::perturb`].
+    pub fn perturb_numeric(&self, t: &[f64], rng: &mut dyn RngCore) -> Result<Vec<f64>> {
+        let tuple: Vec<AttrValue> = t.iter().map(|&x| AttrValue::Numeric(x)).collect();
+        Ok(self.perturb(&tuple, rng)?.to_dense_numeric())
+    }
+
+    /// The frequency oracle assigned to attribute `j`, if categorical.
+    pub fn oracle(&self, j: usize) -> Option<&dyn FrequencyOracle> {
+        self.oracles.get(j).and_then(|o| o.as_deref())
+    }
+}
+
+impl std::fmt::Debug for SamplingPerturber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamplingPerturber")
+            .field("epsilon", &self.epsilon)
+            .field("d", &self.specs.len())
+            .field("k", &self.k)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn numeric_specs(d: usize) -> Vec<AttrSpec> {
+        vec![AttrSpec::Numeric; d]
+    }
+
+    #[test]
+    fn optimal_k_matches_equation_12() {
+        let e = |v: f64| Epsilon::new(v).unwrap();
+        assert_eq!(optimal_k(e(1.0), 10), 1); // ⌊0.4⌋ = 0 → clamped to 1
+        assert_eq!(optimal_k(e(2.5), 10), 1);
+        assert_eq!(optimal_k(e(5.0), 10), 2);
+        assert_eq!(optimal_k(e(25.0), 10), 10);
+        assert_eq!(optimal_k(e(100.0), 10), 10); // capped at d
+        assert_eq!(optimal_k(e(7.6), 2), 2); // ⌊3.04⌋ = 3 → capped at d = 2
+    }
+
+    #[test]
+    fn report_has_exactly_k_sorted_entries() {
+        let p = SamplingPerturber::with_k(
+            Epsilon::new(4.0).unwrap(),
+            numeric_specs(8),
+            NumericKind::Piecewise,
+            OracleKind::Oue,
+            3,
+        )
+        .unwrap();
+        let mut rng = seeded_rng(130);
+        let t = [0.1; 8];
+        let tuple: Vec<AttrValue> = t.iter().map(|&x| AttrValue::Numeric(x)).collect();
+        for _ in 0..200 {
+            let rep = p.perturb(&tuple, &mut rng).unwrap();
+            assert_eq!(rep.entries.len(), 3);
+            assert!(rep.entries.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn dense_report_is_unbiased() {
+        // E[t*_j] = t_j: the d/k scaling compensates for sampling.
+        let d = 6;
+        let p = SamplingPerturber::new(
+            Epsilon::new(5.0).unwrap(), // k = 2
+            numeric_specs(d),
+            NumericKind::Piecewise,
+            OracleKind::Oue,
+        )
+        .unwrap();
+        assert_eq!(p.k(), 2);
+        let mut rng = seeded_rng(131);
+        let t: Vec<f64> = vec![-0.9, -0.5, -0.1, 0.2, 0.6, 1.0];
+        let n = 300_000;
+        let mut sums = vec![0.0; d];
+        for _ in 0..n {
+            for (j, x) in p
+                .perturb_numeric(&t, &mut rng)
+                .unwrap()
+                .into_iter()
+                .enumerate()
+            {
+                sums[j] += x;
+            }
+        }
+        for j in 0..d {
+            let mean = sums[j] / n as f64;
+            assert!((mean - t[j]).abs() < 0.05, "j={j}: {mean} vs {}", t[j]);
+        }
+    }
+
+    #[test]
+    fn mixed_schema_routes_by_type() {
+        let specs = vec![
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 4 },
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 7 },
+        ];
+        let p = SamplingPerturber::with_k(
+            Epsilon::new(2.0).unwrap(),
+            specs,
+            NumericKind::Hybrid,
+            OracleKind::Oue,
+            4,
+        )
+        .unwrap();
+        let tuple = vec![
+            AttrValue::Numeric(0.3),
+            AttrValue::Categorical(2),
+            AttrValue::Numeric(-0.6),
+            AttrValue::Categorical(6),
+        ];
+        let mut rng = seeded_rng(132);
+        let rep = p.perturb(&tuple, &mut rng).unwrap();
+        assert_eq!(rep.entries.len(), 4);
+        for (j, r) in &rep.entries {
+            match (*j, r) {
+                (0 | 2, AttrReport::Numeric(_)) => {}
+                (1 | 3, AttrReport::Categorical(_)) => {}
+                other => panic!("wrong report type: {other:?}"),
+            }
+        }
+        assert!(p.oracle(1).is_some());
+        assert!(p.oracle(0).is_none());
+        assert_eq!(p.oracle(3).unwrap().k(), 7);
+    }
+
+    #[test]
+    fn validates_schema_and_values() {
+        let p = SamplingPerturber::new(
+            Epsilon::new(1.0).unwrap(),
+            vec![AttrSpec::Numeric, AttrSpec::Categorical { k: 3 }],
+            NumericKind::Piecewise,
+            OracleKind::Oue,
+        )
+        .unwrap();
+        let mut rng = seeded_rng(133);
+        // Wrong arity.
+        assert!(p.perturb(&[AttrValue::Numeric(0.0)], &mut rng).is_err());
+        // Type mismatch.
+        assert!(p
+            .perturb(
+                &[AttrValue::Categorical(0), AttrValue::Categorical(0)],
+                &mut rng
+            )
+            .is_err());
+        // Out-of-domain values.
+        assert!(p
+            .perturb(
+                &[AttrValue::Numeric(1.5), AttrValue::Categorical(0)],
+                &mut rng
+            )
+            .is_err());
+        assert!(p
+            .perturb(
+                &[AttrValue::Numeric(0.0), AttrValue::Categorical(3)],
+                &mut rng
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let e = Epsilon::new(1.0).unwrap();
+        assert!(
+            SamplingPerturber::new(e, vec![], NumericKind::Piecewise, OracleKind::Oue).is_err()
+        );
+        assert!(SamplingPerturber::with_k(
+            e,
+            numeric_specs(3),
+            NumericKind::Piecewise,
+            OracleKind::Oue,
+            0
+        )
+        .is_err());
+        assert!(SamplingPerturber::with_k(
+            e,
+            numeric_specs(3),
+            NumericKind::Piecewise,
+            OracleKind::Oue,
+            4
+        )
+        .is_err());
+        assert!(SamplingPerturber::new(
+            e,
+            vec![AttrSpec::Categorical { k: 1 }],
+            NumericKind::Piecewise,
+            OracleKind::Oue
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "categorical")]
+    fn to_dense_numeric_rejects_mixed_reports() {
+        let rep = SparseReport {
+            d: 2,
+            k: 1,
+            entries: vec![(
+                0,
+                AttrReport::Categorical(crate::mechanism::CategoricalReport::Value(1)),
+            )],
+        };
+        rep.to_dense_numeric();
+    }
+
+    #[test]
+    fn per_attribute_budget_is_eps_over_k() {
+        let p = SamplingPerturber::with_k(
+            Epsilon::new(6.0).unwrap(),
+            vec![AttrSpec::Numeric, AttrSpec::Categorical { k: 3 }],
+            NumericKind::Piecewise,
+            OracleKind::Oue,
+            2,
+        )
+        .unwrap();
+        assert_eq!(p.oracle(1).unwrap().epsilon().value(), 3.0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Communication-cost accounting for perturbed reports.
+//!
+//! §VII of the paper criticizes LoPub-style protocols for transmitting
+//! multiple k-sized vectors per user; this module makes the comparison
+//! quantitative by computing the wire size of every report type under a
+//! simple canonical encoding:
+//!
+//! * numeric value — 64 bits;
+//! * attribute index — `⌈log₂ d⌉` bits;
+//! * direct categorical report — `⌈log₂ k⌉` bits;
+//! * unary categorical report — `k` bits;
+//! * Duchi et al. multidimensional report — `d` sign bits (the magnitude
+//!   `B` is public).
+//!
+//! The `communication` ablation bench tabulates these per protocol.
+
+use crate::mechanism::CategoricalReport;
+use crate::multidim::{AttrReport, DenseReport, SparseReport};
+
+/// Bits for one 64-bit float.
+const F64_BITS: usize = 64;
+
+/// `⌈log₂ n⌉`, with the convention that 1 value still needs 1 bit on the
+/// wire (a tag must occupy space).
+pub fn index_bits(n: usize) -> usize {
+    n.max(2).next_power_of_two().trailing_zeros() as usize
+}
+
+/// Wire size of one categorical report.
+pub fn categorical_report_bits(report: &CategoricalReport, k: u32) -> usize {
+    match report {
+        CategoricalReport::Value(_) => index_bits(k as usize),
+        CategoricalReport::Bits(bits) => bits.len() as usize,
+    }
+}
+
+/// Wire size of one attribute report (excluding the attribute index).
+pub fn attr_report_bits(report: &AttrReport) -> usize {
+    match report {
+        AttrReport::Numeric(_) => F64_BITS,
+        AttrReport::Categorical(c) => match c {
+            CategoricalReport::Value(_) => {
+                // Domain size is not stored in the report; a direct value is
+                // at most 32 bits and typically ⌈log₂ k⌉ — callers with the
+                // schema should prefer `categorical_report_bits`.
+                32
+            }
+            CategoricalReport::Bits(bits) => bits.len() as usize,
+        },
+    }
+}
+
+/// Wire size of an Algorithm 4 sparse report: per entry, an attribute index
+/// plus the payload.
+pub fn sparse_report_bits(report: &SparseReport) -> usize {
+    let idx = index_bits(report.d);
+    report
+        .entries
+        .iter()
+        .map(|(_, rep)| idx + attr_report_bits(rep))
+        .sum()
+}
+
+/// Wire size of a dense (composition-baseline) report: payload for every
+/// attribute, no indices needed (schema order is implied).
+pub fn dense_report_bits(report: &DenseReport) -> usize {
+    report.entries.iter().map(attr_report_bits).sum()
+}
+
+/// Wire size of a Duchi et al. multidimensional report: one sign bit per
+/// coordinate (`B` is public knowledge).
+pub fn duchi_md_report_bits(d: usize) -> usize {
+    d
+}
+
+/// A bit-level codec for Algorithm 4 sparse reports, realizing exactly the
+/// canonical sizes above (plus a 16-bit entry-count header). Users and the
+/// aggregator share the schema, so only indices and payloads go on the wire.
+#[derive(Debug, Clone)]
+pub struct WireFormat {
+    specs: Vec<crate::multidim::AttrSpec>,
+}
+
+impl WireFormat {
+    /// A codec for the given schema.
+    pub fn new(specs: Vec<crate::multidim::AttrSpec>) -> Self {
+        WireFormat { specs }
+    }
+
+    /// Encodes a sparse report into a byte buffer.
+    ///
+    /// # Panics
+    /// Panics if the report's dimensionality disagrees with the schema, or
+    /// an entry's type disagrees with its attribute spec (reports produced
+    /// by [`crate::multidim::SamplingPerturber`] on the same schema always
+    /// agree).
+    pub fn encode_sparse(&self, report: &SparseReport) -> Vec<u8> {
+        assert_eq!(report.d, self.specs.len(), "schema mismatch");
+        let mut w = BitWriter::new();
+        w.write_bits(report.entries.len() as u64, 16);
+        let idx_bits = index_bits(report.d);
+        for (j, rep) in &report.entries {
+            w.write_bits(u64::from(*j), idx_bits);
+            match (rep, &self.specs[*j as usize]) {
+                (AttrReport::Numeric(x), crate::multidim::AttrSpec::Numeric) => {
+                    w.write_bits(x.to_bits(), 64);
+                }
+                (
+                    AttrReport::Categorical(CategoricalReport::Value(v)),
+                    crate::multidim::AttrSpec::Categorical { k },
+                ) => {
+                    w.write_bits(u64::from(*v), index_bits(*k as usize));
+                }
+                (
+                    AttrReport::Categorical(CategoricalReport::Bits(bits)),
+                    crate::multidim::AttrSpec::Categorical { k },
+                ) => {
+                    assert_eq!(bits.len(), *k, "bit-vector length mismatch");
+                    for b in bits.iter() {
+                        w.write_bits(u64::from(b), 1);
+                    }
+                }
+                _ => panic!("report entry type disagrees with schema"),
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a sparse report. Unary vs direct categorical payloads are
+    /// chosen by `unary`: true for OUE/SUE bit vectors, false for GRR
+    /// values (the protocol fixes this, so it is not encoded per report).
+    ///
+    /// # Errors
+    /// [`crate::LdpError::InvalidParameter`] on truncated buffers or
+    /// out-of-range indices/values.
+    pub fn decode_sparse(&self, bytes: &[u8], unary: bool) -> crate::Result<SparseReport> {
+        let mut r = BitReader::new(bytes);
+        let d = self.specs.len();
+        let count = r.read_bits(16)? as usize;
+        let idx_bits = index_bits(d);
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let j = r.read_bits(idx_bits)? as usize;
+            if j >= d {
+                return Err(crate::LdpError::InvalidParameter {
+                    name: "wire",
+                    message: format!("attribute index {j} out of range {d}"),
+                });
+            }
+            let rep = match self.specs[j] {
+                crate::multidim::AttrSpec::Numeric => {
+                    AttrReport::Numeric(f64::from_bits(r.read_bits(64)?))
+                }
+                crate::multidim::AttrSpec::Categorical { k } => {
+                    if unary {
+                        let mut bits = crate::mechanism::BitVec::zeros(k);
+                        for i in 0..k {
+                            if r.read_bits(1)? == 1 {
+                                bits.set(i, true);
+                            }
+                        }
+                        AttrReport::Categorical(CategoricalReport::Bits(bits))
+                    } else {
+                        let v = r.read_bits(index_bits(k as usize))? as u32;
+                        if v >= k {
+                            return Err(crate::LdpError::InvalidCategory { value: v, k });
+                        }
+                        AttrReport::Categorical(CategoricalReport::Value(v))
+                    }
+                }
+            };
+            entries.push((j as u32, rep));
+        }
+        Ok(SparseReport {
+            d,
+            k: count,
+            entries,
+        })
+    }
+}
+
+/// Append-only bit buffer (MSB-first within each byte).
+struct BitWriter {
+    buf: Vec<u8>,
+    bit: usize,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            buf: Vec::new(),
+            bit: 0,
+        }
+    }
+
+    fn write_bits(&mut self, value: u64, width: usize) {
+        debug_assert!(width <= 64);
+        for i in (0..width).rev() {
+            if self.bit % 8 == 0 {
+                self.buf.push(0);
+            }
+            let b = (value >> i) & 1;
+            let byte = self.buf.last_mut().expect("pushed above");
+            *byte |= (b as u8) << (7 - (self.bit % 8));
+            self.bit += 1;
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reader matching [`BitWriter`]'s layout.
+struct BitReader<'a> {
+    buf: &'a [u8],
+    bit: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, bit: 0 }
+    }
+
+    fn read_bits(&mut self, width: usize) -> crate::Result<u64> {
+        debug_assert!(width <= 64);
+        if self.bit + width > self.buf.len() * 8 {
+            return Err(crate::LdpError::InvalidParameter {
+                name: "wire",
+                message: "truncated report buffer".into(),
+            });
+        }
+        let mut out = 0u64;
+        for _ in 0..width {
+            let byte = self.buf[self.bit / 8];
+            let b = (byte >> (7 - (self.bit % 8))) & 1;
+            out = (out << 1) | u64::from(b);
+            self.bit += 1;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::BitVec;
+
+    #[test]
+    fn index_bits_rounds_up() {
+        assert_eq!(index_bits(1), 1);
+        assert_eq!(index_bits(2), 1);
+        assert_eq!(index_bits(3), 2);
+        assert_eq!(index_bits(16), 4);
+        assert_eq!(index_bits(17), 5);
+        assert_eq!(index_bits(94), 7);
+    }
+
+    #[test]
+    fn categorical_sizes() {
+        assert_eq!(categorical_report_bits(&CategoricalReport::Value(3), 27), 5);
+        let bits = BitVec::zeros(27);
+        assert_eq!(
+            categorical_report_bits(&CategoricalReport::Bits(bits), 27),
+            27
+        );
+    }
+
+    #[test]
+    fn sparse_beats_dense_when_k_is_small() {
+        // d = 16 numeric attributes, k = 1 sample: 4 + 64 bits vs 16·64.
+        let sparse = SparseReport {
+            d: 16,
+            k: 1,
+            entries: vec![(3, AttrReport::Numeric(1.5))],
+        };
+        assert_eq!(sparse_report_bits(&sparse), 4 + 64);
+        let dense = DenseReport {
+            entries: (0..16).map(|_| AttrReport::Numeric(0.0)).collect(),
+        };
+        assert_eq!(dense_report_bits(&dense), 16 * 64);
+        assert!(sparse_report_bits(&sparse) < dense_report_bits(&dense));
+    }
+
+    #[test]
+    fn duchi_is_one_bit_per_dimension() {
+        assert_eq!(duchi_md_report_bits(94), 94);
+    }
+
+    #[test]
+    fn codec_round_trips_mixed_reports() {
+        use crate::multidim::{AttrSpec, AttrValue, SamplingPerturber};
+        use crate::rng::seeded_rng;
+        use crate::{Epsilon, NumericKind, OracleKind};
+        let specs = vec![
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 5 },
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 13 },
+        ];
+        let format = WireFormat::new(specs.clone());
+        let p = SamplingPerturber::with_k(
+            Epsilon::new(2.0).unwrap(),
+            specs,
+            NumericKind::Hybrid,
+            OracleKind::Oue,
+            3,
+        )
+        .unwrap();
+        let tuple = vec![
+            AttrValue::Numeric(0.4),
+            AttrValue::Categorical(2),
+            AttrValue::Numeric(-0.8),
+            AttrValue::Categorical(12),
+        ];
+        let mut rng = seeded_rng(42);
+        for _ in 0..200 {
+            let report = p.perturb(&tuple, &mut rng).unwrap();
+            let bytes = format.encode_sparse(&report);
+            // Size check: header + payload bits, rounded up to bytes.
+            let expect_bits = 16 + sparse_report_bits(&report);
+            assert_eq!(bytes.len(), expect_bits.div_ceil(8));
+            let back = format.decode_sparse(&bytes, true).unwrap();
+            assert_eq!(back.d, report.d);
+            assert_eq!(back.entries, report.entries);
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_grr_reports() {
+        use crate::multidim::{AttrSpec, AttrValue, SamplingPerturber};
+        use crate::rng::seeded_rng;
+        use crate::{Epsilon, NumericKind, OracleKind};
+        let specs = vec![
+            AttrSpec::Categorical { k: 7 },
+            AttrSpec::Categorical { k: 3 },
+        ];
+        let format = WireFormat::new(specs.clone());
+        let p = SamplingPerturber::with_k(
+            Epsilon::new(1.0).unwrap(),
+            specs,
+            NumericKind::Hybrid,
+            OracleKind::Grr,
+            2,
+        )
+        .unwrap();
+        let tuple = vec![AttrValue::Categorical(6), AttrValue::Categorical(0)];
+        let mut rng = seeded_rng(43);
+        for _ in 0..100 {
+            let report = p.perturb(&tuple, &mut rng).unwrap();
+            let bytes = format.encode_sparse(&report);
+            let back = format.decode_sparse(&bytes, false).unwrap();
+            assert_eq!(back.entries, report.entries);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_garbage() {
+        use crate::multidim::AttrSpec;
+        let format = WireFormat::new(vec![AttrSpec::Numeric, AttrSpec::Numeric]);
+        // Truncated: claims one entry but has no payload.
+        let mut w = BitWriter::new();
+        w.write_bits(1, 16);
+        let bytes = w.finish();
+        assert!(format.decode_sparse(&bytes, true).is_err());
+        // Out-of-range category value.
+        let format = WireFormat::new(vec![AttrSpec::Categorical { k: 3 }]);
+        let mut w = BitWriter::new();
+        w.write_bits(1, 16); // one entry
+        w.write_bits(0, 1); // index 0 (1 bit for d=1)
+        w.write_bits(3, 2); // value 3 ≥ k=3
+        assert!(format.decode_sparse(&w.finish(), false).is_err());
+    }
+
+    #[test]
+    fn bit_writer_reader_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 1);
+        w.write_bits(0x1234_5678, 32);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(32).unwrap(), 0x1234_5678);
+        assert!(r.read_bits(32).is_err(), "reading past the end must fail");
+    }
+
+    #[test]
+    fn mixed_sparse_report_counts_bit_vectors() {
+        let sparse = SparseReport {
+            d: 16,
+            k: 2,
+            entries: vec![
+                (0, AttrReport::Numeric(0.5)),
+                (
+                    9,
+                    AttrReport::Categorical(CategoricalReport::Bits(BitVec::zeros(10))),
+                ),
+            ],
+        };
+        // Two indices at 4 bits + 64-bit float + 10-bit OUE vector.
+        assert_eq!(sparse_report_bits(&sparse), 4 + 64 + 4 + 10);
+    }
+}

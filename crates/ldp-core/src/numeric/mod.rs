@@ -1,0 +1,23 @@
+//! One-dimensional ε-LDP mechanisms for numeric values in `[-1, 1]`.
+//!
+//! * [`Laplace`] — classic additive noise with scale `2/ε` (§III-A).
+//! * [`Scdf`] — Soria-Comas & Domingo-Ferrer's piecewise-constant noise.
+//! * [`Staircase`] — Geng et al.'s staircase noise with `γ* = 1/(1+e^{ε/2})`.
+//! * [`Duchi1d`] — Duchi et al.'s binary mechanism (Algorithm 1).
+//! * [`Piecewise`] — the paper's Piecewise Mechanism (Algorithm 2).
+//! * [`Hybrid`] — the paper's Hybrid Mechanism (§III-C).
+
+mod duchi;
+mod hybrid;
+mod laplace;
+mod piecewise;
+mod scdf;
+mod staircase;
+mod stepped;
+
+pub use duchi::Duchi1d;
+pub use hybrid::Hybrid;
+pub use laplace::Laplace;
+pub use piecewise::Piecewise;
+pub use scdf::Scdf;
+pub use staircase::Staircase;

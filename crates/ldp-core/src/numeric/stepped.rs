@@ -1,0 +1,149 @@
+//! Shared implementation of the piecewise-constant ("stepped") additive
+//! noise distribution of Equation 2, used by both SCDF and Staircase.
+//!
+//! The density is symmetric around zero:
+//!
+//! * `f(x) = a` for `|x| ≤ m` (centre step), and
+//! * `f(x) = a·e^{-(j+1)ε}` for `|x| ∈ [m + 2j, m + 2(j+1)]`, `j = 0, 1, …`.
+//!
+//! Steps have width 2 — the sensitivity of the `[-1, 1]` domain — so a shift
+//! of the input by at most 2 crosses at most one density level, giving the
+//! `e^ε` ratio bound of ε-LDP. SCDF and Staircase differ only in `(m, a)`.
+
+use crate::rng::{random_sign, uniform};
+use rand::{Rng, RngCore};
+
+/// A zero-mean stepped noise distribution with centre half-width `m` and
+/// centre density `a`, decaying by `e^{-ε}` per width-2 step.
+#[derive(Debug, Clone)]
+pub(crate) struct SteppedNoise {
+    pub(crate) eps: f64,
+    pub(crate) m: f64,
+    pub(crate) a: f64,
+    /// Mass of the centre step, `2am`.
+    center_mass: f64,
+}
+
+impl SteppedNoise {
+    pub(crate) fn new(eps: f64, m: f64, a: f64) -> Self {
+        debug_assert!(eps > 0.0 && m >= 0.0 && a > 0.0);
+        let center_mass = 2.0 * a * m;
+        debug_assert!(
+            (center_mass + 4.0 * a * (-eps).exp() / (1.0 - (-eps).exp()) - 1.0).abs() < 1e-9,
+            "stepped noise parameters are not normalized"
+        );
+        SteppedNoise {
+            eps,
+            m,
+            a,
+            center_mass,
+        }
+    }
+
+    /// The density `f(x)`.
+    pub(crate) fn pdf(&self, x: f64) -> f64 {
+        let ax = x.abs();
+        if ax <= self.m {
+            self.a
+        } else {
+            let j = ((ax - self.m) / 2.0).ceil().max(1.0);
+            self.a * (-j * self.eps).exp()
+        }
+    }
+
+    /// Draws one noise value by inverse-transform sampling over the pieces.
+    pub(crate) fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.random::<f64>();
+        if u < self.center_mass {
+            return uniform(rng, -self.m, self.m);
+        }
+        // Tail: geometric step index with ratio q = e^{-ε}, then uniform
+        // within the chosen width-2 step, with a uniform sign.
+        let q = (-self.eps).exp();
+        let g: f64 = rng.random::<f64>();
+        // P(j) = (1-q) q^j  ⇒  j = ⌊ln(1-g)/ln q⌋.
+        let j = ((1.0 - g).max(f64::MIN_POSITIVE).ln() / q.ln()).floor();
+        let lo = self.m + 2.0 * j;
+        random_sign(rng) * uniform(rng, lo, lo + 2.0)
+    }
+
+    /// Exact noise variance via the (geometrically converging) series
+    /// `2a·[m³/3 + Σ_j e^{-(j+1)ε}·((m+2j+2)³ − (m+2j)³)/3]`.
+    pub(crate) fn variance(&self) -> f64 {
+        let mut acc = self.m.powi(3) / 3.0;
+        let mut j = 0.0f64;
+        loop {
+            let lo = self.m + 2.0 * j;
+            let hi = lo + 2.0;
+            let term = (-(j + 1.0) * self.eps).exp() * (hi.powi(3) - lo.powi(3)) / 3.0;
+            acc += term;
+            j += 1.0;
+            if term < acc * 1e-16 || j > 1e6 {
+                break;
+            }
+        }
+        2.0 * self.a * acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    /// Staircase parameters for a quick structural check.
+    fn staircase_params(eps: f64) -> SteppedNoise {
+        let m = 2.0 / (1.0 + (eps / 2.0).exp());
+        let a = (1.0 - (-eps).exp()) / (2.0 * m + 4.0 * (-eps).exp() - 2.0 * m * (-eps).exp());
+        SteppedNoise::new(eps, m, a)
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let n = staircase_params(1.0);
+        let steps = 2_000_000;
+        let span = 60.0; // density beyond ±30 is ~e^{-15}·a, negligible
+        let h = span / steps as f64;
+        let integral: f64 = (0..steps)
+            .map(|i| n.pdf(-span / 2.0 + (i as f64 + 0.5) * h) * h)
+            .sum();
+        // Midpoint rule across ~30 density discontinuities: O(h·Σjumps)
+        // error, so a 1e-4 tolerance is the right order.
+        assert!((integral - 1.0).abs() < 1e-4, "{integral}");
+    }
+
+    #[test]
+    fn pdf_levels_decay_by_exp_eps() {
+        let n = staircase_params(0.8);
+        let ratio = n.pdf(n.m - 1e-9) / n.pdf(n.m + 1e-9);
+        assert!((ratio - 0.8f64.exp()).abs() < 1e-9);
+        let ratio2 = n.pdf(n.m + 1.0) / n.pdf(n.m + 3.0);
+        assert!((ratio2 - 0.8f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_variance_matches_series() {
+        let n = staircase_params(1.0);
+        let mut rng = seeded_rng(50);
+        let count = 500_000;
+        let samples: Vec<f64> = (0..count).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        let expect = n.variance();
+        assert!((var - expect).abs() / expect < 0.03, "{var} vs {expect}");
+    }
+
+    #[test]
+    fn sample_histogram_matches_pdf() {
+        // Compare empirical mass of the centre step with 2am.
+        let n = staircase_params(2.0);
+        let mut rng = seeded_rng(51);
+        let count = 400_000;
+        let inside = (0..count)
+            .filter(|_| n.sample(&mut rng).abs() <= n.m)
+            .count() as f64
+            / count as f64;
+        assert!((inside - 2.0 * n.a * n.m).abs() < 0.01, "{inside}");
+    }
+}

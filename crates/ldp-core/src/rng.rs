@@ -1,0 +1,183 @@
+//! Randomness helpers shared by all mechanisms.
+//!
+//! Mechanisms take `&mut dyn RngCore` so they stay object-safe (the harness
+//! iterates over boxed mechanisms), while tests and examples use seeded
+//! [`StdRng`]s for reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic RNG for tests, examples, and benchmarks.
+///
+/// Two calls with the same seed yield identical streams across platforms
+/// (StdRng is documented as reproducible for a fixed rand major version).
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws `true` with probability `p` (clamped to `[0, 1]`).
+#[inline]
+pub fn bernoulli(rng: &mut dyn RngCore, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    rng.random::<f64>() < p
+}
+
+/// Uniform draw from `[lo, hi)`. Requires `lo < hi` (checked in debug).
+#[inline]
+pub fn uniform(rng: &mut dyn RngCore, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo < hi, "uniform requires lo < hi, got [{lo}, {hi})");
+    lo + (hi - lo) * rng.random::<f64>()
+}
+
+/// Draws `±1` with equal probability.
+#[inline]
+pub fn random_sign(rng: &mut dyn RngCore) -> f64 {
+    if rng.random::<bool>() {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Samples `k` distinct indices uniformly from `{0, …, d-1}` (Floyd's
+/// algorithm), in O(k) expected time and O(k) space. The result is sorted,
+/// which makes downstream report layouts deterministic.
+///
+/// # Panics
+/// Panics in debug builds if `k > d`.
+pub fn sample_distinct(rng: &mut dyn RngCore, d: usize, k: usize) -> Vec<u32> {
+    debug_assert!(k <= d, "cannot sample {k} distinct indices from {d}");
+    // For small k relative to d, Floyd's algorithm touches only k slots.
+    let mut chosen: Vec<u32> = Vec::with_capacity(k);
+    for j in (d - k)..d {
+        let t = rng.random_range(0..=j as u32);
+        if chosen.contains(&t) {
+            chosen.push(j as u32);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Samples an index from an unnormalized weight slice.
+///
+/// Used by the exact (non-rejection) sampler for Duchi et al.'s
+/// multidimensional mechanism. Weights must be non-negative with a positive
+/// sum (checked in debug builds).
+pub fn sample_weighted(rng: &mut dyn RngCore, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0 && total.is_finite(), "bad weight sum {total}");
+    let mut u = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = seeded_rng(1);
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+        assert!(!bernoulli(&mut rng, -0.5));
+        assert!(bernoulli(&mut rng, 1.5));
+    }
+
+    #[test]
+    fn bernoulli_frequency_close_to_p() {
+        let mut rng = seeded_rng(2);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = seeded_rng(3);
+        for _ in 0..10_000 {
+            let x = uniform(&mut rng, -2.5, 7.0);
+            assert!((-2.5..7.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_sign_is_balanced() {
+        let mut rng = seeded_rng(4);
+        let n = 100_000;
+        let pos = (0..n).filter(|_| random_sign(&mut rng) > 0.0).count();
+        let freq = pos as f64 / n as f64;
+        assert!((freq - 0.5).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = seeded_rng(5);
+        for (d, k) in [(10usize, 3usize), (10, 10), (100, 1), (5, 0)] {
+            let s = sample_distinct(&mut rng, d, k);
+            assert_eq!(s.len(), k);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted distinct: {s:?}");
+            assert!(s.iter().all(|&i| (i as usize) < d));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_is_uniform_over_indices() {
+        // Each index should be chosen with probability k/d.
+        let mut rng = seeded_rng(6);
+        let (d, k, trials) = (8usize, 3usize, 80_000usize);
+        let mut counts = vec![0usize; d];
+        for _ in 0..trials {
+            for i in sample_distinct(&mut rng, d, k) {
+                counts[i as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * k as f64 / d as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.03, "index {i}: count {c}, expected {expected}");
+        }
+    }
+
+    #[test]
+    fn sample_weighted_respects_weights() {
+        let mut rng = seeded_rng(7);
+        let weights = [1.0, 3.0, 6.0];
+        let n = 150_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sample_weighted(&mut rng, &weights)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            let expect = w / 10.0;
+            assert!(
+                (freq - expect).abs() < 0.01,
+                "i={i} freq={freq} expect={expect}"
+            );
+        }
+    }
+}

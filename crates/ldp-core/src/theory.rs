@@ -1,0 +1,180 @@
+//! Table I of the paper: which mechanism wins the worst-case-variance
+//! comparison in each `(d, ε)` regime.
+
+use crate::math::{epsilon_sharp, epsilon_star};
+use crate::variance;
+use serde::{Deserialize, Serialize};
+
+/// The strict ordering regimes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Regime {
+    /// `d > 1, ε > 0` — `HM < PM < Duchi`.
+    MultiDim,
+    /// `d = 1, ε > ε#` — `HM < PM < Duchi`.
+    OneDimLarge,
+    /// `d = 1, ε = ε#` — `HM < PM = Duchi`.
+    OneDimSharp,
+    /// `d = 1, ε* < ε < ε#` — `HM < Duchi < PM`.
+    OneDimMiddle,
+    /// `d = 1, 0 < ε ≤ ε*` — `HM = Duchi < PM`.
+    OneDimSmall,
+}
+
+impl Regime {
+    /// The ordering string exactly as Table I prints it.
+    pub fn ordering(self) -> &'static str {
+        match self {
+            Regime::MultiDim | Regime::OneDimLarge => "MaxVarHM < MaxVarPM < MaxVarDu",
+            Regime::OneDimSharp => "MaxVarHM < MaxVarPM = MaxVarDu",
+            Regime::OneDimMiddle => "MaxVarHM < MaxVarDu < MaxVarPM",
+            Regime::OneDimSmall => "MaxVarHM = MaxVarDu < MaxVarPM",
+        }
+    }
+}
+
+/// One evaluated row of Table I: the three worst-case variances at `(d, ε)`
+/// and the regime they fall into.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Dimensionality.
+    pub d: usize,
+    /// Privacy budget.
+    pub eps: f64,
+    /// `max_t Var` for the Hybrid Mechanism.
+    pub hm: f64,
+    /// `max_t Var` for the Piecewise Mechanism.
+    pub pm: f64,
+    /// `max_t Var` for Duchi et al.'s mechanism.
+    pub duchi: f64,
+    /// The regime of Table I this `(d, ε)` belongs to.
+    pub regime: Regime,
+}
+
+/// Classifies `(d, ε)` into its Table I regime (analytically, from the
+/// `ε*`/`ε#` thresholds) and evaluates the three worst-case variances.
+///
+/// # Panics
+/// Panics if `d == 0` or `ε ≤ 0` — Table I is defined only for valid inputs.
+pub fn table1_row(d: usize, eps: f64) -> Table1Row {
+    assert!(d >= 1, "Table I requires d ≥ 1");
+    assert!(eps > 0.0 && eps.is_finite(), "Table I requires ε > 0");
+    const TOL: f64 = 1e-9;
+    let regime = if d > 1 {
+        Regime::MultiDim
+    } else if eps <= epsilon_star() {
+        Regime::OneDimSmall
+    } else if (eps - epsilon_sharp()).abs() < TOL {
+        Regime::OneDimSharp
+    } else if eps < epsilon_sharp() {
+        Regime::OneDimMiddle
+    } else {
+        Regime::OneDimLarge
+    };
+    let (hm, pm, duchi) = if d == 1 {
+        (
+            variance::hm_1d_worst(eps),
+            variance::pm_1d_worst(eps),
+            variance::duchi_1d_worst(eps),
+        )
+    } else {
+        (
+            variance::hm_md_worst(eps, d),
+            variance::pm_md_worst(eps, d),
+            variance::duchi_md_worst(eps, d),
+        )
+    };
+    Table1Row {
+        d,
+        eps,
+        hm,
+        pm,
+        duchi,
+        regime,
+    }
+}
+
+/// Checks that a row's measured variances satisfy its regime's ordering
+/// (used by tests and by the `table1_regimes` binary to self-verify).
+pub fn row_consistent(row: &Table1Row) -> bool {
+    // `≤ with tolerance`: strictness is implied by the regime boundaries
+    // being excluded from the grid, while equality needs a looser relative
+    // tolerance because ε* and ε# are themselves rounded floats.
+    let le = |a: f64, b: f64| a <= b + 1e-9 * b.abs().max(1.0);
+    let eq = |a: f64, b: f64| (a - b).abs() <= 1e-6 * b.abs().max(1.0);
+    match row.regime {
+        Regime::MultiDim | Regime::OneDimLarge => le(row.hm, row.pm) && le(row.pm, row.duchi),
+        Regime::OneDimSharp => le(row.hm, row.pm) && eq(row.pm, row.duchi),
+        Regime::OneDimMiddle => le(row.hm, row.duchi) && le(row.duchi, row.pm),
+        Regime::OneDimSmall => eq(row.hm, row.duchi) && le(row.duchi, row.pm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_dimensional_regimes_match_table_1() {
+        assert_eq!(table1_row(1, 0.3).regime, Regime::OneDimSmall);
+        assert_eq!(table1_row(1, epsilon_star()).regime, Regime::OneDimSmall);
+        assert_eq!(table1_row(1, 0.9).regime, Regime::OneDimMiddle);
+        assert_eq!(table1_row(1, epsilon_sharp()).regime, Regime::OneDimSharp);
+        assert_eq!(table1_row(1, 2.0).regime, Regime::OneDimLarge);
+        assert_eq!(table1_row(1, 8.0).regime, Regime::OneDimLarge);
+    }
+
+    #[test]
+    fn multidimensional_always_hm_pm_duchi() {
+        for d in [2usize, 5, 16, 40] {
+            for eps in [0.2, 0.61, 1.0, 1.29, 4.0, 8.0] {
+                let row = table1_row(d, eps);
+                assert_eq!(row.regime, Regime::MultiDim);
+                assert!(row_consistent(&row), "d={d}, eps={eps}: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_regime_row_is_internally_consistent() {
+        // Dense ε grid over (0, 8]; this is the numeric verification of
+        // Table I promised in DESIGN.md.
+        for i in 1..=160 {
+            let eps = i as f64 * 0.05;
+            let row = table1_row(1, eps);
+            assert!(row_consistent(&row), "eps={eps}: {row:?}");
+        }
+        // And the two exact thresholds.
+        for eps in [epsilon_star(), epsilon_sharp()] {
+            let row = table1_row(1, eps);
+            assert!(row_consistent(&row), "threshold eps={eps}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_strings_match_paper() {
+        assert_eq!(
+            table1_row(1, 2.0).regime.ordering(),
+            "MaxVarHM < MaxVarPM < MaxVarDu"
+        );
+        assert_eq!(
+            table1_row(1, 1.0).regime.ordering(),
+            "MaxVarHM < MaxVarDu < MaxVarPM"
+        );
+        assert_eq!(
+            table1_row(1, 0.4).regime.ordering(),
+            "MaxVarHM = MaxVarDu < MaxVarPM"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "d ≥ 1")]
+    fn rejects_zero_dimension() {
+        table1_row(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε > 0")]
+    fn rejects_non_positive_eps() {
+        table1_row(1, 0.0);
+    }
+}

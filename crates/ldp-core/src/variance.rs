@@ -1,0 +1,240 @@
+//! Closed-form noise variances (Equations 4, 8, and 13–15) as free
+//! functions of `(ε, d, t)`.
+//!
+//! The mechanism structs expose the same values through
+//! [`crate::NumericMechanism::variance`]; these free functions exist so that
+//! the figure generators (Figures 1 and 3) and Table I can sweep parameters
+//! without constructing mechanisms, and so tests can cross-check the two
+//! code paths against each other.
+
+use crate::budget::Epsilon;
+use crate::math::epsilon_star;
+use crate::multidim::{optimal_k, DuchiMultidim};
+
+/// Laplace mechanism variance `8/ε²` (data independent).
+pub fn laplace(eps: f64) -> f64 {
+    8.0 / (eps * eps)
+}
+
+/// Duchi et al.'s 1-D variance `((e^ε+1)/(e^ε−1))² − t²` (Equation 4).
+pub fn duchi_1d(eps: f64, t: f64) -> f64 {
+    let e = eps.exp();
+    let m = (e + 1.0) / (e - 1.0);
+    m * m - t * t
+}
+
+/// Worst case of [`duchi_1d`], at `t = 0`.
+pub fn duchi_1d_worst(eps: f64) -> f64 {
+    duchi_1d(eps, 0.0)
+}
+
+/// PM variance `t²/(e^{ε/2}−1) + (e^{ε/2}+3)/(3(e^{ε/2}−1)²)` (Lemma 1).
+pub fn pm_1d(eps: f64, t: f64) -> f64 {
+    let eh = (eps / 2.0).exp();
+    t * t / (eh - 1.0) + (eh + 3.0) / (3.0 * (eh - 1.0) * (eh - 1.0))
+}
+
+/// Worst case of [`pm_1d`], `4e^{ε/2}/(3(e^{ε/2}−1)²)` at `|t| = 1`.
+pub fn pm_1d_worst(eps: f64) -> f64 {
+    let eh = (eps / 2.0).exp();
+    4.0 * eh / (3.0 * (eh - 1.0) * (eh - 1.0))
+}
+
+/// HM's optimal mixing weight `α` (Equation 7).
+pub fn hm_alpha(eps: f64) -> f64 {
+    if eps > epsilon_star() {
+        1.0 - (-eps / 2.0).exp()
+    } else {
+        0.0
+    }
+}
+
+/// HM variance `α·σ²_PM(t) + (1−α)·σ²_Duchi(t)` with the optimal `α`.
+pub fn hm_1d(eps: f64, t: f64) -> f64 {
+    let a = hm_alpha(eps);
+    a * pm_1d(eps, t) + (1.0 - a) * duchi_1d(eps, t)
+}
+
+/// Worst case of [`hm_1d`] (Equation 8): constant in `t` for `ε > ε*`,
+/// Duchi's worst case otherwise.
+pub fn hm_1d_worst(eps: f64) -> f64 {
+    if eps > epsilon_star() {
+        let eh = (eps / 2.0).exp();
+        let e = eps.exp();
+        (eh + 3.0) / (3.0 * eh * (eh - 1.0)) + (e + 1.0) * (e + 1.0) / (eh * (e - 1.0) * (e - 1.0))
+    } else {
+        duchi_1d_worst(eps)
+    }
+}
+
+/// Duchi et al.'s multidimensional per-coordinate variance
+/// `((e^ε+1)/(e^ε−1))²·C_d² − t²` (Equation 13).
+pub fn duchi_md(eps: f64, d: usize, t: f64) -> f64 {
+    let e = eps.exp();
+    let b = (e + 1.0) / (e - 1.0) * DuchiMultidim::c_d(d);
+    b * b - t * t
+}
+
+/// Worst case of [`duchi_md`], `B²` at `t = 0`.
+pub fn duchi_md_worst(eps: f64, d: usize) -> f64 {
+    duchi_md(eps, d, 0.0)
+}
+
+/// Algorithm 4 + PM per-coordinate variance (Equation 14) with an explicit
+/// sample count `k` (the `ablation_k_choice` bench sweeps this to verify
+/// Equation 12's optimum).
+pub fn pm_md_with_k(eps: f64, d: usize, k: usize, t: f64) -> f64 {
+    let k = k as f64;
+    let ek = (eps / (2.0 * k)).exp();
+    let d = d as f64;
+    d * (ek + 3.0) / (3.0 * k * (ek - 1.0) * (ek - 1.0)) + (d * ek / (k * (ek - 1.0)) - 1.0) * t * t
+}
+
+/// Algorithm 4 + PM per-coordinate variance (Equation 14), with the paper's
+/// `k` from Equation 12.
+pub fn pm_md(eps: f64, d: usize, t: f64) -> f64 {
+    pm_md_with_k(eps, d, k_of(eps, d), t)
+}
+
+/// Worst case of [`pm_md`], at `|t| = 1`.
+pub fn pm_md_worst(eps: f64, d: usize) -> f64 {
+    pm_md(eps, d, 1.0)
+}
+
+/// Algorithm 4 + HM per-coordinate variance (Equation 15).
+///
+/// Derivation: `Var[t*_j] = (d/k)(σ²_HM(t, ε/k) + t²) − t²`. For
+/// `ε/k > ε*` this matches Equation 15 verbatim. For `ε/k ≤ ε*` (where HM
+/// degenerates to Duchi with `σ²_D = m² − t²`) the same derivation yields
+/// `(d/k)m² − t²`; the paper's printed second case,
+/// `(d/k)m² + (d/k − 1)t²`, does not reduce to Equation 4 at `d = k = 1`,
+/// so we implement the derived form and treat the printed one as a typo.
+/// (Corollary 2's ordering holds a fortiori, since the derived variance is
+/// smaller; see the tests below.)
+pub fn hm_md(eps: f64, d: usize, t: f64) -> f64 {
+    hm_md_with_k(eps, d, k_of(eps, d), t)
+}
+
+/// [`hm_md`] with an explicit sample count `k`.
+pub fn hm_md_with_k(eps: f64, d: usize, k: usize, t: f64) -> f64 {
+    let k = k as f64;
+    let per = eps / k;
+    let d = d as f64;
+    if per > epsilon_star() {
+        let eh = (per / 2.0).exp();
+        let e = per.exp();
+        d / k
+            * ((eh + 3.0) / (3.0 * eh * (eh - 1.0))
+                + (e + 1.0) * (e + 1.0) / (eh * (e - 1.0) * (e - 1.0)))
+            + (d / k - 1.0) * t * t
+    } else {
+        let e = per.exp();
+        let m = (e + 1.0) / (e - 1.0);
+        d / k * m * m - t * t
+    }
+}
+
+/// Worst case of [`hm_md`]: at `|t| = 1` when `ε/k > ε*` (the `t²`
+/// coefficient `d/k − 1` is non-negative) and at `t = 0` otherwise.
+pub fn hm_md_worst(eps: f64, d: usize) -> f64 {
+    hm_md(eps, d, 1.0).max(hm_md(eps, d, 0.0))
+}
+
+/// The `k` of Equation 12 for a raw `ε` (panics on ε ≤ 0 via `Epsilon`).
+fn k_of(eps: f64, d: usize) -> usize {
+    optimal_k(
+        Epsilon::new(eps).expect("variance sweep uses positive ε"),
+        d,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::NumericKind;
+    use crate::math::epsilon_sharp;
+
+    #[test]
+    fn free_functions_match_mechanism_methods() {
+        for eps in [0.3, 0.61, 1.0, 1.29, 2.0, 4.0, 8.0] {
+            let e = Epsilon::new(eps).unwrap();
+            for t in [-1.0, -0.4, 0.0, 0.7, 1.0] {
+                let pm = NumericKind::Piecewise.build(e);
+                assert!((pm.variance(t) - pm_1d(eps, t)).abs() < 1e-12);
+                let hm = NumericKind::Hybrid.build(e);
+                assert!((hm.variance(t) - hm_1d(eps, t)).abs() < 1e-12);
+                let du = NumericKind::Duchi.build(e);
+                assert!((du.variance(t) - duchi_1d(eps, t)).abs() < 1e-12);
+                let lap = NumericKind::Laplace.build(e);
+                assert!((lap.variance(t) - laplace(eps)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_cases_are_actual_maxima() {
+        for eps in [0.5, 1.0, 2.0, 4.0] {
+            for t in [-1.0, -0.5, 0.0, 0.5, 1.0] {
+                assert!(pm_1d(eps, t) <= pm_1d_worst(eps) + 1e-12);
+                assert!(duchi_1d(eps, t) <= duchi_1d_worst(eps) + 1e-12);
+                assert!(hm_1d(eps, t) <= hm_1d_worst(eps) + 1e-12);
+                for d in [2usize, 5, 10, 40] {
+                    assert!(pm_md(eps, d, t) <= pm_md_worst(eps, d) + 1e-12);
+                    assert!(hm_md(eps, d, t) <= hm_md_worst(eps, d) + 1e-12);
+                    assert!(duchi_md(eps, d, t) <= duchi_md_worst(eps, d) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eps_sharp_is_the_pm_duchi_crossover() {
+        let es = epsilon_sharp();
+        assert!((pm_1d_worst(es) - duchi_1d_worst(es)).abs() < 1e-9);
+        assert!(pm_1d_worst(es - 0.05) > duchi_1d_worst(es - 0.05));
+        assert!(pm_1d_worst(es + 0.05) < duchi_1d_worst(es + 0.05));
+    }
+
+    #[test]
+    fn corollary_2_ordering_on_grid() {
+        // For every d > 1 and ε > 0: HM < PM < Duchi in worst-case variance.
+        for d in [2usize, 5, 10, 20, 40, 94] {
+            for i in 1..=80 {
+                let eps = i as f64 * 0.1;
+                let (h, p, du) = (
+                    hm_md_worst(eps, d),
+                    pm_md_worst(eps, d),
+                    duchi_md_worst(eps, d),
+                );
+                assert!(h < p + 1e-12, "d={d}, eps={eps}: HM {h} vs PM {p}");
+                assert!(p < du + 1e-9, "d={d}, eps={eps}: PM {p} vs Duchi {du}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure_3_ratio_bound() {
+        // §IV-B: for d ∈ {5,10,20,40}, HM's worst case is at most 77% of
+        // Duchi's.
+        for d in [5usize, 10, 20, 40] {
+            for i in 1..=80 {
+                let eps = i as f64 * 0.1;
+                let ratio = hm_md_worst(eps, d) / duchi_md_worst(eps, d);
+                assert!(ratio <= 0.77 + 1e-9, "d={d}, eps={eps}: ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn md_variance_with_d1_matches_1d() {
+        // With d = 1, Algorithm 4 always samples the single attribute and
+        // k = 1, so the multidimensional formulas reduce to the 1-D ones.
+        for eps in [0.5, 1.0, 3.0] {
+            for t in [0.0, 0.5, 1.0] {
+                assert!((pm_md(eps, 1, t) - pm_1d(eps, t)).abs() < 1e-12);
+                assert!((hm_md(eps, 1, t) - hm_1d(eps, t)).abs() < 1e-12);
+                assert!((duchi_md(eps, 1, t) - duchi_1d(eps, t)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Systematic matrix test: every 1-D mechanism × every experiment budget ×
+//! several inputs, checking unbiasedness, variance against the closed form,
+//! and support containment in one sweep. Complements the per-mechanism unit
+//! tests with uniform coverage (a new mechanism added to `NumericKind::ALL`
+//! is automatically swept).
+
+use ldp_core::rng::seeded_rng;
+use ldp_core::{Epsilon, NumericKind};
+
+const EPSILONS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+const INPUTS: [f64; 5] = [-1.0, -0.5, 0.0, 0.5, 1.0];
+
+#[test]
+fn all_mechanisms_unbiased_with_declared_variance() {
+    let n = 120_000;
+    let mut rng = seeded_rng(7_777);
+    for kind in NumericKind::ALL {
+        for eps in EPSILONS {
+            let mech = kind.build(Epsilon::new(eps).unwrap());
+            for t in INPUTS {
+                let mut sum = 0.0;
+                let mut sq = 0.0;
+                for _ in 0..n {
+                    let x = mech.perturb(t, &mut rng).unwrap();
+                    if let Some(bound) = mech.output_bound() {
+                        assert!(
+                            x.abs() <= bound + 1e-9,
+                            "{} eps={eps}: output {x} above bound {bound}",
+                            mech.name()
+                        );
+                    }
+                    sum += x;
+                    sq += x * x;
+                }
+                let mean = sum / n as f64;
+                let var = sq / n as f64 - mean * mean;
+                let sigma = (mech.variance(t) / n as f64).sqrt();
+                assert!(
+                    (mean - t).abs() < 5.0 * sigma + 1e-3,
+                    "{} eps={eps} t={t}: mean {mean}",
+                    mech.name()
+                );
+                let expect = mech.variance(t);
+                assert!(
+                    (var - expect).abs() / expect < 0.05,
+                    "{} eps={eps} t={t}: var {var} vs {expect}",
+                    mech.name()
+                );
+                assert!(
+                    expect <= mech.worst_case_variance() + 1e-9,
+                    "{} eps={eps} t={t}: pointwise variance above worst case",
+                    mech.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_mechanisms_reject_bad_inputs() {
+    let mut rng = seeded_rng(7_778);
+    for kind in NumericKind::ALL {
+        let mech = kind.build(Epsilon::new(1.0).unwrap());
+        for bad in [1.0 + 1e-9, -1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                mech.perturb(bad, &mut rng).is_err(),
+                "{} accepted {bad}",
+                mech.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn worst_case_variances_decrease_in_eps() {
+    // More budget can never hurt: worst-case variance is non-increasing in ε
+    // for every mechanism.
+    for kind in NumericKind::ALL {
+        let mut prev = f64::INFINITY;
+        for i in 1..=80 {
+            let eps = i as f64 * 0.1;
+            let v = kind.build(Epsilon::new(eps).unwrap()).worst_case_variance();
+            assert!(
+                v <= prev + 1e-9,
+                "{}: worst-case variance rose at eps={eps} ({v} > {prev})",
+                kind.name()
+            );
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Feature encoding for the §VI-B empirical-risk-minimization experiments.
+//!
+//! Following the paper: each categorical attribute with `k` values becomes
+//! `k−1` binary dummy attributes (the l-th value → 1 on dummy l for `l < k`,
+//! the k-th value → all zeros), numeric attributes are normalized to
+//! `[-1, 1]`, and `total_income` becomes the dependent variable — kept in
+//! `[-1, 1]` for linear regression, or binarized at its mean (above → 1,
+//! else −1 … the paper says {1, 0}; we use ±1 labels which is the standard
+//! equivalent form for logistic/SVM losses).
+
+use crate::dataset::{Column, Dataset};
+use crate::schema::AttributeKind;
+use ldp_core::{LdpError, Result};
+
+/// A dense row-major design matrix with its target vector.
+///
+/// ```
+/// use ldp_data::{census::generate_mx, DesignMatrix, TargetKind};
+/// let ds = generate_mx(500, 1)?;
+/// let dm = DesignMatrix::encode(&ds, "total_income", TargetKind::BinaryAtMean)?;
+/// assert_eq!(dm.dim(), 94); // the paper's MX one-hot dimensionality
+/// assert!(dm.targets().iter().all(|&y| y == 1.0 || y == -1.0));
+/// # Ok::<(), ldp_core::LdpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignMatrix {
+    /// Row-major features, `n × dim`, every entry in `[-1, 1]`.
+    features: Vec<f64>,
+    /// Targets: `[-1, 1]` for regression, `{-1, +1}` for classification.
+    targets: Vec<f64>,
+    /// Feature dimensionality.
+    dim: usize,
+}
+
+/// How to encode the dependent variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Keep the normalized numeric value in `[-1, 1]` (linear regression).
+    Regression,
+    /// Map values above the attribute mean to `+1`, the rest to `-1`
+    /// (logistic regression and SVM, §VI-B).
+    BinaryAtMean,
+}
+
+impl DesignMatrix {
+    /// Encodes `dataset` with `target` as the dependent attribute (by name).
+    ///
+    /// # Errors
+    /// Fails if `target` is missing or not numeric, or the dataset is empty.
+    pub fn encode(dataset: &Dataset, target: &str, kind: TargetKind) -> Result<Self> {
+        let schema = dataset.schema();
+        let target_j = schema
+            .index_of(target)
+            .ok_or_else(|| LdpError::InvalidParameter {
+                name: "target",
+                message: format!("no attribute named `{target}`"),
+            })?;
+        if dataset.n() == 0 {
+            return Err(LdpError::EmptyInput("rows"));
+        }
+        let targets_raw = dataset.canonical_numeric_column(target_j)?;
+        let mean = targets_raw.iter().sum::<f64>() / targets_raw.len() as f64;
+        let targets: Vec<f64> = match kind {
+            TargetKind::Regression => targets_raw,
+            TargetKind::BinaryAtMean => targets_raw
+                .iter()
+                .map(|&y| if y > mean { 1.0 } else { -1.0 })
+                .collect(),
+        };
+
+        // Per-attribute encoded widths.
+        let mut dim = 0usize;
+        for (j, attr) in schema.attributes().iter().enumerate() {
+            if j == target_j {
+                continue;
+            }
+            dim += match attr.kind {
+                AttributeKind::Numeric { .. } => 1,
+                AttributeKind::Categorical { k } => k as usize - 1,
+            };
+        }
+
+        let n = dataset.n();
+        let mut features = vec![0.0; n * dim];
+        let mut offset = 0usize;
+        for (j, attr) in schema.attributes().iter().enumerate() {
+            if j == target_j {
+                continue;
+            }
+            match (&attr.kind, dataset.column(j)) {
+                (AttributeKind::Numeric { domain }, Column::Numeric(values)) => {
+                    for (i, &x) in values.iter().enumerate() {
+                        features[i * dim + offset] =
+                            domain.normalize(x).expect("validated at construction");
+                    }
+                    offset += 1;
+                }
+                (AttributeKind::Categorical { k }, Column::Categorical(values)) => {
+                    let width = *k as usize - 1;
+                    for (i, &v) in values.iter().enumerate() {
+                        // Value l < k−1 sets dummy l; value k−1 is all-zero.
+                        if (v as usize) < width {
+                            features[i * dim + offset + v as usize] = 1.0;
+                        }
+                    }
+                    offset += width;
+                }
+                _ => unreachable!("dataset validated against schema"),
+            }
+        }
+        debug_assert_eq!(offset, dim);
+        Ok(DesignMatrix {
+            features,
+            targets,
+            dim,
+        })
+    }
+
+    /// Number of rows.
+    pub fn n(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `i`'s feature slice.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Row `i`'s target.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::numeric("income", 0.0, 100.0).unwrap(),
+            Attribute::numeric("age", 0.0, 50.0).unwrap(),
+            Attribute::categorical("color", 3).unwrap(),
+        ])
+        .unwrap();
+        Dataset::new(
+            schema,
+            vec![
+                Column::Numeric(vec![10.0, 90.0, 50.0]),
+                Column::Numeric(vec![0.0, 50.0, 25.0]),
+                Column::Categorical(vec![0, 1, 2]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn regression_encoding_shapes() {
+        let dm = DesignMatrix::encode(&dataset(), "income", TargetKind::Regression).unwrap();
+        assert_eq!(dm.n(), 3);
+        // age (1) + color (3-1 = 2).
+        assert_eq!(dm.dim(), 3);
+        // Row 0: age normalized = -1; color 0 → dummies [1, 0].
+        assert_eq!(dm.row(0), &[-1.0, 1.0, 0.0]);
+        // Row 1: age 50 → +1; color 1 → [0, 1].
+        assert_eq!(dm.row(1), &[1.0, 0.0, 1.0]);
+        // Row 2: age 25 → 0; color 2 (last value) → all-zero dummies.
+        assert_eq!(dm.row(2), &[0.0, 0.0, 0.0]);
+        // Targets: income normalized.
+        assert!((dm.target(0) + 0.8).abs() < 1e-12);
+        assert!((dm.target(1) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_target_splits_at_mean() {
+        let dm = DesignMatrix::encode(&dataset(), "income", TargetKind::BinaryAtMean).unwrap();
+        // Normalized incomes: -0.8, 0.8, 0.0; mean = 0. Above-mean → +1.
+        assert_eq!(dm.targets(), &[-1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn every_feature_is_bounded() {
+        let ds = crate::census::generate_br(2_000, 9).unwrap();
+        let dm = DesignMatrix::encode(&ds, "total_income", TargetKind::Regression).unwrap();
+        assert_eq!(dm.dim(), 90);
+        for i in 0..dm.n() {
+            for &x in dm.row(i) {
+                assert!((-1.0..=1.0).contains(&x));
+            }
+            assert!((-1.0..=1.0).contains(&dm.target(i)));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        let ds = dataset();
+        assert!(DesignMatrix::encode(&ds, "nope", TargetKind::Regression).is_err());
+        assert!(DesignMatrix::encode(&ds, "color", TargetKind::Regression).is_err());
+    }
+}

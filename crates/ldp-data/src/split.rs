@@ -1,0 +1,163 @@
+//! Train/test splitting and k-fold cross validation (§VI-B uses 10-fold
+//! cross validation repeated 5 times).
+
+use ldp_core::rng::seeded_rng;
+use ldp_core::{LdpError, Result};
+use rand::seq::SliceRandom;
+
+/// A single train/test index split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Row indices for training.
+    pub train: Vec<usize>,
+    /// Row indices for evaluation.
+    pub test: Vec<usize>,
+}
+
+/// Shuffled k-fold cross validation over `n` rows.
+///
+/// Folds are disjoint, cover all rows, and differ in size by at most one.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Shuffles `0..n` with `seed` and cuts it into `k` folds.
+    ///
+    /// # Errors
+    /// Rejects `k < 2` or `k > n`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Result<Self> {
+        if k < 2 || k > n {
+            return Err(LdpError::InvalidParameter {
+                name: "k",
+                message: format!("k-fold needs 2 ≤ k ≤ n, got k={k}, n={n}"),
+            });
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut seeded_rng(seed));
+        let base = n / k;
+        let extra = n % k;
+        let mut folds = Vec::with_capacity(k);
+        let mut start = 0usize;
+        for f in 0..k {
+            let len = base + usize::from(f < extra);
+            folds.push(order[start..start + len].to_vec());
+            start += len;
+        }
+        Ok(KFold { folds })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The `f`-th split: fold `f` is the test set, the rest train.
+    ///
+    /// # Panics
+    /// Panics if `f ≥ k`.
+    pub fn split(&self, f: usize) -> Split {
+        let test = self.folds[f].clone();
+        let train = self
+            .folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != f)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        Split { train, test }
+    }
+
+    /// Iterates over all `k` splits.
+    pub fn splits(&self) -> impl Iterator<Item = Split> + '_ {
+        (0..self.k()).map(|f| self.split(f))
+    }
+}
+
+/// A single shuffled train/test split with the given test fraction.
+///
+/// # Errors
+/// Rejects fractions outside `(0, 1)` or splits that would leave either side
+/// empty.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> Result<Split> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(LdpError::InvalidParameter {
+            name: "test_fraction",
+            message: format!("must be in (0, 1), got {test_fraction}"),
+        });
+    }
+    let test_n = ((n as f64) * test_fraction).round() as usize;
+    if test_n == 0 || test_n == n {
+        return Err(LdpError::InvalidParameter {
+            name: "test_fraction",
+            message: format!("split of {n} rows at {test_fraction} leaves one side empty"),
+        });
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut seeded_rng(seed));
+    Ok(Split {
+        test: order[..test_n].to_vec(),
+        train: order[test_n..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_all_rows() {
+        let kf = KFold::new(103, 10, 42).unwrap();
+        assert_eq!(kf.k(), 10);
+        let mut seen = HashSet::new();
+        let mut sizes = Vec::new();
+        for f in 0..10 {
+            let split = kf.split(f);
+            sizes.push(split.test.len());
+            for i in &split.test {
+                assert!(seen.insert(*i), "row {i} in two folds");
+            }
+            assert_eq!(split.train.len() + split.test.len(), 103);
+            let train: HashSet<_> = split.train.iter().collect();
+            assert!(split.test.iter().all(|i| !train.contains(i)));
+        }
+        assert_eq!(seen.len(), 103);
+        assert!(sizes.iter().all(|&s| s == 10 || s == 11));
+    }
+
+    #[test]
+    fn kfold_is_deterministic_per_seed() {
+        let a = KFold::new(50, 5, 7).unwrap();
+        let b = KFold::new(50, 5, 7).unwrap();
+        assert_eq!(a.split(0).test, b.split(0).test);
+        let c = KFold::new(50, 5, 8).unwrap();
+        assert_ne!(a.split(0).test, c.split(0).test);
+    }
+
+    #[test]
+    fn kfold_validation() {
+        assert!(KFold::new(10, 1, 0).is_err());
+        assert!(KFold::new(3, 4, 0).is_err());
+        assert!(KFold::new(10, 10, 0).is_ok());
+    }
+
+    #[test]
+    fn train_test_split_properties() {
+        let s = train_test_split(100, 0.2, 1).unwrap();
+        assert_eq!(s.test.len(), 20);
+        assert_eq!(s.train.len(), 80);
+        let all: HashSet<_> = s.train.iter().chain(s.test.iter()).collect();
+        assert_eq!(all.len(), 100);
+        assert!(train_test_split(100, 0.0, 1).is_err());
+        assert!(train_test_split(100, 1.0, 1).is_err());
+        assert!(train_test_split(3, 0.01, 1).is_err());
+    }
+
+    #[test]
+    fn splits_iterator_covers_all_folds() {
+        let kf = KFold::new(20, 4, 3).unwrap();
+        assert_eq!(kf.splits().count(), 4);
+    }
+}

@@ -1,0 +1,231 @@
+//! Synthetic numeric workloads for Figures 5 and 6.
+//!
+//! The paper evaluates mean estimation on 16-dimensional numeric data drawn
+//! from (i) truncated Gaussians `N(µ, (1/4)²)` with µ ∈ {0, ⅓, ⅔, 1},
+//! (ii) the uniform distribution on `[-1, 1]`, and (iii) a power-law with
+//! density `∝ (x+2)^{-10}` on `[-1, 1]`.
+
+use crate::dataset::{Column, Dataset};
+use crate::schema::{Attribute, Schema};
+use ldp_core::rng::seeded_rng;
+use ldp_core::Result;
+use rand::{Rng, RngCore};
+
+/// A distribution over the canonical domain `[-1, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyntheticDistribution {
+    /// Gaussian with the given mean and standard deviation, re-sampled until
+    /// the draw lands in `[-1, 1]` ("discarding any value that falls out of
+    /// `[-1, 1]`", §VI-A).
+    TruncatedGaussian {
+        /// Mean of the (untruncated) Gaussian.
+        mean: f64,
+        /// Standard deviation of the (untruncated) Gaussian.
+        std: f64,
+    },
+    /// Uniform on `[-1, 1]`.
+    Uniform,
+    /// Density proportional to `(x + shift)^{-exponent}` on `[-1, 1]`.
+    /// The paper uses `shift = 2`, `exponent = 10`.
+    PowerLaw {
+        /// Horizontal shift (must exceed 1 so the density is finite on the
+        /// whole domain).
+        shift: f64,
+        /// Decay exponent (must exceed 1).
+        exponent: f64,
+    },
+}
+
+/// The paper's Figure 5 configuration: `N(µ, 1/16)` truncated, i.e. a
+/// standard deviation of 1/4.
+pub fn gaussian(mean: f64) -> SyntheticDistribution {
+    SyntheticDistribution::TruncatedGaussian { mean, std: 0.25 }
+}
+
+/// The paper's Figure 6(b) power law: `∝ (x+2)^{-10}`.
+pub fn paper_power_law() -> SyntheticDistribution {
+    SyntheticDistribution::PowerLaw {
+        shift: 2.0,
+        exponent: 10.0,
+    }
+}
+
+impl SyntheticDistribution {
+    /// Draws one value in `[-1, 1]`.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        match *self {
+            SyntheticDistribution::TruncatedGaussian { mean, std } => loop {
+                let x = mean + std * standard_normal(rng);
+                if (-1.0..=1.0).contains(&x) {
+                    return x;
+                }
+            },
+            SyntheticDistribution::Uniform => rng.random_range(-1.0..=1.0),
+            SyntheticDistribution::PowerLaw { shift, exponent } => {
+                // Inverse CDF of f(x) ∝ (x+s)^{-e} on [-1, 1]:
+                // with p = e − 1, F(x) ∝ (s−1)^{-p} − (x+s)^{-p}.
+                let p = exponent - 1.0;
+                let lo = (shift - 1.0).powf(-p);
+                let hi = (shift + 1.0).powf(-p);
+                let u: f64 = rng.random();
+                (lo - u * (lo - hi)).powf(-1.0 / p) - shift
+            }
+        }
+    }
+
+    /// The distribution's true mean on `[-1, 1]` (numeric integration for
+    /// the truncated cases; used to seed test expectations).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SyntheticDistribution::Uniform => 0.0,
+            _ => {
+                // 1e6-point midpoint rule is plenty for test tolerances.
+                let steps = 1_000_000;
+                let h = 2.0 / steps as f64;
+                let (mut num, mut den) = (0.0, 0.0);
+                for i in 0..steps {
+                    let x = -1.0 + (i as f64 + 0.5) * h;
+                    let w = self.density_unnormalized(x);
+                    num += x * w;
+                    den += w;
+                }
+                num / den
+            }
+        }
+    }
+
+    fn density_unnormalized(&self, x: f64) -> f64 {
+        match *self {
+            SyntheticDistribution::TruncatedGaussian { mean, std } => {
+                (-((x - mean) / std).powi(2) / 2.0).exp()
+            }
+            SyntheticDistribution::Uniform => 1.0,
+            SyntheticDistribution::PowerLaw { shift, exponent } => (x + shift).powf(-exponent),
+        }
+    }
+}
+
+/// One standard-normal draw via Box–Muller (rand_distr is not among the
+/// allowed dependencies).
+fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates an `n × d` numeric-only dataset with i.i.d. values from
+/// `dist`, in the canonical `[-1, 1]` domain.
+///
+/// # Errors
+/// Propagates schema/dataset validation (cannot fail for `d ≥ 1`).
+pub fn numeric_dataset(
+    n: usize,
+    d: usize,
+    dist: SyntheticDistribution,
+    seed: u64,
+) -> Result<Dataset> {
+    let mut rng = seeded_rng(seed);
+    let attributes = (0..d)
+        .map(|j| Attribute::numeric(&format!("x{j}"), -1.0, 1.0))
+        .collect::<Result<Vec<_>>>()?;
+    let schema = Schema::new(attributes)?;
+    let columns = (0..d)
+        .map(|_| Column::Numeric((0..n).map(|_| dist.sample(&mut rng)).collect()))
+        .collect();
+    Dataset::new(schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_gaussian_stays_in_domain_with_right_mean() {
+        let mut rng = seeded_rng(200);
+        for mu in [0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0] {
+            let dist = gaussian(mu);
+            let n = 200_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let x = dist.sample(&mut rng);
+                assert!((-1.0..=1.0).contains(&x));
+                sum += x;
+            }
+            let mean = sum / n as f64;
+            let expect = dist.mean();
+            assert!((mean - expect).abs() < 0.005, "mu={mu}: {mean} vs {expect}");
+            // For µ = 1, truncation pulls the mean visibly below 1.
+            if mu == 1.0 {
+                assert!(expect < 0.95);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let mut rng = seeded_rng(201);
+        let dist = SyntheticDistribution::Uniform;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01);
+        assert!((var - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn power_law_is_left_skewed() {
+        // (x+2)^{-10} puts almost all mass near -1.
+        let mut rng = seeded_rng(202);
+        let dist = paper_power_law();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|x| (-1.0..=1.0).contains(x)));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let expect = dist.mean();
+        assert!((mean - expect).abs() < 0.01, "{mean} vs {expect}");
+        assert!(
+            mean < -0.6,
+            "power law should concentrate near -1, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn power_law_inverse_cdf_matches_histogram() {
+        // Empirical CDF at a few probe points vs the analytic CDF.
+        let mut rng = seeded_rng(203);
+        let dist = paper_power_law();
+        let n = 200_000usize;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let p = 9.0; // exponent − 1
+        let norm = 1.0f64.powf(-p) - 3.0f64.powf(-p);
+        for probe in [-0.9, -0.5, 0.0, 0.5] {
+            let analytic = (1.0f64.powf(-p) - (probe + 2.0f64).powf(-p)) / norm;
+            let empirical = samples.iter().filter(|&&x| x <= probe).count() as f64 / n as f64;
+            assert!((analytic - empirical).abs() < 0.01, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn dataset_generation_is_deterministic() {
+        let a = numeric_dataset(100, 3, gaussian(0.5), 7).unwrap();
+        let b = numeric_dataset(100, 3, gaussian(0.5), 7).unwrap();
+        assert_eq!(a.n(), 100);
+        for j in 0..3 {
+            assert_eq!(a.true_mean(j).unwrap(), b.true_mean(j).unwrap());
+        }
+        let c = numeric_dataset(100, 3, gaussian(0.5), 8).unwrap();
+        assert_ne!(a.true_mean(0).unwrap(), c.true_mean(0).unwrap());
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded_rng(204);
+        let n = 300_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "{mean}");
+        assert!((var - 1.0).abs() < 0.02, "{var}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the data substrate: schema/dataset validation,
+//! normalization round-trips, encoding dimensions, and split invariants.
+
+use ldp_core::NumericDomain;
+use ldp_data::dataset::{Column, Dataset};
+use ldp_data::encoding::{DesignMatrix, TargetKind};
+use ldp_data::schema::{Attribute, Schema};
+use ldp_data::split::{train_test_split, KFold};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// normalize ∘ denormalize is the identity on the domain, and the
+    /// canonical value always lands in [-1, 1].
+    #[test]
+    fn domain_round_trip(
+        lo in -1e6f64..1e6,
+        width in 1e-3f64..1e6,
+        frac in 0.0f64..=1.0,
+    ) {
+        let domain = NumericDomain::new(lo, lo + width).unwrap();
+        let x = lo + width * frac;
+        let y = domain.normalize(x).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&y));
+        let back = domain.denormalize(y);
+        prop_assert!((back - x).abs() <= 1e-9 * width.max(1.0), "{back} vs {x}");
+    }
+
+    /// Dataset construction accepts exactly the values inside the declared
+    /// domains.
+    #[test]
+    fn dataset_validates_domains(values in prop::collection::vec(-2.0f64..2.0, 1..50)) {
+        let schema = Schema::new(vec![Attribute::numeric("x", -1.0, 1.0).unwrap()]).unwrap();
+        let ok = values.iter().all(|v| (-1.0..=1.0).contains(v));
+        let result = Dataset::new(schema, vec![Column::Numeric(values)]);
+        prop_assert_eq!(result.is_ok(), ok);
+    }
+
+    /// One-hot encoding dimensionality is Σ(k_i − 1) + #numeric − 1 and all
+    /// features stay in [-1, 1].
+    #[test]
+    fn one_hot_dimension_formula(
+        ks in prop::collection::vec(2u32..12, 1..6),
+        n in 1usize..40,
+    ) {
+        let mut attrs = vec![Attribute::numeric("target", 0.0, 10.0).unwrap()];
+        for (i, &k) in ks.iter().enumerate() {
+            attrs.push(Attribute::categorical(&format!("c{i}"), k).unwrap());
+        }
+        let schema = Schema::new(attrs).unwrap();
+        let mut columns = vec![Column::Numeric((0..n).map(|i| (i % 11) as f64).collect())];
+        for &k in &ks {
+            columns.push(Column::Categorical((0..n).map(|i| i as u32 % k).collect()));
+        }
+        let ds = Dataset::new(schema, columns).unwrap();
+        let dm = DesignMatrix::encode(&ds, "target", TargetKind::Regression).unwrap();
+        let expected: usize = ks.iter().map(|&k| k as usize - 1).sum();
+        prop_assert_eq!(dm.dim(), expected);
+        for i in 0..dm.n() {
+            for &x in dm.row(i) {
+                prop_assert!((-1.0..=1.0).contains(&x));
+            }
+            // Each categorical block is one-hot: at most one dummy set.
+            let mut offset = 0usize;
+            for &k in &ks {
+                let width = k as usize - 1;
+                let ones = dm.row(i)[offset..offset + width]
+                    .iter()
+                    .filter(|&&x| x == 1.0)
+                    .count();
+                prop_assert!(ones <= 1);
+                offset += width;
+            }
+        }
+    }
+
+    /// K-fold splits partition the rows for any (n, k).
+    #[test]
+    fn kfold_partitions(n in 4usize..200, k in 2usize..10, seed in 0u64..100) {
+        prop_assume!(k <= n);
+        let kf = KFold::new(n, k, seed).unwrap();
+        let mut seen = HashSet::new();
+        for split in kf.splits() {
+            prop_assert_eq!(split.train.len() + split.test.len(), n);
+            for i in split.test {
+                prop_assert!(seen.insert(i));
+            }
+        }
+        prop_assert_eq!(seen.len(), n);
+    }
+
+    /// Train/test splits are disjoint and exhaustive.
+    #[test]
+    fn split_is_partition(n in 10usize..500, frac in 0.05f64..0.95, seed in 0u64..100) {
+        let split = train_test_split(n, frac, seed).unwrap();
+        let train: HashSet<_> = split.train.iter().copied().collect();
+        let test: HashSet<_> = split.test.iter().copied().collect();
+        prop_assert!(train.is_disjoint(&test));
+        prop_assert_eq!(train.len() + test.len(), n);
+    }
+
+    /// head() preserves schema and shortens rows; true means stay in [-1,1].
+    #[test]
+    fn head_preserves_schema(n in 2usize..100, take in 1usize..100) {
+        prop_assume!(take <= n);
+        let schema = Schema::new(vec![Attribute::numeric("x", 0.0, 1.0).unwrap()]).unwrap();
+        let ds = Dataset::new(
+            schema,
+            vec![Column::Numeric((0..n).map(|i| (i % 7) as f64 / 7.0).collect())],
+        )
+        .unwrap();
+        let h = ds.head(take).unwrap();
+        prop_assert_eq!(h.n(), take);
+        let m = h.true_mean(0).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&m));
+    }
+}

@@ -1,0 +1,187 @@
+//! Model evaluation and the §VI-B cross-validation harness.
+
+use crate::loss::LossKind;
+use ldp_core::{LdpError, Result};
+use ldp_data::{DesignMatrix, KFold};
+
+/// Misclassification rate of `sign(x^Tβ)` against ±1 targets over `rows`.
+///
+/// # Errors
+/// [`LdpError::EmptyInput`] on empty `rows`.
+pub fn misclassification_rate(beta: &[f64], data: &DesignMatrix, rows: &[usize]) -> Result<f64> {
+    if rows.is_empty() {
+        return Err(LdpError::EmptyInput("evaluation rows"));
+    }
+    let wrong = rows
+        .iter()
+        .filter(|&&i| LossKind::classify(beta, data.row(i)) != data.target(i))
+        .count();
+    Ok(wrong as f64 / rows.len() as f64)
+}
+
+/// Mean squared prediction error `1/n Σ (x^Tβ − y)²` over `rows` — the
+/// linear-regression metric of Figure 11.
+///
+/// # Errors
+/// [`LdpError::EmptyInput`] on empty `rows`.
+pub fn regression_mse(beta: &[f64], data: &DesignMatrix, rows: &[usize]) -> Result<f64> {
+    if rows.is_empty() {
+        return Err(LdpError::EmptyInput("evaluation rows"));
+    }
+    let total: f64 = rows
+        .iter()
+        .map(|&i| {
+            let e = LossKind::score(beta, data.row(i)) - data.target(i);
+            e * e
+        })
+        .sum();
+    Ok(total / rows.len() as f64)
+}
+
+/// Runs `folds`-fold cross validation `repeats` times (the paper uses
+/// 10-fold × 5), averaging `metric` over every fold.
+///
+/// `train` receives the training rows and a per-fold seed; `metric`
+/// evaluates the returned model on the held-out rows.
+///
+/// # Errors
+/// Propagates trainer/metric errors and fold-construction validation.
+pub fn cross_validate<T, M>(
+    data: &DesignMatrix,
+    folds: usize,
+    repeats: usize,
+    seed: u64,
+    mut train: T,
+    mut metric: M,
+) -> Result<f64>
+where
+    T: FnMut(&[usize], u64) -> Result<Vec<f64>>,
+    M: FnMut(&[f64], &[usize]) -> Result<f64>,
+{
+    if repeats == 0 {
+        return Err(LdpError::InvalidParameter {
+            name: "repeats",
+            message: "must be positive".into(),
+        });
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for r in 0..repeats {
+        let kfold = KFold::new(data.n(), folds, seed.wrapping_add(r as u64))?;
+        for (f, split) in kfold.splits().enumerate() {
+            let fold_seed = seed
+                .wrapping_add((r as u64) << 32)
+                .wrapping_add(f as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let beta = train(&split.train, fold_seed)?;
+            total += metric(&beta, &split.test)?;
+            count += 1;
+        }
+    }
+    Ok(total / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sgd::{NonPrivateSgd, SgdConfig};
+    use ldp_data::census::generate_br;
+    use ldp_data::TargetKind;
+
+    fn design(n: usize) -> DesignMatrix {
+        let ds = generate_br(n, 79).unwrap();
+        DesignMatrix::encode(&ds, "total_income", TargetKind::BinaryAtMean).unwrap()
+    }
+
+    #[test]
+    fn misclassification_bounds() {
+        let data = design(500);
+        let rows: Vec<usize> = (0..500).collect();
+        let zero = vec![0.0; data.dim()];
+        // The zero model classifies everything +1.
+        let rate = misclassification_rate(&zero, &data, &rows).unwrap();
+        let pos = rows.iter().filter(|&&i| data.target(i) == 1.0).count() as f64 / 500.0;
+        assert!((rate - (1.0 - pos)).abs() < 1e-12);
+        assert!(misclassification_rate(&zero, &data, &[]).is_err());
+    }
+
+    #[test]
+    fn regression_mse_of_zero_model_is_mean_square_target() {
+        let ds = generate_br(400, 80).unwrap();
+        let data = DesignMatrix::encode(&ds, "total_income", TargetKind::Regression).unwrap();
+        let rows: Vec<usize> = (0..400).collect();
+        let zero = vec![0.0; data.dim()];
+        let mse = regression_mse(&zero, &data, &rows).unwrap();
+        let expect = rows.iter().map(|&i| data.target(i).powi(2)).sum::<f64>() / rows.len() as f64;
+        assert!((mse - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_validation_averages_folds() {
+        let data = design(600);
+        let trainer =
+            NonPrivateSgd::new(SgdConfig::paper_defaults(LossKind::Logistic), 1, 32).unwrap();
+        let err = cross_validate(
+            &data,
+            5,
+            1,
+            42,
+            |rows, seed| trainer.train(&data, rows, seed),
+            |beta, rows| misclassification_rate(beta, &data, rows),
+        )
+        .unwrap();
+        assert!((0.0..=1.0).contains(&err));
+        // A learned model should beat coin flipping on held-out folds.
+        assert!(err < 0.45, "CV error {err}");
+    }
+
+    #[test]
+    fn cross_validation_validates_inputs() {
+        let data = design(100);
+        let res = cross_validate(
+            &data,
+            5,
+            0,
+            0,
+            |_, _| Ok(vec![0.0; data.dim()]),
+            |_, _| Ok(0.0),
+        );
+        assert!(res.is_err());
+        // Bad fold count propagates from KFold.
+        let res = cross_validate(
+            &data,
+            1,
+            1,
+            0,
+            |_, _| Ok(vec![0.0; data.dim()]),
+            |_, _| Ok(0.0),
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn cross_validation_is_deterministic() {
+        let data = design(300);
+        let run = |seed| {
+            cross_validate(
+                &data,
+                3,
+                2,
+                seed,
+                |rows, _| {
+                    // Degenerate "trainer": majority sign of the targets.
+                    let pos = rows.iter().filter(|&&i| data.target(i) > 0.0).count();
+                    let sign = if 2 * pos >= rows.len() { 1.0 } else { -1.0 };
+                    let mut beta = vec![0.0; data.dim()];
+                    // Bias via a constant-ish feature is unavailable, so use
+                    // the all-`sign` vector; only determinism matters here.
+                    beta.iter_mut().for_each(|b| *b = sign);
+                    Ok(beta)
+                },
+                |beta, rows| misclassification_rate(beta, &data, rows),
+            )
+            .unwrap()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the ERM layer: gradient correctness against
+//! finite differences, clipping invariants, and training determinism.
+
+use ldp_core::{Epsilon, NumericKind};
+use ldp_data::census::generate_br;
+use ldp_data::{DesignMatrix, TargetKind};
+use ldp_ml::{clip_unit, GradientMechanism, LdpSgd, LossKind, NonPrivateSgd, SgdConfig};
+use proptest::prelude::*;
+
+fn loss_strategy() -> impl Strategy<Value = LossKind> {
+    prop_oneof![
+        Just(LossKind::LinearRegression),
+        Just(LossKind::Logistic),
+        Just(LossKind::SvmHinge),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Analytic gradients match central finite differences for random
+    /// (β, x, y), away from the hinge kink.
+    #[test]
+    fn gradients_match_finite_differences(
+        loss in loss_strategy(),
+        beta in prop::collection::vec(-2.0f64..2.0, 4),
+        x in prop::collection::vec(-1.0f64..1.0, 4),
+        label in prop::bool::ANY,
+    ) {
+        let y = if label { 1.0 } else { -1.0 };
+        let s = LossKind::score(&beta, &x);
+        // Skip the hinge's non-differentiable point.
+        prop_assume!(!matches!(loss, LossKind::SvmHinge) || (y * s - 1.0).abs() > 1e-3);
+        let mut grad = vec![0.0; 4];
+        loss.gradient_into(&beta, &x, y, &mut grad);
+        let h = 1e-6;
+        for j in 0..4 {
+            let mut plus = beta.clone();
+            plus[j] += h;
+            let mut minus = beta.clone();
+            minus[j] -= h;
+            let numeric = (loss.loss(&plus, &x, y) - loss.loss(&minus, &x, y)) / (2.0 * h);
+            prop_assert!((grad[j] - numeric).abs() < 1e-4,
+                "{loss:?} j={j}: {} vs {numeric}", grad[j]);
+        }
+    }
+
+    /// Losses are non-negative and zero exactly when the prediction is
+    /// perfect (linear) or the margin is met (hinge).
+    #[test]
+    fn losses_are_nonnegative(
+        loss in loss_strategy(),
+        beta in prop::collection::vec(-2.0f64..2.0, 3),
+        x in prop::collection::vec(-1.0f64..1.0, 3),
+        label in prop::bool::ANY,
+    ) {
+        let y = if label { 1.0 } else { -1.0 };
+        prop_assert!(loss.loss(&beta, &x, y) >= 0.0);
+    }
+
+    /// Clipping is a projection: idempotent, bounded output, identity on
+    /// already-bounded input.
+    #[test]
+    fn clip_unit_is_projection(grad in prop::collection::vec(-10.0f64..10.0, 1..30)) {
+        let mut once = grad.clone();
+        clip_unit(&mut once);
+        prop_assert!(once.iter().all(|g| (-1.0..=1.0).contains(g)));
+        let mut twice = once.clone();
+        clip_unit(&mut twice);
+        prop_assert_eq!(&once, &twice);
+        for (o, g) in once.iter().zip(&grad) {
+            if (-1.0..=1.0).contains(g) {
+                prop_assert_eq!(*o, *g);
+            }
+        }
+    }
+
+    /// Training is a pure function of (data, rows, seed).
+    #[test]
+    fn training_is_deterministic(seed in 0u64..50) {
+        let ds = generate_br(600, 3).unwrap();
+        let data = DesignMatrix::encode(&ds, "total_income", TargetKind::BinaryAtMean).unwrap();
+        let rows: Vec<usize> = (0..600).collect();
+        let np = NonPrivateSgd::new(SgdConfig::paper_defaults(LossKind::Logistic), 1, 32)
+            .unwrap();
+        prop_assert_eq!(np.train(&data, &rows, seed).unwrap(),
+                        np.train(&data, &rows, seed).unwrap());
+        let ldp = LdpSgd::new(
+            SgdConfig::paper_defaults(LossKind::Logistic),
+            Epsilon::new(2.0).unwrap(),
+            GradientMechanism::Sampling(NumericKind::Piecewise),
+            100,
+        )
+        .unwrap();
+        prop_assert_eq!(ldp.train(&data, &rows, seed).unwrap(),
+                        ldp.train(&data, &rows, seed).unwrap());
+    }
+
+    /// Model coordinates stay finite for any seed and budget — the noise is
+    /// bounded per iteration (clip → perturb → γ_t-weighted step), so no
+    /// blow-ups.
+    #[test]
+    fn ldp_models_stay_finite(seed in 0u64..30, eps in 0.2f64..8.0) {
+        let ds = generate_br(400, 4).unwrap();
+        let data = DesignMatrix::encode(&ds, "total_income", TargetKind::BinaryAtMean).unwrap();
+        let rows: Vec<usize> = (0..400).collect();
+        let ldp = LdpSgd::new(
+            SgdConfig::paper_defaults(LossKind::SvmHinge),
+            Epsilon::new(eps).unwrap(),
+            GradientMechanism::Sampling(NumericKind::Hybrid),
+            50,
+        )
+        .unwrap();
+        let beta = ldp.train(&data, &rows, seed).unwrap();
+        prop_assert!(beta.iter().all(|b| b.is_finite()));
+    }
+}

@@ -1,0 +1,86 @@
+//! A realistic survey: collect a mixed numeric + categorical census tuple
+//! from every user under a single ε budget (Algorithm 4 + OUE, §IV-C), and
+//! compare against the best-effort ε/d splitting baseline.
+//!
+//! ```text
+//! cargo run --release --example survey_pipeline
+//! ```
+
+use ldp::analytics::{categorical_mse, numeric_mse, BestEffortNumeric, Collector, Protocol};
+use ldp::core::{Epsilon, LdpError, NumericKind, OracleKind};
+use ldp::data::census::generate_br;
+
+fn main() -> Result<(), LdpError> {
+    // 100k simulated census respondents (schema mirrors the paper's BR
+    // dataset: 6 numeric + 10 categorical attributes).
+    let n = 100_000;
+    let dataset = generate_br(n, 7)?;
+    let eps = Epsilon::new(1.0)?;
+    println!(
+        "BR-like census: n = {n}, d = {} ({} numeric, {} categorical), ε = {}\n",
+        dataset.schema().d(),
+        dataset.schema().numeric_indices().len(),
+        dataset.schema().categorical_indices().len(),
+        eps.value()
+    );
+
+    let proposed = Collector::new(
+        Protocol::Sampling {
+            numeric: NumericKind::Hybrid,
+            oracle: OracleKind::Oue,
+        },
+        eps,
+    );
+    let baseline = Collector::new(
+        Protocol::BestEffort {
+            numeric: BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+            oracle: OracleKind::Oue,
+        },
+        eps,
+    );
+
+    let proposed_result = proposed.run(&dataset, 1)?;
+    let baseline_result = baseline.run(&dataset, 2)?;
+
+    println!("per-attribute mean estimates (normalized scale):");
+    println!(
+        "{:>16} {:>9} {:>10} {:>10}",
+        "attribute", "truth", "proposed", "baseline"
+    );
+    for ((j, p), (_, b)) in proposed_result.means.iter().zip(&baseline_result.means) {
+        let name = &dataset.schema().attribute(*j).name;
+        let truth = dataset.true_mean(*j)?;
+        println!("{name:>16} {truth:>9.4} {p:>10.4} {b:>10.4}");
+    }
+
+    // One categorical attribute in detail.
+    let j = dataset
+        .schema()
+        .index_of("education_level")
+        .expect("in schema");
+    let truth = dataset.true_frequencies(j)?;
+    let est = &proposed_result
+        .frequencies
+        .iter()
+        .find(|(idx, _)| *idx == j)
+        .expect("estimated")
+        .1;
+    println!("\neducation_level frequencies (truth vs proposed):");
+    for (v, (t, e)) in truth.iter().zip(est).enumerate() {
+        println!("  level {v}: {t:.4} vs {e:.4}");
+    }
+
+    println!(
+        "\naggregate MSE — proposed: numeric {:.3e}, categorical {:.3e}",
+        numeric_mse(&proposed_result, &dataset)?,
+        categorical_mse(&proposed_result, &dataset)?,
+    );
+    println!(
+        "aggregate MSE — baseline: numeric {:.3e}, categorical {:.3e}",
+        numeric_mse(&baseline_result, &dataset)?,
+        categorical_mse(&baseline_result, &dataset)?,
+    );
+    println!("\nAlgorithm 4 spends ε/k on k sampled attributes instead of ε/d on all d —");
+    println!("the error gap above is Figure 4 of the paper in miniature.");
+    Ok(())
+}
