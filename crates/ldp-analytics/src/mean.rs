@@ -122,8 +122,9 @@ impl MeanAccumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldp_core::assert_within_ci;
     use ldp_core::multidim::SamplingPerturber;
-    use ldp_core::rng::seeded_rng;
+    use ldp_core::testutil::fixture_rng;
     use ldp_core::{AttrSpec, Epsilon, NumericKind, OracleKind};
 
     #[test]
@@ -175,6 +176,7 @@ mod tests {
         // Algorithm 4 (k < d) through the accumulator: the estimate should
         // converge to the true per-attribute means.
         let d = 4;
+        let n = 120_000;
         let eps = Epsilon::new(6.0).unwrap(); // k = 2
         let p = SamplingPerturber::new(
             eps,
@@ -184,21 +186,24 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.k(), 2);
-        let mut rng = seeded_rng(300);
+        let mut rng = fixture_rng("mean::sparse_reports_estimate_means_end_to_end");
         let t = [0.8, -0.2, 0.0, 0.4];
         let tuple: Vec<_> = t.iter().map(|&x| ldp_core::AttrValue::Numeric(x)).collect();
         let mut acc = MeanAccumulator::new(d);
-        for _ in 0..120_000 {
+        for _ in 0..n {
             acc.add_sparse(&p.perturb(&tuple, &mut rng).unwrap())
                 .unwrap();
         }
         let est = acc.estimate().unwrap();
         for j in 0..d {
-            assert!(
-                (est[j] - t[j]).abs() < 0.05,
-                "j={j}: {} vs {}",
+            // Equation 15 gives the per-user variance of the d/k-scaled
+            // sparse estimate; the CI bound replaces the old `< 0.05`.
+            assert_within_ci!(
                 est[j],
-                t[j]
+                t[j],
+                ldp_core::variance::hm_md_with_k(eps.value(), d, p.k(), t[j]),
+                n,
+                "j={j}"
             );
         }
     }

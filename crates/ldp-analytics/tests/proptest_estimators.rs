@@ -1,9 +1,16 @@
 //! Property-based tests for the aggregator-side estimators.
+//!
+//! The statistical properties use `ldp_core::testutil`'s confidence-bounded
+//! assertions instead of hand-tuned tolerances: the allowed error is
+//! derived from the estimator's analytic variance at a ~1e-5 tail z-score,
+//! and every RNG stream is seeded, so a failure means a wrong estimator,
+//! not an unlucky draw.
 
 use ldp_analytics::{FrequencyAccumulator, MeanAccumulator};
 use ldp_core::categorical::Oue;
+use ldp_core::numeric::Hybrid;
 use ldp_core::rng::seeded_rng;
-use ldp_core::{Epsilon, FrequencyOracle};
+use ldp_core::{assert_within_ci, Epsilon, FrequencyOracle, NumericMechanism};
 use proptest::prelude::*;
 
 proptest! {
@@ -70,6 +77,57 @@ proptest! {
         for (a, b) in at_100.iter().zip(&at_200) {
             prop_assert!((a - 2.0 * b).abs() < 1e-12);
         }
+    }
+
+    /// Debiased OUE frequency estimates concentrate around the truth at
+    /// the CLT rate for every (seed, k, ε): the error stays inside the
+    /// confidence bound derived from the oracle's support variance.
+    #[test]
+    fn oue_estimates_within_analytic_ci(seed in 0u64..1000, k in 2u32..10, eps in 0.4f64..4.0) {
+        let oracle = Oue::new(Epsilon::new(eps).unwrap(), k).unwrap();
+        let mut rng = seeded_rng(seed);
+        let n = 20_000usize;
+        let mut acc = FrequencyAccumulator::new(k, 1.0);
+        // Deterministic round-robin values: the true frequency of each
+        // category is known exactly, so only response noise remains.
+        for i in 0..n as u32 {
+            let rep = oracle.perturb(i % k, &mut rng).unwrap();
+            acc.add(&oracle, &rep);
+        }
+        let est = acc.estimate().unwrap();
+        for target in 0..k {
+            let truth =
+                (0..n as u32).filter(|i| i % k == target).count() as f64 / n as f64;
+            // With values fixed, `support_variance(truth)` upper-bounds the
+            // per-report variance (Jensen: x(1−x) is concave), so the CLT
+            // interval is conservative.
+            assert_within_ci!(
+                est[target as usize],
+                truth,
+                oracle.support_variance(truth),
+                n,
+                "k={k} eps={eps} target={target}"
+            );
+        }
+    }
+
+    /// Mean estimation from HM reports lands inside the CLT interval built
+    /// from the mechanism's own `variance(t)` for every (seed, t, ε).
+    #[test]
+    fn hm_mean_estimates_within_analytic_ci(
+        seed in 0u64..1000,
+        t in -1.0f64..=1.0,
+        eps in 0.4f64..6.0,
+    ) {
+        let hm = Hybrid::new(Epsilon::new(eps).unwrap());
+        let mut rng = seeded_rng(seed);
+        let n = 20_000usize;
+        let mut acc = MeanAccumulator::new(1);
+        for _ in 0..n {
+            acc.add_dense(&[hm.perturb(t, &mut rng).unwrap()]).unwrap();
+        }
+        let est = acc.estimate().unwrap();
+        assert_within_ci!(est[0], t, hm.variance(t), n, "eps={eps} t={t}");
     }
 
     /// Normalized frequency estimates always form a probability vector.

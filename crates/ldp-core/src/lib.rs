@@ -59,6 +59,7 @@ pub mod math;
 pub mod multidim;
 pub mod numeric;
 pub mod rng;
+pub mod testutil;
 pub mod theory;
 pub mod variance;
 

@@ -177,4 +177,106 @@ mod tests {
     fn rejects_non_positive_eps() {
         table1_row(1, 0.0);
     }
+
+    /// The defining identity of `ε#`: PM's and Duchi's one-dimensional
+    /// worst-case variances cross *exactly* there (machine precision), with
+    /// the strict ordering flipping on either side.
+    #[test]
+    fn pm_and_duchi_cross_exactly_at_epsilon_sharp() {
+        let sharp = epsilon_sharp();
+        let (pm, du) = (
+            variance::pm_1d_worst(sharp),
+            variance::duchi_1d_worst(sharp),
+        );
+        assert!(
+            (pm - du).abs() <= 1e-12 * du,
+            "variances at ε# differ: {pm} vs {du}"
+        );
+        let below = sharp - 1e-6;
+        assert!(variance::pm_1d_worst(below) > variance::duchi_1d_worst(below));
+        let above = sharp + 1e-6;
+        assert!(variance::pm_1d_worst(above) < variance::duchi_1d_worst(above));
+    }
+
+    /// The defining identity of `ε*`: HM's interior (α > 0) worst-case
+    /// branch meets Duchi's worst case *exactly* there, so `hm_1d_worst`
+    /// pastes continuously, and α switches off at the threshold.
+    #[test]
+    fn hm_branches_paste_exactly_at_epsilon_star() {
+        let star = epsilon_star();
+        let interior = |eps: f64| {
+            let eh = (eps / 2.0).exp();
+            let e = eps.exp();
+            (eh + 3.0) / (3.0 * eh * (eh - 1.0))
+                + (e + 1.0) * (e + 1.0) / (eh * (e - 1.0) * (e - 1.0))
+        };
+        let du = variance::duchi_1d_worst(star);
+        assert!(
+            (interior(star) - du).abs() <= 1e-12 * du,
+            "branches at ε* differ: {} vs {du}",
+            interior(star)
+        );
+        // Below ε*, HM degenerates to Duchi identically (α = 0)…
+        assert_eq!(variance::hm_alpha(star), 0.0);
+        assert_eq!(
+            variance::hm_1d_worst(star - 1e-6),
+            variance::duchi_1d_worst(star - 1e-6)
+        );
+        // …and just above, α jumps positive while the interior branch is
+        // already the smaller of the two (HM strictly wins).
+        let above = star + 1e-6;
+        assert!(variance::hm_alpha(above) > 0.0);
+        assert!(variance::hm_1d_worst(above) < variance::duchi_1d_worst(above));
+    }
+
+    /// `table1_row`'s regime classification switches exactly at the two
+    /// thresholds (with its documented 1e-9 tolerance window around ε#).
+    #[test]
+    fn regime_switches_exactly_at_thresholds() {
+        let (star, sharp) = (epsilon_star(), epsilon_sharp());
+        assert_eq!(table1_row(1, star).regime, Regime::OneDimSmall);
+        assert_eq!(table1_row(1, star + 1e-8).regime, Regime::OneDimMiddle);
+        assert_eq!(table1_row(1, sharp - 1e-8).regime, Regime::OneDimMiddle);
+        assert_eq!(table1_row(1, sharp).regime, Regime::OneDimSharp);
+        assert_eq!(table1_row(1, sharp + 5e-10).regime, Regime::OneDimSharp);
+        assert_eq!(table1_row(1, sharp + 1e-8).regime, Regime::OneDimLarge);
+    }
+}
+
+#[cfg(test)]
+mod regime_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Table I's multidimensional row over a random (d, ε) grid:
+        /// `HM ≤ PM ≤ Duchi` for every d > 1, with `row_consistent`
+        /// agreeing.
+        #[test]
+        fn multidim_ordering_holds_on_random_grid(
+            d in 2usize..128,
+            eps in 0.05f64..10.0,
+        ) {
+            let row = table1_row(d, eps);
+            prop_assert_eq!(row.regime, Regime::MultiDim);
+            prop_assert!(row.hm <= row.pm * (1.0 + 1e-12),
+                "d={} eps={}: HM {} > PM {}", d, eps, row.hm, row.pm);
+            prop_assert!(row.pm <= row.duchi * (1.0 + 1e-12),
+                "d={} eps={}: PM {} > Duchi {}", d, eps, row.pm, row.duchi);
+            prop_assert!(row_consistent(&row), "inconsistent row {:?}", row);
+        }
+
+        /// The d = 1 rows are classified consistently for random ε, and the
+        /// evaluated variances always satisfy the claimed ordering.
+        #[test]
+        fn one_dim_rows_consistent_on_random_grid(eps in 0.01f64..10.0) {
+            let row = table1_row(1, eps);
+            prop_assert!(row_consistent(&row), "inconsistent row {:?}", row);
+            // HM never loses, in every regime.
+            prop_assert!(row.hm <= row.pm * (1.0 + 1e-12), "{:?}", row);
+            prop_assert!(row.hm <= row.duchi * (1.0 + 1e-12), "{:?}", row);
+        }
+    }
 }

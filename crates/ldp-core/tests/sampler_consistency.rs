@@ -158,7 +158,7 @@ fn duchi_md_d2_matches_exact_distribution() {
 
     // And the exact distribution is unbiased after the B scaling — the
     // property Equation 10's B was derived for.
-    for j in 0..2 {
+    for (j, &tj) in t.iter().enumerate().take(2) {
         let mean: f64 = exact
             .iter()
             .map(|((s1, s2), p)| {
@@ -167,9 +167,8 @@ fn duchi_md_d2_matches_exact_distribution() {
             })
             .sum();
         assert!(
-            (mean - t[j]).abs() < 1e-9,
-            "coordinate {j}: exact mean {mean} vs {}",
-            t[j]
+            (mean - tj).abs() < 1e-9,
+            "coordinate {j}: exact mean {mean} vs {tj}"
         );
     }
 }

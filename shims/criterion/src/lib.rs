@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`. Benchmarks run a short calibrated
+//! wall-clock measurement and print `group/id: time/iter` lines — no
+//! statistics, plots, or baselines. Enough to keep `cargo bench` useful
+//! for spotting order-of-magnitude regressions without network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.into(), 100, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples (compatibility knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, auto-scaling the iteration count to a ~20 ms budget.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: grow the batch until it takes at least ~2 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(2) || batch >= 1 << 24 {
+                // Measure: about ten such batches.
+                let start = Instant::now();
+                for _ in 0..batch * 9 {
+                    black_box(f());
+                }
+                self.elapsed = took + start.elapsed();
+                self.iters = batch * 10;
+                return;
+            }
+            batch *= 4;
+        }
+    }
+}
+
+fn run_one(label: &str, _sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    if per_iter >= 1_000_000.0 {
+        println!("{label}: {:.3} ms/iter ({} iters)", per_iter / 1e6, b.iters);
+    } else if per_iter >= 1_000.0 {
+        println!("{label}: {:.3} µs/iter ({} iters)", per_iter / 1e3, b.iters);
+    } else {
+        println!("{label}: {per_iter:.1} ns/iter ({} iters)", b.iters);
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

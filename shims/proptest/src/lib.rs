@@ -1,0 +1,187 @@
+//! Offline, deterministic stand-in for `proptest`.
+//!
+//! Differences from the real crate (see `shims/README.md`):
+//!
+//! * **Deterministic inputs.** Each test's RNG is seeded from
+//!   `module_path!() + "::" + test name` (FNV-1a), so every run samples the
+//!   same cases. `PROPTEST_RNG_SEED` perturbs the seed for exploration.
+//! * **No shrinking.** A failing case panics with the standard assert
+//!   message; because the stream is deterministic, it reproduces exactly.
+//! * **`PROPTEST_CASES`** caps case counts from the environment;
+//!   `ProptestConfig::with_cases(n)` is honored up to that cap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy, Union};
+
+/// Modules mirroring `proptest::{collection, option, bool, ...}`, reachable
+/// as `prop::...` from the prelude.
+pub mod prop {
+    pub use crate::strategy::bool;
+    pub use crate::strategy::collection;
+    pub use crate::strategy::option;
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Per-block configuration (only `cases` is meaningful in the shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property (capped by `PROPTEST_CASES`).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Resolves the effective case count: the configured value, capped by the
+/// `PROPTEST_CASES` environment variable when set.
+pub fn resolved_cases(cfg: &ProptestConfig) -> usize {
+    let cap = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok());
+    match cap {
+        Some(cap) => cfg.cases.min(cap.max(1)) as usize,
+        None => cfg.cases as usize,
+    }
+}
+
+/// Builds the deterministic RNG for one property test, seeded from the
+/// test's fully qualified name (plus `PROPTEST_RNG_SEED` if set).
+pub fn test_rng(test_path: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Some(extra) = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        hash ^= extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Defines deterministic property tests.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(128))]
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, v in prop::collection::vec(0u32..9, 1..5)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __cases = $crate::resolved_cases(&__cfg);
+                let mut __rng =
+                    $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cases {
+                    let _ = __case;
+                    $( let $arg = $crate::Strategy::sample_value(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold. Unlike the
+/// real proptest, skipped cases still count toward the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type. Weights
+/// (`w => strategy`) are accepted and treated as relative frequencies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strat:expr ),+ $(,)? ) => {{
+        let mut __variants: ::std::vec::Vec<(
+            u32,
+            ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        )> = ::std::vec::Vec::new();
+        $( __variants.push(($weight, ::std::boxed::Box::new($strat))); )+
+        $crate::Union::weighted(__variants)
+    }};
+    ( $( $strat:expr ),+ $(,)? ) => {{
+        let mut __variants: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $( __variants.push(::std::boxed::Box::new($strat)); )+
+        $crate::Union::new(__variants)
+    }};
+}

@@ -1,0 +1,87 @@
+//! The [`Distribution`] trait and the standard uniform distribution.
+
+use crate::{Rng, RngCore};
+
+/// Types that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: `[0, 1)` for floats, uniform for
+/// integers and `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardUniform;
+
+impl Distribution<f64> for StandardUniform {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform on [0, 1) with full precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for StandardUniform {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for StandardUniform {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Use the high bit; low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Distribution<$t> for StandardUniform {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64
+);
+
+impl<T, D: Distribution<T>> Distribution<T> for &D {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Iterator adapter produced by [`Distribution`] helpers (kept minimal).
+pub struct DistIter<'a, D, R: ?Sized, T> {
+    distr: D,
+    rng: &'a mut R,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<'a, D: Distribution<T>, R: RngCore + ?Sized, T> Iterator for DistIter<'a, D, R, T> {
+    type Item = T;
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(self.rng))
+    }
+}
+
+/// Extension: sample an endless iterator from a distribution.
+pub fn sample_iter<D: Distribution<T>, R: Rng + ?Sized, T>(
+    distr: D,
+    rng: &mut R,
+) -> DistIter<'_, D, R, T> {
+    DistIter {
+        distr,
+        rng,
+        _marker: core::marker::PhantomData,
+    }
+}

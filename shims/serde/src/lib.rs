@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`: the `Serialize`/`Deserialize` traits as
+//! markers (blanket-implemented, so bounds always hold) plus no-op derive
+//! macros that accept `#[serde(...)]` attributes. No actual serialization
+//! happens anywhere in this workspace yet; when it does, swap this shim
+//! for the real crate in the root manifest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for serializable types. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker for owned-deserializable types. Blanket-implemented.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

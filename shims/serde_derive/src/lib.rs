@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive`. They accept the
+//! `#[serde(...)]` helper attribute and emit nothing; the `serde` shim's
+//! blanket impls make the corresponding trait bounds hold.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

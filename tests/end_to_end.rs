@@ -2,7 +2,9 @@
 //! perturbation → aggregation → analysis, and the full LDP-SGD loop.
 
 use ldp::analytics::{categorical_mse, numeric_mse, BestEffortNumeric, Collector, Protocol};
-use ldp::core::{Epsilon, NumericKind, OracleKind};
+use ldp::core::multidim::optimal_k;
+use ldp::core::testutil::mse_ci_bounds;
+use ldp::core::{variance, Epsilon, NumericKind, OracleKind};
 use ldp::data::census::{generate_br, generate_mx};
 use ldp::data::synthetic::{gaussian, numeric_dataset, paper_power_law};
 use ldp::data::{DesignMatrix, KFold, TargetKind};
@@ -212,16 +214,18 @@ fn ldp_linear_regression_beats_zero_model() {
 }
 
 /// Multi-threaded and single-threaded collection agree in expectation:
-/// both produce MSE of the same order on the same data.
+/// both land inside the analytic confidence band for the protocol's MSE.
 #[test]
 fn sharding_does_not_distort_estimates() {
-    let ds = numeric_dataset(40_000, 4, gaussian(0.5), 13).unwrap();
+    let (n, d) = (40_000usize, 4usize);
+    let e_val = 2.0;
+    let ds = numeric_dataset(n, d, gaussian(0.5), 13).unwrap();
     let single = Collector::new(
         Protocol::Sampling {
             numeric: NumericKind::Piecewise,
             oracle: OracleKind::Oue,
         },
-        eps(2.0),
+        eps(e_val),
     )
     .with_threads(1);
     let multi = Collector::new(
@@ -229,10 +233,14 @@ fn sharding_does_not_distort_estimates() {
             numeric: NumericKind::Piecewise,
             oracle: OracleKind::Oue,
         },
-        eps(2.0),
+        eps(e_val),
     )
     .with_threads(8);
-    let runs = 4;
+    // 16 runs × 4 attributes = 64 squared-error cells per collector, enough
+    // for the chi-square band's lower edge to be strictly positive (at 16
+    // cells the spread exceeds 1 and the lower bound degenerates to 0).
+    let runs = 16;
+    let cells = d * runs as usize;
     let (mut s, mut m) = (0.0, 0.0);
     for r in 0..runs {
         s += numeric_mse(&single.run(&ds, 40 + r).unwrap(), &ds).unwrap();
@@ -240,6 +248,31 @@ fn sharding_does_not_distort_estimates() {
     }
     let (s, m) = (s / runs as f64, m / runs as f64);
     // Same estimator, same distribution of noise — only the RNG streams
-    // differ, so the averaged MSEs agree within sampling error.
-    assert!(s / m < 5.0 && m / s < 5.0, "single {s} vs multi {m}");
+    // differ. Equation 14 brackets the per-user report variance between its
+    // t = 0 and |t| = 1 values, so both averaged MSEs must land inside the
+    // chi-square confidence band around [var_min, var_max] / n (replaces
+    // the old hand-tuned 5× ratio check; see ldp_core::testutil). The
+    // strictly positive lower edge is what catches an under-noised sharded
+    // path (e.g. a thread skipping perturbation).
+    let k = optimal_k(eps(e_val), d);
+    let mse_min = variance::pm_md_with_k(e_val, d, k, 0.0) / n as f64;
+    let mse_max = variance::pm_md_with_k(e_val, d, k, 1.0) / n as f64;
+    let (lo, hi) = mse_ci_bounds(mse_min, mse_max, cells);
+    assert!(lo > 0.0, "lower CI edge degenerated; raise `runs`");
+    assert!(
+        (lo..=hi).contains(&s),
+        "single-thread MSE {s} outside [{lo}, {hi}]"
+    );
+    assert!(
+        (lo..=hi).contains(&m),
+        "multi-thread MSE {m} outside [{lo}, {hi}]"
+    );
+    // And the two must agree with each other directly: s − m is a
+    // difference of two independent χ²(cells)/cells-scaled MSEs, so its
+    // standard deviation is at most √(2·2/cells)·mse_max.
+    let agree = ldp::core::testutil::Z_CI * (4.0 / cells as f64).sqrt() * mse_max;
+    assert!(
+        (s - m).abs() <= agree,
+        "single {s} vs multi {m}: differ by more than {agree}"
+    );
 }
