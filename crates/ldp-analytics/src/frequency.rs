@@ -1,17 +1,28 @@
 //! Aggregator-side frequency estimation for categorical attributes.
 //!
-//! Every [`FrequencyOracle`] exposes a debiased per-report `support`; the
-//! estimator is `scale/n · Σ support` where `scale = 1` for dense protocols
-//! and `d/k` for Algorithm 4 (§IV-C: only a `k/d` fraction of users report
-//! any given attribute, and the scaling restores unbiasedness).
+//! Every [`FrequencyOracle`] exposes a debiased per-report `support`, but
+//! that support is *affine* in the report's raw hit bit (see
+//! [`ldp_core::DebiasParams`]), so the accumulator never evaluates it per
+//! report: it counts raw hits per category — O(popcount) per unary report,
+//! walking set bits word-at-a-time — and debiases once at estimation time
+//! with `(c − n·q)/(p − q)`. The estimator is `scale/n · Σ support` where
+//! `scale = 1` for dense protocols and `d/k` for Algorithm 4 (§IV-C: only a
+//! `k/d` fraction of users report any given attribute, and the scaling
+//! restores unbiasedness).
 
-use ldp_core::{CategoricalReport, FrequencyOracle, LdpError, Result};
+use ldp_core::{CategoricalReport, DebiasParams, FrequencyOracle, LdpError, Result};
 
 /// Streaming accumulator for the value frequencies of one categorical
 /// attribute.
+///
+/// Internally count-based: absorbing a report costs O(set bits) integer
+/// increments instead of the O(k) virtual-dispatch support loop a naive
+/// aggregator pays, which is what makes large-domain OUE aggregation cheap.
 #[derive(Debug, Clone)]
 pub struct FrequencyAccumulator {
-    supports: Vec<f64>,
+    /// Raw hit counts per category (set bits of unary reports, indicator
+    /// hits of direct reports).
+    counts: Vec<u64>,
     /// Number of reports absorbed (users who actually reported this
     /// attribute).
     reports: usize,
@@ -20,6 +31,9 @@ pub struct FrequencyAccumulator {
     /// defaults to the report count.
     population: Option<usize>,
     scale: f64,
+    /// The `(p, q)` debiasing pair of the oracle that produced the absorbed
+    /// reports; recorded on first [`FrequencyAccumulator::add`].
+    debias: Option<DebiasParams>,
 }
 
 impl FrequencyAccumulator {
@@ -27,16 +41,17 @@ impl FrequencyAccumulator {
     /// protocol scale (`1.0` dense, `d/k` for Algorithm 4).
     pub fn new(k: u32, scale: f64) -> Self {
         FrequencyAccumulator {
-            supports: vec![0.0; k as usize],
+            counts: vec![0; k as usize],
             reports: 0,
             population: None,
             scale,
+            debias: None,
         }
     }
 
     /// Domain size.
     pub fn k(&self) -> u32 {
-        self.supports.len() as u32
+        self.counts.len() as u32
     }
 
     /// Number of absorbed reports.
@@ -44,11 +59,42 @@ impl FrequencyAccumulator {
         self.reports
     }
 
-    /// Absorbs one report through its oracle's debiasing.
+    /// Raw per-category hit counts absorbed so far.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Absorbs one report. The oracle only contributes its
+    /// [`DebiasParams`] — all reports in one accumulator must come from
+    /// oracles with the same `(p, q)`, since the debias is applied once at
+    /// estimation time (mixing parameters would silently bias every
+    /// estimate, so it is rejected here just as [`FrequencyAccumulator::merge`]
+    /// rejects it).
+    ///
+    /// # Panics
+    /// Panics if the oracle's debias parameters differ from those of the
+    /// reports already absorbed.
     pub fn add(&mut self, oracle: &dyn FrequencyOracle, report: &CategoricalReport) {
         debug_assert_eq!(oracle.k(), self.k(), "oracle/accumulator domain mismatch");
-        for v in 0..self.k() {
-            self.supports[v as usize] += oracle.support(report, v);
+        let params = oracle.debias_params();
+        match self.debias {
+            None => self.debias = Some(params),
+            Some(prev) => assert_eq!(
+                prev, params,
+                "accumulator fed by oracles with different debias parameters"
+            ),
+        }
+        match report {
+            CategoricalReport::Bits(bits) => {
+                // Word-at-a-time set-bit walk: O(words + popcount) per
+                // report, the aggregation half of the streaming engine.
+                for v in bits.iter_ones() {
+                    self.counts[v as usize] += 1;
+                }
+            }
+            CategoricalReport::Value(x) => {
+                self.counts[*x as usize] += 1;
+            }
         }
         self.reports += 1;
     }
@@ -64,22 +110,49 @@ impl FrequencyAccumulator {
     /// result.
     ///
     /// # Errors
-    /// [`LdpError::DimensionMismatch`] on differing domain sizes.
+    /// [`LdpError::DimensionMismatch`] on differing domain sizes,
+    /// [`LdpError::InvalidParameter`] when the two sides disagree on the
+    /// protocol scale or absorbed reports from oracles with different
+    /// debiasing parameters — either mixture would silently bias the merged
+    /// estimates.
     pub fn merge(&mut self, other: &FrequencyAccumulator) -> Result<()> {
-        if other.supports.len() != self.supports.len() {
+        if other.counts.len() != self.counts.len() {
             return Err(LdpError::DimensionMismatch {
-                expected: self.supports.len(),
-                actual: other.supports.len(),
+                expected: self.counts.len(),
+                actual: other.counts.len(),
             });
         }
-        for (s, o) in self.supports.iter_mut().zip(&other.supports) {
+        if other.scale != self.scale {
+            return Err(LdpError::InvalidParameter {
+                name: "scale",
+                message: format!(
+                    "cannot merge accumulators with scales {} and {}",
+                    self.scale, other.scale
+                ),
+            });
+        }
+        match (self.debias, other.debias) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(LdpError::InvalidParameter {
+                    name: "debias",
+                    message: format!(
+                        "cannot merge accumulators debiased with (p={}, q={}) and (p={}, q={})",
+                        a.p, a.q, b.p, b.q
+                    ),
+                });
+            }
+            (None, Some(b)) => self.debias = Some(b),
+            _ => {}
+        }
+        for (s, o) in self.counts.iter_mut().zip(&other.counts) {
             *s += o;
         }
         self.reports += other.reports;
         Ok(())
     }
 
-    /// The unbiased frequency estimates `scale/n · Σ support`.
+    /// The unbiased frequency estimates `scale/n · Σ support`, computed from
+    /// the raw counts via the one-shot debias `(c − reports·q)/(p − q)`.
     ///
     /// # Errors
     /// [`LdpError::EmptyInput`] if no reports arrived and no population was
@@ -89,10 +162,15 @@ impl FrequencyAccumulator {
         if n == 0 {
             return Err(LdpError::EmptyInput("reports"));
         }
+        let Some(debias) = self.debias else {
+            // Population declared but no reports absorbed: every support sum
+            // is zero regardless of the (unknown) debias parameters.
+            return Ok(vec![0.0; self.counts.len()]);
+        };
         Ok(self
-            .supports
+            .counts
             .iter()
-            .map(|s| self.scale * s / n as f64)
+            .map(|&c| self.scale * debias.debias_count(c, self.reports) / n as f64)
             .collect())
     }
 
@@ -208,6 +286,80 @@ mod tests {
             let var = 3.0 * oracle.support_variance(t) + 2.0 * t * t;
             assert_within_ci!(e, t, var, n, "v={v}");
         }
+    }
+
+    #[test]
+    fn count_based_estimates_match_support_path_exactly() {
+        // The count-based accumulator must reproduce the legacy per-report
+        // support()-loop estimates to f64 summation tolerance: the support
+        // is affine in the hit bit, so `Σ support = (c − n·q)/(p − q)`
+        // exactly up to floating-point associativity.
+        use ldp_core::categorical::Sue;
+        use ldp_core::OracleKind;
+        let eps = Epsilon::new(1.2).unwrap();
+        let k = 9u32;
+        let oracles: Vec<Box<dyn ldp_core::FrequencyOracle>> = vec![
+            OracleKind::Oue.build(eps, k).unwrap(),
+            OracleKind::Grr.build(eps, k).unwrap(),
+            Box::new(Sue::new(eps, k).unwrap()),
+        ];
+        for oracle in &oracles {
+            let mut rng = fixture_rng("frequency::count_vs_support");
+            let mut acc = FrequencyAccumulator::new(k, 2.5);
+            let mut supports = vec![0.0f64; k as usize];
+            let n = 4_000;
+            for i in 0..n {
+                let rep = oracle.perturb(i % k, &mut rng).unwrap();
+                acc.add(oracle.as_ref(), &rep);
+                for v in 0..k {
+                    supports[v as usize] += oracle.support(&rep, v);
+                }
+            }
+            acc.set_population(2 * n as usize);
+            let est = acc.estimate().unwrap();
+            for (v, (&e, &s)) in est.iter().zip(&supports).enumerate() {
+                let legacy = 2.5 * s / (2 * n as usize) as f64;
+                assert!(
+                    (e - legacy).abs() <= 1e-9 * legacy.abs().max(1.0),
+                    "{}: v={v}: count-path {e} vs support-path {legacy}",
+                    oracle.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different debias parameters")]
+    fn add_rejects_mismatched_debias_params() {
+        let k = 4u32;
+        let o1 = Oue::new(Epsilon::new(1.0).unwrap(), k).unwrap();
+        let o2 = Oue::new(Epsilon::new(3.0).unwrap(), k).unwrap();
+        let mut rng = seeded_rng(501);
+        let mut acc = FrequencyAccumulator::new(k, 1.0);
+        acc.add(&o1, &o1.perturb(0, &mut rng).unwrap());
+        acc.add(&o2, &o2.perturb(0, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_debias_params() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let k = 4u32;
+        let o1 = Oue::new(eps, k).unwrap();
+        let o2 = Oue::new(Epsilon::new(3.0).unwrap(), k).unwrap();
+        let mut rng = seeded_rng(500);
+        let mut a = FrequencyAccumulator::new(k, 1.0);
+        let mut b = FrequencyAccumulator::new(k, 1.0);
+        a.add(&o1, &o1.perturb(0, &mut rng).unwrap());
+        b.add(&o2, &o2.perturb(1, &mut rng).unwrap());
+        assert!(a.merge(&b).is_err(), "different ε ⇒ different (p, q)");
+        // Mismatched protocol scales are the same silent-bias class.
+        let scaled = FrequencyAccumulator::new(k, 3.0);
+        assert!(a.merge(&scaled).is_err(), "different scales must not merge");
+        // Merging an empty accumulator adopts the other side's parameters.
+        let mut c = FrequencyAccumulator::new(k, 1.0);
+        c.merge(&a).unwrap();
+        assert_eq!(c.reports(), 1);
+        assert_eq!(c.counts(), a.counts());
     }
 
     #[test]

@@ -25,4 +25,5 @@ pub use frequency::FrequencyAccumulator;
 pub use mean::MeanAccumulator;
 pub use pipeline::{
     categorical_mse, numeric_mse, BestEffortNumeric, CollectionResult, Collector, Protocol,
+    DEFAULT_SHARDS,
 };

@@ -11,15 +11,36 @@
 //!   and every categorical attribute gets `ε/d` through the oracle.
 //!
 //! Users are simulated in parallel shards (std scoped threads); each shard
-//! owns a seeded RNG and local accumulators which are merged at the end.
+//! owns a seeded RNG and local accumulators which are merged in shard order
+//! at the end. The shard count — not the worker-thread count — fully
+//! determines the RNG streams and the merge order, so estimates are
+//! bit-identical across machines with different core counts.
+//!
+//! The per-user loop is the system's hot path and is allocation-free in
+//! steady state: perturbation goes through
+//! [`SamplingPerturber::perturb_into`] with caller-owned scratch, and
+//! categorical aggregation through the count-based
+//! [`FrequencyAccumulator`] (O(set bits) per report instead of an O(k)
+//! support loop).
 
 use crate::frequency::FrequencyAccumulator;
 use crate::mean::MeanAccumulator;
-use ldp_core::multidim::{DuchiMultidim, SamplingPerturber};
+use ldp_core::multidim::{DuchiMultidim, SamplingPerturber, SparseReport};
 use ldp_core::rng::seeded_rng;
-use ldp_core::{AttrReport, AttrValue, Epsilon, LdpError, NumericKind, OracleKind, Result};
+use ldp_core::{
+    AttrReport, AttrValue, CategoricalReport, Epsilon, LdpError, NumericKind, OracleKind, Result,
+};
 use ldp_data::Dataset;
 use serde::{Deserialize, Serialize};
+
+/// Default number of simulation shards.
+///
+/// Fixed (rather than derived from `available_parallelism`) so that
+/// default-configuration runs are bit-for-bit reproducible across machines:
+/// each shard owns a seeded RNG stream, so the shard count is part of the
+/// experiment's definition, not a hardware detail. Override with
+/// [`Collector::with_threads`].
+pub const DEFAULT_SHARDS: usize = 16;
 
 /// How the best-effort baseline spends the numeric block's budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -110,30 +131,89 @@ impl CollectionResult {
 pub struct Collector {
     protocol: Protocol,
     epsilon: Epsilon,
-    threads: usize,
+    shards: usize,
+    /// Worker-thread cap; `None` uses the machine's parallelism. Affects
+    /// scheduling only — never results.
+    workers: Option<usize>,
 }
 
 impl Collector {
-    /// A collector using all available cores.
+    /// A collector with the default [`DEFAULT_SHARDS`] simulation shards,
+    /// parallelized over all available cores. Results are identical on any
+    /// machine: the worker-thread count never affects estimates.
     pub fn new(protocol: Protocol, epsilon: Epsilon) -> Self {
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
         Collector {
             protocol,
             epsilon,
-            threads,
+            shards: DEFAULT_SHARDS,
+            workers: None,
         }
     }
 
-    /// Overrides the shard count (1 for exact single-stream determinism; the
-    /// default sharding is deterministic only for a fixed thread count).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+    /// Overrides the shard count (1 for exact single-stream determinism).
+    /// Each shard owns an independent seeded RNG stream, so changing the
+    /// shard count changes the (equally valid) random draws.
+    pub fn with_threads(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Caps the number of OS worker threads that process the shards. This
+    /// is a scheduling knob only: any worker count produces bit-identical
+    /// estimates, because shards — not workers — own the RNG streams and
+    /// the merge order is fixed by shard index.
+    pub fn with_worker_threads(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
         self
     }
 
     /// The protocol in use.
     pub fn protocol(&self) -> Protocol {
         self.protocol
+    }
+
+    /// Runs every shard's closure across the worker pool, returning results
+    /// in shard order (worker scheduling cannot reorder or change them).
+    fn run_sharded<T, F>(&self, n: usize, f: F) -> Vec<Result<T>>
+    where
+        T: Send,
+        F: Fn(usize, std::ops::Range<usize>) -> Result<T> + Sync,
+    {
+        let ranges = shard_ranges(n, self.shards);
+        let workers = self
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+            .clamp(1, ranges.len());
+        let slots: Vec<Option<Result<T>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let ranges = &ranges;
+                    let f = &f;
+                    scope.spawn(move || {
+                        // Stride over shards so each shard's work is
+                        // independent of how many workers exist.
+                        ranges
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(c, range)| (c, f(c, range.clone())))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<Result<T>>> = (0..ranges.len()).map(|_| None).collect();
+            for handle in handles {
+                for (c, res) in handle.join().expect("shard worker panicked") {
+                    slots[c] = Some(res);
+                }
+            }
+            slots
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every shard is scheduled on exactly one worker"))
+            .collect()
     }
 
     /// Simulates every user perturbing her tuple and aggregates the reports.
@@ -167,53 +247,40 @@ impl Collector {
         let perturber = SamplingPerturber::new(self.epsilon, schema.attr_specs(), numeric, oracle)?;
         let scale = perturber.scale();
         let cat_indices = schema.categorical_indices();
+        // Attribute index → frequency-accumulator slot, precomputed once so
+        // the per-entry hot loop is a table lookup, not a linear scan.
+        let mut slot_of: Vec<Option<usize>> = vec![None; d];
+        for (slot, &j) in cat_indices.iter().enumerate() {
+            slot_of[j] = Some(slot);
+        }
 
-        let shards = shard_ranges(dataset.n(), self.threads);
-        let results: Vec<Result<(MeanAccumulator, Vec<FrequencyAccumulator>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .enumerate()
-                    .map(|(c, range)| {
-                        let perturber = &perturber;
-                        let cat_indices = &cat_indices;
-                        let range = range.clone();
-                        scope.spawn(move || {
-                            let mut rng = shard_rng(seed, c);
-                            let mut means = MeanAccumulator::new(d);
-                            let mut freqs: Vec<FrequencyAccumulator> = cat_indices
-                                .iter()
-                                .map(|&j| {
-                                    let k = perturber.oracle(j).expect("categorical").k();
-                                    FrequencyAccumulator::new(k, scale)
-                                })
-                                .collect();
-                            let mut tuple: Vec<AttrValue> = Vec::with_capacity(d);
-                            for i in range {
-                                dataset.canonical_tuple_into(i, &mut tuple);
-                                let report = perturber.perturb(&tuple, &mut rng)?;
-                                for (j, rep) in &report.entries {
-                                    if let AttrReport::Categorical(cat) = rep {
-                                        let slot = cat_indices
-                                            .iter()
-                                            .position(|&x| x == *j as usize)
-                                            .expect("categorical index");
-                                        let oracle =
-                                            perturber.oracle(*j as usize).expect("categorical");
-                                        freqs[slot].add(oracle, cat);
-                                    }
-                                }
-                                means.add_sparse(&report)?;
-                            }
-                            Ok((means, freqs))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard panicked"))
-                    .collect()
-            });
+        let results = self.run_sharded(dataset.n(), |c, range| {
+            let mut rng = shard_rng(seed, c);
+            let mut means = MeanAccumulator::new(d);
+            let mut freqs: Vec<FrequencyAccumulator> = cat_indices
+                .iter()
+                .map(|&j| {
+                    let k = perturber.oracle(j).expect("categorical").k();
+                    FrequencyAccumulator::new(k, scale)
+                })
+                .collect();
+            let mut tuple: Vec<AttrValue> = Vec::with_capacity(d);
+            let mut report = SparseReport::with_capacity(d, perturber.k());
+            let mut scratch = perturber.scratch();
+            for i in range {
+                dataset.canonical_tuple_into(i, &mut tuple);
+                perturber.perturb_into(&tuple, &mut rng, &mut report, &mut scratch)?;
+                for (j, rep) in &report.entries {
+                    if let AttrReport::Categorical(cat) = rep {
+                        let slot = slot_of[*j as usize].expect("categorical index");
+                        let oracle = perturber.oracle(*j as usize).expect("categorical");
+                        freqs[slot].add(oracle, cat);
+                    }
+                }
+                means.add_sparse(&report)?;
+            }
+            Ok((means, freqs))
+        });
 
         let mut means = MeanAccumulator::new(d);
         let mut freqs: Vec<FrequencyAccumulator> = cat_indices
@@ -293,72 +360,69 @@ impl Collector {
             })
             .collect::<Result<Vec<_>>>()?;
 
-        let shards = shard_ranges(dataset.n(), self.threads);
-        let results: Vec<Result<(MeanAccumulator, Vec<FrequencyAccumulator>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .enumerate()
-                    .map(|(c, range)| {
-                        let numeric_state = &numeric_state;
-                        let oracles = &oracles;
-                        let num_indices = &num_indices;
-                        let cat_indices = &cat_indices;
-                        let range = range.clone();
-                        scope.spawn(move || {
-                            let mut rng = shard_rng(seed, c);
-                            let mut means = MeanAccumulator::new(d);
-                            let mut freqs: Vec<FrequencyAccumulator> = oracles
-                                .iter()
-                                .map(|o| FrequencyAccumulator::new(o.k(), 1.0))
-                                .collect();
-                            let mut tuple: Vec<AttrValue> = Vec::with_capacity(d);
-                            let mut dense = vec![0.0; d];
-                            let mut numeric_block = vec![0.0; d_num];
-                            for i in range {
-                                dataset.canonical_tuple_into(i, &mut tuple);
-                                dense.iter_mut().for_each(|x| *x = 0.0);
-                                match numeric_state {
-                                    NumericState::None => {}
-                                    NumericState::PerAttr(mech) => {
-                                        for &j in num_indices.iter() {
-                                            let AttrValue::Numeric(x) = tuple[j] else {
-                                                unreachable!("schema-validated");
-                                            };
-                                            dense[j] = mech.perturb(x, &mut rng)?;
-                                        }
-                                    }
-                                    NumericState::Duchi(md) => {
-                                        for (slot, &j) in num_indices.iter().enumerate() {
-                                            let AttrValue::Numeric(x) = tuple[j] else {
-                                                unreachable!("schema-validated");
-                                            };
-                                            numeric_block[slot] = x;
-                                        }
-                                        let noisy = md.perturb(&numeric_block, &mut rng)?;
-                                        for (slot, &j) in num_indices.iter().enumerate() {
-                                            dense[j] = noisy[slot];
-                                        }
-                                    }
-                                }
-                                for (slot, &j) in cat_indices.iter().enumerate() {
-                                    let AttrValue::Categorical(v) = tuple[j] else {
-                                        unreachable!("schema-validated");
-                                    };
-                                    let rep = oracles[slot].perturb(v, &mut rng)?;
-                                    freqs[slot].add(oracles[slot].as_ref(), &rep);
-                                }
-                                means.add_dense(&dense)?;
-                            }
-                            Ok((means, freqs))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard panicked"))
-                    .collect()
-            });
+        let results = self.run_sharded(dataset.n(), |c, range| {
+            let mut rng = shard_rng(seed, c);
+            let mut means = MeanAccumulator::new(d);
+            let mut freqs: Vec<FrequencyAccumulator> = oracles
+                .iter()
+                .map(|o| FrequencyAccumulator::new(o.k(), 1.0))
+                .collect();
+            let mut tuple: Vec<AttrValue> = Vec::with_capacity(d);
+            let mut dense = vec![0.0; d];
+            let mut numeric_block = vec![0.0; d_num];
+            let mut noisy: Vec<f64> = Vec::with_capacity(d_num);
+            let mut duchi_scratch = match &numeric_state {
+                NumericState::Duchi(md) => Some(md.scratch()),
+                _ => None,
+            };
+            // One reusable report buffer per categorical attribute, so the
+            // unary oracles recycle their bit vectors user after user.
+            let mut cat_reports: Vec<CategoricalReport> = oracles
+                .iter()
+                .map(|_| CategoricalReport::Value(0))
+                .collect();
+            for i in range {
+                dataset.canonical_tuple_into(i, &mut tuple);
+                dense.iter_mut().for_each(|x| *x = 0.0);
+                match &numeric_state {
+                    NumericState::None => {}
+                    NumericState::PerAttr(mech) => {
+                        for &j in num_indices.iter() {
+                            let AttrValue::Numeric(x) = tuple[j] else {
+                                unreachable!("schema-validated");
+                            };
+                            dense[j] = mech.perturb(x, &mut rng)?;
+                        }
+                    }
+                    NumericState::Duchi(md) => {
+                        for (slot, &j) in num_indices.iter().enumerate() {
+                            let AttrValue::Numeric(x) = tuple[j] else {
+                                unreachable!("schema-validated");
+                            };
+                            numeric_block[slot] = x;
+                        }
+                        md.perturb_into(
+                            &numeric_block,
+                            &mut rng,
+                            &mut noisy,
+                            duchi_scratch.as_mut().expect("built with Duchi state"),
+                        )?;
+                        for (slot, &j) in num_indices.iter().enumerate() {
+                            dense[j] = noisy[slot];
+                        }
+                    }
+                }
+                for (slot, &j) in cat_indices.iter().enumerate() {
+                    let AttrValue::Categorical(v) = tuple[j] else {
+                        unreachable!("schema-validated");
+                    };
+                    oracles[slot].perturb_into(v, &mut rng, &mut cat_reports[slot])?;
+                    freqs[slot].add(oracles[slot].as_ref(), &cat_reports[slot]);
+                }
+                means.add_dense(&dense)?;
+            }
+            Ok((means, freqs))
+        });
 
         let mut means = MeanAccumulator::new(d);
         let mut freqs: Vec<FrequencyAccumulator> = oracles
@@ -561,6 +625,63 @@ mod tests {
             p_cat < b_cat,
             "categorical: proposed {p_cat} vs baseline {b_cat}"
         );
+    }
+
+    #[test]
+    fn worker_thread_count_never_affects_estimates() {
+        // The worker pool is a scheduling detail: shards own the RNG
+        // streams and the merge order, so any worker count must produce
+        // bit-identical estimates (this is what makes the default
+        // configuration reproducible across machines with different core
+        // counts).
+        let ds = generate_br(6_000, 11).unwrap();
+        for protocol in [
+            Protocol::Sampling {
+                numeric: NumericKind::Hybrid,
+                oracle: OracleKind::Oue,
+            },
+            Protocol::BestEffort {
+                numeric: BestEffortNumeric::DuchiMultidim,
+                oracle: OracleKind::Grr,
+            },
+        ] {
+            let base = Collector::new(protocol, eps(2.0));
+            let default = base.clone().run(&ds, 3).unwrap();
+            for workers in [1usize, 3, 64] {
+                let capped = base
+                    .clone()
+                    .with_worker_threads(workers)
+                    .run(&ds, 3)
+                    .unwrap();
+                assert_eq!(default.mean_vector(), capped.mean_vector(), "{workers}");
+                assert_eq!(default.frequencies, capped.frequencies, "{workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_shard_count_is_the_documented_constant() {
+        // Collector::new must behave exactly like an explicit override with
+        // DEFAULT_SHARDS — i.e. the default no longer depends on
+        // available_parallelism.
+        let ds = numeric_dataset(4_000, 2, gaussian(0.2), 45).unwrap();
+        let protocol = Protocol::Sampling {
+            numeric: NumericKind::Hybrid,
+            oracle: OracleKind::Oue,
+        };
+        let a = Collector::new(protocol, eps(1.0)).run(&ds, 12).unwrap();
+        let b = Collector::new(protocol, eps(1.0))
+            .with_threads(DEFAULT_SHARDS)
+            .run(&ds, 12)
+            .unwrap();
+        assert_eq!(a.mean_vector(), b.mean_vector());
+        // And a different shard count draws different (equally valid)
+        // streams — the override is doing something.
+        let c = Collector::new(protocol, eps(1.0))
+            .with_threads(DEFAULT_SHARDS + 1)
+            .run(&ds, 12)
+            .unwrap();
+        assert_ne!(a.mean_vector(), c.mean_vector());
     }
 
     #[test]

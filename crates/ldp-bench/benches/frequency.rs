@@ -1,15 +1,17 @@
-//! Throughput of the frequency oracles (perturb + debiased support), over
-//! the census-like domain sizes.
+//! Throughput of the frequency oracles, over census-like and large domain
+//! sizes: sparse vs naive perturbation, and count-based aggregation vs the
+//! legacy O(k) support scan.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_analytics::FrequencyAccumulator;
 use ldp_core::rng::seeded_rng;
-use ldp_core::{Epsilon, OracleKind};
+use ldp_core::{CategoricalReport, Epsilon, OracleKind};
 use std::hint::black_box;
 
 fn bench_oracles(c: &mut Criterion) {
     let mut group = c.benchmark_group("frequency_oracle");
     let eps = Epsilon::new(1.0).unwrap();
-    for k in [4u32, 27] {
+    for k in [4u32, 27, 256] {
         for kind in OracleKind::ALL {
             let oracle = kind.build(eps, k).unwrap();
             let mut rng = seeded_rng(5);
@@ -21,6 +23,34 @@ fn bench_oracles(c: &mut Criterion) {
                     b.iter(|| {
                         v = (v + 1) % k;
                         black_box(oracle.perturb(black_box(v), &mut rng).unwrap())
+                    })
+                },
+            );
+            let mut rng = seeded_rng(7);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_perturb_naive", kind.name()), k),
+                &k,
+                |b, _| {
+                    let mut v = 0u32;
+                    b.iter(|| {
+                        v = (v + 1) % k;
+                        black_box(oracle.perturb_naive(black_box(v), &mut rng).unwrap())
+                    })
+                },
+            );
+            let mut rng = seeded_rng(8);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_perturb_into", kind.name()), k),
+                &k,
+                |b, _| {
+                    let mut v = 0u32;
+                    let mut out = CategoricalReport::Value(0);
+                    b.iter(|| {
+                        v = (v + 1) % k;
+                        oracle
+                            .perturb_into(black_box(v), &mut rng, &mut out)
+                            .unwrap();
+                        black_box(&out);
                     })
                 },
             );
@@ -36,6 +66,17 @@ fn bench_oracles(c: &mut Criterion) {
                             acc += oracle.support(black_box(&report), v);
                         }
                         black_box(acc)
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_count_add", kind.name()), k),
+                &k,
+                |b, _| {
+                    let mut acc = FrequencyAccumulator::new(k, 1.0);
+                    b.iter(|| {
+                        acc.add(oracle.as_ref(), black_box(&report));
+                        black_box(acc.reports())
                     })
                 },
             );

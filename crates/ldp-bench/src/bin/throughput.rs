@@ -1,0 +1,18 @@
+//! Throughput bench: users/sec of the client→aggregator hot path over a
+//! protocol × ε × d × k grid, baseline vs streaming engine.
+//!
+//! Prints a human-readable table and, with `--out FILE`, writes the JSON
+//! report (the `BENCH_throughput.json` trajectory artifact).
+
+use ldp_bench::{emit, throughput, Args};
+
+fn main() {
+    let args = Args::parse();
+    let report = throughput::run(&args);
+    emit("throughput", &report.render());
+    if let Some(path) = &args.out {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

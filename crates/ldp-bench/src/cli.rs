@@ -8,7 +8,11 @@ pub struct Args {
     pub users: usize,
     /// Number of repetitions averaged per configuration.
     pub runs: usize,
-    /// Shard count for parallel simulation.
+    /// Shard count for parallel simulation. The default is the collector's
+    /// fixed [`ldp_analytics::DEFAULT_SHARDS`] — not the machine's core
+    /// count — so experiment outputs are identical on any machine; shards
+    /// determine the RNG streams, while worker threads are capped at the
+    /// available parallelism internally.
     pub threads: usize,
     /// Base RNG seed.
     pub seed: u64,
@@ -22,6 +26,9 @@ pub struct Args {
     pub full_scale: bool,
     /// Quick mode for smoke tests: tiny n and runs.
     pub quick: bool,
+    /// Output file for machine-readable (JSON) results, for binaries that
+    /// emit them (currently `throughput`).
+    pub out: Option<String>,
 }
 
 impl Default for Args {
@@ -29,13 +36,14 @@ impl Default for Args {
         Args {
             users: 200_000,
             runs: 10,
-            threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            threads: ldp_analytics::DEFAULT_SHARDS,
             seed: 20190408, // ICDE 2019 opened April 8, 2019
             folds: 5,
             repeats: 1,
             ml_users: 40_000,
             full_scale: false,
             quick: false,
+            out: None,
         }
     }
 }
@@ -76,9 +84,15 @@ impl Args {
                 "--ml-users" => out.ml_users = take("--ml-users") as usize,
                 "--full-scale" => out.full_scale = true,
                 "--quick" => out.quick = true,
+                "--out" => {
+                    out.out = Some(
+                        it.next()
+                            .unwrap_or_else(|| panic!("missing value for --out")),
+                    )
+                }
                 other => panic!(
                     "unknown flag `{other}`; supported: --users --runs --threads --seed \
-                     --folds --repeats --ml-users --full-scale --quick"
+                     --folds --repeats --ml-users --full-scale --quick --out"
                 ),
             }
         }
@@ -124,6 +138,9 @@ mod tests {
         let a = parse(&[]);
         assert_eq!(a.users, 200_000);
         assert_eq!(a.runs, 10);
+        // Machine-independent by default: the shard count is the fixed
+        // collector constant, never available_parallelism.
+        assert_eq!(a.threads, ldp_analytics::DEFAULT_SHARDS);
         assert!(!a.full_scale);
     }
 
@@ -133,6 +150,13 @@ mod tests {
         assert_eq!(a.users, 5000);
         assert_eq!(a.runs, 2);
         assert_eq!(a.seed, 9);
+        assert_eq!(a.out, None);
+    }
+
+    #[test]
+    fn out_flag() {
+        let a = parse(&["--out", "BENCH_throughput.json"]);
+        assert_eq!(a.out.as_deref(), Some("BENCH_throughput.json"));
     }
 
     #[test]

@@ -142,8 +142,12 @@ pub fn communication(args: &Args) -> String {
         let (mut s_bits, mut c_bits) = (0usize, 0usize);
         for i in 0..ds.n() {
             ds.canonical_tuple_into(i, &mut tuple);
-            s_bits +=
-                wire::sparse_report_bits(&sampling.perturb(&tuple, &mut rng).expect("valid tuple"));
+            // Schema-aware accounting: direct categorical reports are
+            // charged their true ⌈log₂ k⌉ bits, exactly matching the codec.
+            s_bits += wire::sparse_report_bits_with_schema(
+                &sampling.perturb(&tuple, &mut rng).expect("valid tuple"),
+                &specs,
+            );
             c_bits += wire::dense_report_bits(
                 &composition.perturb(&tuple, &mut rng).expect("valid tuple"),
             );

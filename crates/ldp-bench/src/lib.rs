@@ -15,6 +15,7 @@
 pub mod cli;
 pub mod figures;
 pub mod table;
+pub mod throughput;
 
 pub use cli::Args;
 

@@ -1,0 +1,574 @@
+//! `throughput` — users/sec of the client→aggregator hot path.
+//!
+//! The estimation benches answer "how accurate"; this bench anchors the
+//! perf trajectory by answering "how fast". For every cell of a
+//! protocol × ε × d × k grid it simulates the per-user hot loop twice:
+//!
+//! * **baseline** — the pre-optimization path: an allocating
+//!   `perturb`-style loop with the naive per-bit unary sampler
+//!   ([`FrequencyOracle::perturb_naive`]), a linear slot scan per entry,
+//!   and the O(k) per-report `support()` aggregation loop;
+//! * **fast** — the streaming engine: `perturb_into` with caller-owned
+//!   scratch (sparse binomial-count bit sampling, recycled bit vectors), a
+//!   precomputed attribute→slot table, and count-based aggregation.
+//!
+//! Both arms run the same workload single-threaded (users/sec per core),
+//! and both numbers land in the JSON report so the speedup is recorded
+//! against the in-tree baseline rather than a lost git revision.
+
+use crate::cli::Args;
+use crate::table::{fixed, Table};
+use ldp_analytics::{FrequencyAccumulator, MeanAccumulator};
+use ldp_core::multidim::{SamplingPerturber, SparseReport};
+use ldp_core::rng::{sample_distinct, seeded_rng};
+use ldp_core::{
+    AttrReport, AttrSpec, AttrValue, CategoricalReport, Epsilon, FrequencyOracle, NumericKind,
+    OracleKind,
+};
+use rand::Rng;
+use std::time::Instant;
+
+/// One measured grid cell.
+#[derive(Debug, Clone)]
+pub struct ThroughputCell {
+    /// Protocol label, e.g. `Sampling(HM+OUE)`.
+    pub protocol: String,
+    /// Total privacy budget ε.
+    pub eps: f64,
+    /// Number of attributes (1 numeric + d−1 categorical).
+    pub d: usize,
+    /// Categorical domain size.
+    pub k_dom: u32,
+    /// Attributes sampled per user (Equation 12's `k`; `d` for the
+    /// composition baseline).
+    pub sampled_k: usize,
+    /// Users simulated per arm.
+    pub users: usize,
+    /// Users/sec of the pre-optimization path.
+    pub baseline_users_per_sec: f64,
+    /// Users/sec of the streaming engine.
+    pub fast_users_per_sec: f64,
+    /// `fast / baseline`.
+    pub speedup: f64,
+}
+
+/// The full grid result.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Preset label recorded in the JSON ("quick", "default", "full-scale").
+    pub mode: String,
+    /// Base RNG seed for workload generation.
+    pub seed: u64,
+    /// All measured cells.
+    pub cells: Vec<ThroughputCell>,
+}
+
+/// Which collection protocol a cell measures.
+#[derive(Debug, Clone, Copy)]
+enum BenchProtocol {
+    /// Algorithm 4: sample k attributes, ε/k each.
+    Sampling(NumericKind, OracleKind),
+    /// ε/d budget splitting over every attribute.
+    Composition(NumericKind, OracleKind),
+}
+
+impl BenchProtocol {
+    fn label(self) -> String {
+        match self {
+            BenchProtocol::Sampling(n, o) => format!("Sampling({}+{})", n.name(), o.name()),
+            BenchProtocol::Composition(n, o) => format!("Composition({}+{})", n.name(), o.name()),
+        }
+    }
+}
+
+/// A pre-generated workload: `users` tuples over a `1 numeric +
+/// (d−1) × Categorical{k_dom}` schema, row-major.
+struct Workload {
+    specs: Vec<AttrSpec>,
+    tuples: Vec<AttrValue>,
+    users: usize,
+    d: usize,
+}
+
+/// The bench schema: one numeric attribute plus `d−1` categorical
+/// attributes of domain `k_dom` — numeric cost identical in both arms,
+/// categorical cost dominated by the unary encoding, which is the path
+/// under test.
+fn mixed_specs(d: usize, k_dom: u32) -> Vec<AttrSpec> {
+    let mut specs = vec![AttrSpec::Numeric];
+    specs.extend(std::iter::repeat_n(
+        AttrSpec::Categorical { k: k_dom },
+        d - 1,
+    ));
+    specs
+}
+
+impl Workload {
+    fn generate(users: usize, d: usize, k_dom: u32, seed: u64) -> Self {
+        let specs = mixed_specs(d, k_dom);
+        let mut rng = seeded_rng(seed);
+        let mut tuples = Vec::with_capacity(users * d);
+        for _ in 0..users {
+            for spec in &specs {
+                tuples.push(match spec {
+                    AttrSpec::Numeric => AttrValue::Numeric(rng.random_range(-1.0..=1.0)),
+                    AttrSpec::Categorical { k } => AttrValue::Categorical(rng.random_range(0..*k)),
+                });
+            }
+        }
+        Workload {
+            specs,
+            tuples,
+            users,
+            d,
+        }
+    }
+
+    fn tuple(&self, i: usize) -> &[AttrValue] {
+        &self.tuples[i * self.d..(i + 1) * self.d]
+    }
+}
+
+/// Times `work` once after an untimed warmup pass, returning users/sec.
+fn time_users_per_sec(users: usize, mut work: impl FnMut()) -> f64 {
+    work(); // warmup: faults pages, trains branch predictors, fills pools
+    let start = Instant::now();
+    work();
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    users as f64 / secs
+}
+
+/// The pre-PR hot loop for Algorithm 4: allocating perturbation with the
+/// naive per-bit unary sampler, linear slot scans, and O(k) support-loop
+/// aggregation. Returns the frequency estimates so the optimizer cannot
+/// discard the work.
+fn run_sampling_baseline(p: &SamplingPerturber, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded_rng(seed);
+    let d = w.d;
+    let cat_indices: Vec<usize> = (0..d).filter(|&j| !w.specs[j].is_numeric()).collect();
+    let mut means = MeanAccumulator::new(d);
+    let mut supports: Vec<Vec<f64>> = cat_indices
+        .iter()
+        .map(|&j| vec![0.0; p.oracle(j).expect("categorical").k() as usize])
+        .collect();
+    let scale = p.scale();
+    for i in 0..w.users {
+        let tuple = w.tuple(i);
+        // Allocating sample + report construction, as the old perturb did.
+        let sampled = sample_distinct(&mut rng, d, p.k());
+        let mut entries = Vec::with_capacity(p.k());
+        for j in sampled {
+            let entry = match tuple[j as usize] {
+                AttrValue::Numeric(x) => {
+                    let mech = p.numeric_mechanism().expect("schema has numeric");
+                    AttrReport::Numeric(scale * mech.perturb(x, &mut rng).expect("valid input"))
+                }
+                AttrValue::Categorical(v) => {
+                    let oracle = p.oracle(j as usize).expect("categorical");
+                    AttrReport::Categorical(
+                        oracle.perturb_naive(v, &mut rng).expect("valid category"),
+                    )
+                }
+            };
+            entries.push((j, entry));
+        }
+        let report = SparseReport {
+            d,
+            k: p.k(),
+            entries,
+        };
+        for (j, rep) in &report.entries {
+            if let AttrReport::Categorical(cat) = rep {
+                let slot = cat_indices
+                    .iter()
+                    .position(|&x| x == *j as usize)
+                    .expect("categorical index");
+                let oracle = p.oracle(*j as usize).expect("categorical");
+                for v in 0..oracle.k() {
+                    supports[slot][v as usize] += oracle.support(cat, v);
+                }
+            }
+        }
+        means.add_sparse(&report).expect("matching dimensions");
+    }
+    supports
+        .iter()
+        .map(|s| s.iter().map(|x| scale * x / w.users as f64).collect())
+        .collect()
+}
+
+/// The streaming hot loop for Algorithm 4: `perturb_into` with scratch,
+/// slot-table dispatch, count-based aggregation.
+fn run_sampling_fast(p: &SamplingPerturber, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded_rng(seed);
+    let d = w.d;
+    let cat_indices: Vec<usize> = (0..d).filter(|&j| !w.specs[j].is_numeric()).collect();
+    let mut slot_of: Vec<Option<usize>> = vec![None; d];
+    for (slot, &j) in cat_indices.iter().enumerate() {
+        slot_of[j] = Some(slot);
+    }
+    let mut means = MeanAccumulator::new(d);
+    let mut freqs: Vec<FrequencyAccumulator> = cat_indices
+        .iter()
+        .map(|&j| FrequencyAccumulator::new(p.oracle(j).expect("categorical").k(), p.scale()))
+        .collect();
+    let mut report = SparseReport::with_capacity(d, p.k());
+    let mut scratch = p.scratch();
+    for i in 0..w.users {
+        p.perturb_into(w.tuple(i), &mut rng, &mut report, &mut scratch)
+            .expect("valid tuple");
+        for (j, rep) in &report.entries {
+            if let AttrReport::Categorical(cat) = rep {
+                let slot = slot_of[*j as usize].expect("categorical index");
+                freqs[slot].add(p.oracle(*j as usize).expect("categorical"), cat);
+            }
+        }
+        means.add_sparse(&report).expect("matching dimensions");
+    }
+    freqs
+        .iter_mut()
+        .map(|f| {
+            f.set_population(w.users);
+            f.estimate().expect("population set")
+        })
+        .collect()
+}
+
+/// Oracles and the ε/d numeric mechanism for the composition baseline.
+struct CompositionState {
+    mech: Box<dyn ldp_core::NumericMechanism>,
+    oracles: Vec<Option<Box<dyn FrequencyOracle>>>,
+}
+
+fn composition_state(
+    eps: Epsilon,
+    specs: &[AttrSpec],
+    numeric: NumericKind,
+    oracle: OracleKind,
+) -> CompositionState {
+    let per_attr = eps.split(specs.len()).expect("d ≥ 1");
+    CompositionState {
+        mech: numeric.build(per_attr),
+        oracles: specs
+            .iter()
+            .map(|spec| match spec {
+                AttrSpec::Numeric => None,
+                AttrSpec::Categorical { k } => Some(oracle.build(per_attr, *k).expect("k ≥ 2")),
+            })
+            .collect(),
+    }
+}
+
+/// Pre-PR composition loop: naive per-bit perturbation + support-loop
+/// aggregation over every attribute.
+fn run_composition_baseline(state: &CompositionState, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded_rng(seed);
+    let mut supports: Vec<Vec<f64>> = state
+        .oracles
+        .iter()
+        .flatten()
+        .map(|o| vec![0.0; o.k() as usize])
+        .collect();
+    let mut mean_sum = 0.0f64;
+    for i in 0..w.users {
+        let mut slot = 0usize;
+        for (j, value) in w.tuple(i).iter().enumerate() {
+            match value {
+                AttrValue::Numeric(x) => {
+                    mean_sum += state.mech.perturb(*x, &mut rng).expect("valid input");
+                }
+                AttrValue::Categorical(v) => {
+                    let oracle = state.oracles[j].as_deref().expect("categorical");
+                    let rep = oracle.perturb_naive(*v, &mut rng).expect("valid category");
+                    for cat in 0..oracle.k() {
+                        supports[slot][cat as usize] += oracle.support(&rep, cat);
+                    }
+                    slot += 1;
+                }
+            }
+        }
+    }
+    std::hint::black_box(mean_sum);
+    supports
+        .iter()
+        .map(|s| s.iter().map(|x| x / w.users as f64).collect())
+        .collect()
+}
+
+/// Streaming composition loop: `perturb_into` report reuse + count-based
+/// aggregation.
+fn run_composition_fast(state: &CompositionState, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded_rng(seed);
+    let mut freqs: Vec<FrequencyAccumulator> = state
+        .oracles
+        .iter()
+        .flatten()
+        .map(|o| FrequencyAccumulator::new(o.k(), 1.0))
+        .collect();
+    let mut cat_reports: Vec<CategoricalReport> =
+        freqs.iter().map(|_| CategoricalReport::Value(0)).collect();
+    let mut mean_sum = 0.0f64;
+    for i in 0..w.users {
+        let mut slot = 0usize;
+        for (j, value) in w.tuple(i).iter().enumerate() {
+            match value {
+                AttrValue::Numeric(x) => {
+                    mean_sum += state.mech.perturb(*x, &mut rng).expect("valid input");
+                }
+                AttrValue::Categorical(v) => {
+                    let oracle = state.oracles[j].as_deref().expect("categorical");
+                    oracle
+                        .perturb_into(*v, &mut rng, &mut cat_reports[slot])
+                        .expect("valid category");
+                    freqs[slot].add(oracle, &cat_reports[slot]);
+                    slot += 1;
+                }
+            }
+        }
+    }
+    std::hint::black_box(mean_sum);
+    freqs
+        .iter()
+        .map(|f| f.estimate().expect("reports absorbed"))
+        .collect()
+}
+
+/// Users per cell, scaled so every cell does comparable total bit-work:
+/// the baseline arm costs O(reports × k_dom) per user.
+fn users_for_cell(args: &Args, reports_per_user: usize, k_dom: u32) -> usize {
+    let budget: usize = if args.quick { 3_000_000 } else { 40_000_000 };
+    let cost = reports_per_user.max(1) * k_dom as usize;
+    (budget / cost).clamp(1_000, args.users.max(1_000))
+}
+
+/// Runs the full grid.
+pub fn run(args: &Args) -> ThroughputReport {
+    let protocols = [
+        BenchProtocol::Sampling(NumericKind::Hybrid, OracleKind::Oue),
+        BenchProtocol::Sampling(NumericKind::Hybrid, OracleKind::Sue),
+        BenchProtocol::Sampling(NumericKind::Hybrid, OracleKind::Grr),
+        BenchProtocol::Composition(NumericKind::Laplace, OracleKind::Oue),
+    ];
+    let epsilons: &[f64] = if args.quick { &[1.0] } else { &[1.0, 4.0] };
+    let dims: &[usize] = if args.quick { &[8] } else { &[8, 32] };
+    let domains: &[u32] = if args.quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256]
+    };
+    let mut cells = Vec::new();
+    for &protocol in &protocols {
+        for &eps in epsilons {
+            for &d in dims {
+                for &k_dom in domains {
+                    cells.push(run_cell(args, protocol, eps, d, k_dom));
+                }
+            }
+        }
+    }
+    ThroughputReport {
+        mode: if args.quick {
+            "quick".into()
+        } else if args.full_scale {
+            "full-scale".into()
+        } else {
+            "default".into()
+        },
+        seed: args.seed,
+        cells,
+    }
+}
+
+fn run_cell(
+    args: &Args,
+    protocol: BenchProtocol,
+    eps: f64,
+    d: usize,
+    k_dom: u32,
+) -> ThroughputCell {
+    let e = Epsilon::new(eps).expect("positive");
+    match protocol {
+        BenchProtocol::Sampling(numeric, oracle) => {
+            let p = SamplingPerturber::new(e, mixed_specs(d, k_dom), numeric, oracle)
+                .expect("valid schema");
+            let users = users_for_cell(args, p.k(), k_dom);
+            let w = Workload::generate(users, d, k_dom, args.seed ^ 0xBE1C);
+            let baseline = time_users_per_sec(users, || {
+                std::hint::black_box(run_sampling_baseline(&p, &w, args.seed));
+            });
+            let fast = time_users_per_sec(users, || {
+                std::hint::black_box(run_sampling_fast(&p, &w, args.seed));
+            });
+            ThroughputCell {
+                protocol: protocol.label(),
+                eps,
+                d,
+                k_dom,
+                sampled_k: p.k(),
+                users,
+                baseline_users_per_sec: baseline,
+                fast_users_per_sec: fast,
+                speedup: fast / baseline,
+            }
+        }
+        BenchProtocol::Composition(numeric, oracle) => {
+            let state = composition_state(e, &mixed_specs(d, k_dom), numeric, oracle);
+            let users = users_for_cell(args, d, k_dom);
+            let w = Workload::generate(users, d, k_dom, args.seed ^ 0xBE1C);
+            let baseline = time_users_per_sec(users, || {
+                std::hint::black_box(run_composition_baseline(&state, &w, args.seed));
+            });
+            let fast = time_users_per_sec(users, || {
+                std::hint::black_box(run_composition_fast(&state, &w, args.seed));
+            });
+            ThroughputCell {
+                protocol: protocol.label(),
+                eps,
+                d,
+                k_dom,
+                sampled_k: d,
+                users,
+                baseline_users_per_sec: baseline,
+                fast_users_per_sec: fast,
+                speedup: fast / baseline,
+            }
+        }
+    }
+}
+
+impl ThroughputReport {
+    /// Human-readable table for stdout.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            &format!(
+                "Throughput: client→aggregator hot path, users/sec (single thread, mode = {})",
+                self.mode
+            ),
+            &[
+                "protocol",
+                "eps",
+                "d",
+                "k",
+                "users",
+                "baseline u/s",
+                "fast u/s",
+                "speedup",
+            ],
+        );
+        for c in &self.cells {
+            table.row(vec![
+                c.protocol.clone(),
+                format!("{}", c.eps),
+                c.d.to_string(),
+                c.k_dom.to_string(),
+                c.users.to_string(),
+                format!("{:.0}", c.baseline_users_per_sec),
+                format!("{:.0}", c.fast_users_per_sec),
+                fixed(c.speedup),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Machine-readable JSON (hand-rolled: the workspace's `serde` shim has
+    /// no serializer, and the schema here is flat).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"throughput\",\n");
+        out.push_str("  \"unit\": \"users_per_sec\",\n");
+        out.push_str("  \"threads\": 1,\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"protocol\": \"{}\", \"eps\": {}, \"d\": {}, \"k\": {}, \
+                 \"sampled_k\": {}, \"users\": {}, \"baseline_users_per_sec\": {:.1}, \
+                 \"fast_users_per_sec\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                c.protocol,
+                c.eps,
+                c.d,
+                c.k_dom,
+                c.sampled_k,
+                c.users,
+                c.baseline_users_per_sec,
+                c.fast_users_per_sec,
+                c.speedup,
+                if i + 1 == self.cells.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> Args {
+        Args {
+            users: 2_000,
+            quick: true,
+            ..Args::default()
+        }
+    }
+
+    #[test]
+    fn arms_estimate_the_same_distribution() {
+        // Both arms are estimators of the same frequencies; on a shared
+        // workload their estimates must agree to sampling noise. This guards
+        // against the baseline arm drifting away from the semantics of the
+        // optimized path (which would invalidate the speedup comparison).
+        let e = Epsilon::new(4.0).unwrap();
+        let (d, k_dom, users) = (6usize, 16u32, 30_000usize);
+        let w = Workload::generate(users, d, k_dom, 99);
+        let p = SamplingPerturber::new(e, w.specs.clone(), NumericKind::Hybrid, OracleKind::Oue)
+            .unwrap();
+        let base = run_sampling_baseline(&p, &w, 7);
+        let fast = run_sampling_fast(&p, &w, 7);
+        assert_eq!(base.len(), fast.len());
+        for (slot, (b, f)) in base.iter().zip(&fast).enumerate() {
+            for (v, (x, y)) in b.iter().zip(f).enumerate() {
+                assert!(
+                    (x - y).abs() < 0.05,
+                    "slot {slot} v={v}: baseline {x} vs fast {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composition_arms_estimate_the_same_distribution() {
+        let e = Epsilon::new(8.0).unwrap();
+        let (d, k_dom, users) = (4usize, 8u32, 30_000usize);
+        let w = Workload::generate(users, d, k_dom, 100);
+        let state = composition_state(e, &w.specs, NumericKind::Laplace, OracleKind::Oue);
+        let base = run_composition_baseline(&state, &w, 8);
+        let fast = run_composition_fast(&state, &w, 8);
+        for (b, f) in base.iter().zip(&fast) {
+            for (x, y) in b.iter().zip(f) {
+                assert!((x - y).abs() < 0.08, "baseline {x} vs fast {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let report = run(&tiny_args());
+        assert!(!report.cells.is_empty());
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"throughput\""));
+        assert!(json.contains("Sampling(HM+OUE)"));
+        assert!(json.contains("baseline_users_per_sec"));
+        assert!(json.contains("fast_users_per_sec"));
+        // Rates are positive and finite in every cell.
+        for c in &report.cells {
+            assert!(c.baseline_users_per_sec.is_finite() && c.baseline_users_per_sec > 0.0);
+            assert!(c.fast_users_per_sec.is_finite() && c.fast_users_per_sec > 0.0);
+            assert!(c.speedup.is_finite() && c.speedup > 0.0);
+        }
+        let table = report.render();
+        assert!(table.contains("users/sec"));
+    }
+}

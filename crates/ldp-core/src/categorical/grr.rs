@@ -3,7 +3,7 @@
 use crate::budget::Epsilon;
 use crate::categorical::{check_category, check_domain_size};
 use crate::error::Result;
-use crate::mechanism::{CategoricalReport, FrequencyOracle};
+use crate::mechanism::{CategoricalReport, DebiasParams, FrequencyOracle};
 use crate::rng::bernoulli;
 use rand::{Rng, RngCore};
 
@@ -75,18 +75,11 @@ impl FrequencyOracle for Grr {
         }
     }
 
-    fn support(&self, report: &CategoricalReport, v: u32) -> f64 {
-        let hit = match report {
-            CategoricalReport::Value(x) => *x == v,
-            CategoricalReport::Bits(bits) => bits.get(v),
-        };
-        let b = if hit { 1.0 } else { 0.0 };
-        (b - self.q) / (self.p - self.q)
-    }
-
-    fn support_variance(&self, f: f64) -> f64 {
-        let p_one = f * self.p + (1.0 - f) * self.q;
-        p_one * (1.0 - p_one) / ((self.p - self.q) * (self.p - self.q))
+    fn debias_params(&self) -> DebiasParams {
+        DebiasParams {
+            p: self.p,
+            q: self.q,
+        }
     }
 }
 

@@ -40,6 +40,151 @@ pub fn best_oracle(epsilon: Epsilon, k: u32) -> OracleKind {
     }
 }
 
+/// The shared client-side sampler of the unary encodings (OUE and SUE
+/// differ only in their `(p, q)` pair): the true bit is set with
+/// probability `p`, every other bit independently with probability `q`.
+///
+/// [`UnaryEncoder::fill_sparse`] draws reports in O(k·q) expected work
+/// instead of `k−1` Bernoulli draws:
+///
+/// 1. the number of flipped non-true bits comes from Binomial(k−1, q) via
+///    one uniform and a binary search over a CDF precomputed at
+///    construction (no transcendentals, no per-draw recurrence);
+/// 2. the flips are placed with Floyd's distinct-index sampling, using the
+///    bit vector itself as the membership structure (the true bit cannot
+///    collide: placement indices skip it).
+///
+/// A uniformly random m-subset with `m ~ Binomial(n, q)` is exactly `n`
+/// independent Bernoulli(q) coins, so marginals are identical to the naive
+/// per-bit sampler ([`UnaryEncoder::fill_dense`]); the `sparse_equivalence`
+/// integration tests pin that equivalence. When `(1−q)^{k−1}` underflows
+/// f64 (astronomically dense reports), a geometric-gap walk
+/// ([`crate::rng::for_each_bernoulli_index`]) covers the tail.
+#[derive(Debug, Clone)]
+pub(crate) struct UnaryEncoder {
+    p: f64,
+    q: f64,
+    /// CDF of Binomial(k−1, q), truncated 12σ past the mean (tail mass
+    /// < 1e-30); empty when the inversion must fall back to the walk.
+    flip_cdf: Vec<f64>,
+}
+
+impl UnaryEncoder {
+    pub(crate) fn new(k: u32, p: f64, q: f64) -> Self {
+        let n = k - 1;
+        let mut flip_cdf = Vec::new();
+        if n > 0 && q > 0.0 && q < 1.0 {
+            let ln_1q = (-q).ln_1p();
+            // Same representability rule as `sample_binomial_inversion`:
+            // beyond −700, exp() lands in (or near) the subnormal range,
+            // where p0's large relative error would scale the whole CDF and
+            // bias the flip counts — use the geometric walk instead.
+            if f64::from(n) * ln_1q > -700.0 {
+                let p0 = (f64::from(n) * ln_1q).exp();
+                let mean = f64::from(n) * q;
+                let sd = (mean * (1.0 - q)).sqrt();
+                let cap = ((mean + 12.0 * sd + 16.0).ceil() as u32).min(n);
+                let r = q / (1.0 - q);
+                let mut c = p0;
+                let mut cum = 0.0f64;
+                flip_cdf.reserve(cap as usize + 1);
+                for m in 0..=cap {
+                    if m > 0 {
+                        c *= r * f64::from(n - m + 1) / f64::from(m);
+                    }
+                    cum += c;
+                    flip_cdf.push(cum);
+                }
+            }
+        }
+        UnaryEncoder { p, q, flip_cdf }
+    }
+
+    /// Sparse-samples one unary report into a caller-owned
+    /// [`crate::mechanism::CategoricalReport`], reusing its bit vector when
+    /// it already has length `k` and replacing it otherwise. This is the
+    /// shared implementation behind OUE's and SUE's `perturb_into`.
+    pub(crate) fn fill_report(
+        &self,
+        k: u32,
+        value: u32,
+        rng: &mut dyn rand::RngCore,
+        out: &mut crate::mechanism::CategoricalReport,
+    ) {
+        use crate::mechanism::{BitVec, CategoricalReport};
+        let bits = match out {
+            CategoricalReport::Bits(bits) if bits.len() == k => bits,
+            _ => {
+                *out = CategoricalReport::Bits(BitVec::zeros(k));
+                let CategoricalReport::Bits(bits) = out else {
+                    unreachable!("just assigned Bits");
+                };
+                bits
+            }
+        };
+        self.fill_sparse(bits, value, rng);
+    }
+
+    /// O(k·q) sparse report sampling (see the type docs).
+    pub(crate) fn fill_sparse(
+        &self,
+        bits: &mut crate::mechanism::BitVec,
+        value: u32,
+        rng: &mut dyn rand::RngCore,
+    ) {
+        use rand::Rng;
+        bits.clear();
+        if crate::rng::bernoulli(rng, self.p) {
+            bits.set(value, true);
+        }
+        let n = bits.len() - 1; // non-true positions
+        if n == 0 || self.q <= 0.0 {
+            return;
+        }
+        // Indices over the n non-true positions; at or past `value` they
+        // shift by one to skip the true bit.
+        let place = |idx: u32| if idx >= value { idx + 1 } else { idx };
+        if self.flip_cdf.is_empty() {
+            // Underflow/extreme regime: geometric-gap walk.
+            crate::rng::for_each_bernoulli_index(rng, n, self.q, |idx| {
+                bits.set(place(idx), true);
+            });
+            return;
+        }
+        let u = rng.random::<f64>();
+        let m = (self.flip_cdf.partition_point(|&c| c <= u) as u32).min(n);
+        // Floyd's algorithm, with the report itself as the "already chosen"
+        // set: bit place(t) is set iff flip-index t was already chosen,
+        // because place() never lands on the true bit.
+        for j in (n - m)..n {
+            let t = place(crate::rng::uniform_index(rng, j + 1));
+            if bits.get(t) {
+                bits.set(place(j), true);
+            } else {
+                bits.set(t, true);
+            }
+        }
+    }
+
+    /// The naive per-bit reference sampler: one Bernoulli draw per bit.
+    /// Kept as the distribution oracle for equivalence tests and as the
+    /// throughput bench's pre-optimization baseline.
+    pub(crate) fn fill_dense(
+        &self,
+        bits: &mut crate::mechanism::BitVec,
+        value: u32,
+        rng: &mut dyn rand::RngCore,
+    ) {
+        bits.clear();
+        for i in 0..bits.len() {
+            let one_prob = if i == value { self.p } else { self.q };
+            if crate::rng::bernoulli(rng, one_prob) {
+                bits.set(i, true);
+            }
+        }
+    }
+}
+
 /// Validates a category against a domain of size `k`.
 #[inline]
 pub(crate) fn check_category(value: u32, k: u32) -> Result<()> {
@@ -83,6 +228,34 @@ mod tests {
     }
 
     use crate::mechanism::FrequencyOracle;
+
+    #[test]
+    fn unary_encoder_falls_back_to_walk_when_cdf_would_underflow() {
+        // ε = 1 ⇒ q = 1/(e+1); at k−1 = 2400, n·ln(1−q) ≈ −751.8 < −700, so
+        // (1−q)^n is (sub)normal-garbage territory and the CDF must not be
+        // built — the geometric walk covers this regime.
+        let q = 1.0 / (1.0f64.exp() + 1.0);
+        let enc = UnaryEncoder::new(2401, 0.5, q);
+        assert!(enc.flip_cdf.is_empty(), "CDF must not be built past −700");
+        // And the walk still produces the right popcount mean.
+        let n = 2400u32;
+        let mut bits = crate::mechanism::BitVec::zeros(2401);
+        let mut rng = crate::rng::seeded_rng(77);
+        let trials = 2_000;
+        let mut total = 0.0f64;
+        for _ in 0..trials {
+            enc.fill_sparse(&mut bits, 7, &mut rng);
+            total += f64::from(bits.count_ones());
+        }
+        let mean = 0.5 + f64::from(n) * q;
+        let var = 0.25 + f64::from(n) * q * (1.0 - q);
+        crate::assert_within_ci!(total / trials as f64, mean, var, trials);
+        // Just inside the bound the CDF is built and carries ≈ unit mass.
+        let safe = UnaryEncoder::new(2201, 0.5, q);
+        assert!(!safe.flip_cdf.is_empty());
+        let last = *safe.flip_cdf.last().unwrap();
+        assert!((last - 1.0).abs() < 1e-9, "CDF mass {last}");
+    }
 
     #[test]
     fn best_oracle_rule_matches_variance_comparison() {

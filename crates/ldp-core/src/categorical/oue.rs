@@ -1,10 +1,9 @@
 //! Optimized Unary Encoding (OUE) — Wang et al., USENIX Security 2017.
 
 use crate::budget::Epsilon;
-use crate::categorical::{check_category, check_domain_size};
+use crate::categorical::{check_category, check_domain_size, UnaryEncoder};
 use crate::error::Result;
-use crate::mechanism::{BitVec, CategoricalReport, FrequencyOracle};
-use crate::rng::bernoulli;
+use crate::mechanism::{BitVec, CategoricalReport, DebiasParams, FrequencyOracle};
 use rand::RngCore;
 
 /// OUE perturbs the one-hot encoding of a category bit-by-bit with
@@ -24,6 +23,9 @@ pub struct Oue {
     k: u32,
     /// `q = 1/(e^ε+1)`; `p` is the constant 1/2.
     q: f64,
+    /// Shared sparse/dense unary sampler (owns the precomputed flip-count
+    /// CDF).
+    enc: UnaryEncoder,
 }
 
 /// The probability that the true bit remains set.
@@ -36,10 +38,12 @@ impl Oue {
     /// [`crate::LdpError::InvalidParameter`] if `k < 2`.
     pub fn new(epsilon: Epsilon, k: u32) -> Result<Self> {
         check_domain_size(k)?;
+        let q = 1.0 / (epsilon.exp() + 1.0);
         Ok(Oue {
             epsilon,
             k,
-            q: 1.0 / (epsilon.exp() + 1.0),
+            q,
+            enc: UnaryEncoder::new(k, P_TRUE, q),
         })
     }
 
@@ -68,32 +72,40 @@ impl FrequencyOracle for Oue {
     }
 
     fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Result<CategoricalReport> {
+        let mut out = CategoricalReport::Bits(BitVec::zeros(self.k));
+        self.perturb_into(value, rng, &mut out)?;
+        Ok(out)
+    }
+
+    /// Zero-allocation sparse path: reuses `out`'s bit vector (when it has
+    /// the right length) and draws only the non-true bits that come up 1 via
+    /// geometric gap sampling — O(k·q) expected work instead of k Bernoulli
+    /// draws.
+    fn perturb_into(
+        &self,
+        value: u32,
+        rng: &mut dyn RngCore,
+        out: &mut CategoricalReport,
+    ) -> Result<()> {
+        check_category(value, self.k)?;
+        self.enc.fill_report(self.k, value, rng, out);
+        Ok(())
+    }
+
+    /// The naive per-bit sampler (one Bernoulli draw per bit) — the
+    /// reference distribution the sparse path must match.
+    fn perturb_naive(&self, value: u32, rng: &mut dyn RngCore) -> Result<CategoricalReport> {
         check_category(value, self.k)?;
         let mut bits = BitVec::zeros(self.k);
-        for i in 0..self.k {
-            let keep_prob = if i == value { P_TRUE } else { self.q };
-            if bernoulli(rng, keep_prob) {
-                bits.set(i, true);
-            }
-        }
+        self.enc.fill_dense(&mut bits, value, rng);
         Ok(CategoricalReport::Bits(bits))
     }
 
-    fn support(&self, report: &CategoricalReport, v: u32) -> f64 {
-        let bit = match report {
-            CategoricalReport::Bits(bits) => bits.get(v),
-            // An OUE aggregation should never see direct-encoding reports;
-            // treat the report as the plain indicator if it does.
-            CategoricalReport::Value(x) => *x == v,
-        };
-        let b = if bit { 1.0 } else { 0.0 };
-        (b - self.q) / (P_TRUE - self.q)
-    }
-
-    fn support_variance(&self, f: f64) -> f64 {
-        // Var[(b-q)/(p-q)] where b ~ Bernoulli(f·p + (1-f)·q).
-        let p_one = f * P_TRUE + (1.0 - f) * self.q;
-        p_one * (1.0 - p_one) / ((P_TRUE - self.q) * (P_TRUE - self.q))
+    fn debias_params(&self) -> DebiasParams {
+        DebiasParams {
+            p: P_TRUE,
+            q: self.q,
+        }
     }
 }
 

@@ -1,10 +1,9 @@
 //! Symmetric Unary Encoding (SUE) — the "basic RAPPOR" configuration.
 
 use crate::budget::Epsilon;
-use crate::categorical::{check_category, check_domain_size};
+use crate::categorical::{check_category, check_domain_size, UnaryEncoder};
 use crate::error::Result;
-use crate::mechanism::{BitVec, CategoricalReport, FrequencyOracle};
-use crate::rng::bernoulli;
+use crate::mechanism::{BitVec, CategoricalReport, DebiasParams, FrequencyOracle};
 use rand::RngCore;
 
 /// SUE perturbs the one-hot encoding with *symmetric* flip probabilities:
@@ -21,6 +20,9 @@ pub struct Sue {
     k: u32,
     p: f64,
     q: f64,
+    /// Shared sparse/dense unary sampler (owns the precomputed flip-count
+    /// CDF).
+    enc: UnaryEncoder,
 }
 
 impl Sue {
@@ -31,11 +33,14 @@ impl Sue {
     pub fn new(epsilon: Epsilon, k: u32) -> Result<Self> {
         check_domain_size(k)?;
         let eh = (epsilon.value() / 2.0).exp();
+        let p = eh / (eh + 1.0);
+        let q = 1.0 / (eh + 1.0);
         Ok(Sue {
             epsilon,
             k,
-            p: eh / (eh + 1.0),
-            q: 1.0 / (eh + 1.0),
+            p,
+            q,
+            enc: UnaryEncoder::new(k, p, q),
         })
     }
 
@@ -64,29 +69,37 @@ impl FrequencyOracle for Sue {
     }
 
     fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Result<CategoricalReport> {
+        let mut out = CategoricalReport::Bits(BitVec::zeros(self.k));
+        self.perturb_into(value, rng, &mut out)?;
+        Ok(out)
+    }
+
+    /// Zero-allocation sparse path; see [`crate::categorical::Oue`]'s
+    /// `perturb_into` — SUE only differs in `(p, q)`.
+    fn perturb_into(
+        &self,
+        value: u32,
+        rng: &mut dyn RngCore,
+        out: &mut CategoricalReport,
+    ) -> Result<()> {
+        check_category(value, self.k)?;
+        self.enc.fill_report(self.k, value, rng, out);
+        Ok(())
+    }
+
+    /// The naive per-bit reference sampler.
+    fn perturb_naive(&self, value: u32, rng: &mut dyn RngCore) -> Result<CategoricalReport> {
         check_category(value, self.k)?;
         let mut bits = BitVec::zeros(self.k);
-        for i in 0..self.k {
-            let one_prob = if i == value { self.p } else { self.q };
-            if bernoulli(rng, one_prob) {
-                bits.set(i, true);
-            }
-        }
+        self.enc.fill_dense(&mut bits, value, rng);
         Ok(CategoricalReport::Bits(bits))
     }
 
-    fn support(&self, report: &CategoricalReport, v: u32) -> f64 {
-        let bit = match report {
-            CategoricalReport::Bits(bits) => bits.get(v),
-            CategoricalReport::Value(x) => *x == v,
-        };
-        let b = if bit { 1.0 } else { 0.0 };
-        (b - self.q) / (self.p - self.q)
-    }
-
-    fn support_variance(&self, f: f64) -> f64 {
-        let p_one = f * self.p + (1.0 - f) * self.q;
-        p_one * (1.0 - p_one) / ((self.p - self.q) * (self.p - self.q))
+    fn debias_params(&self) -> DebiasParams {
+        DebiasParams {
+            p: self.p,
+            q: self.q,
+        }
     }
 }
 

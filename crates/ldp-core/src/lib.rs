@@ -68,6 +68,6 @@ pub use domain::NumericDomain;
 pub use error::{LdpError, Result};
 pub use kinds::{NumericKind, OracleKind};
 pub use mechanism::{
-    check_unit_interval, BitVec, CategoricalReport, FrequencyOracle, NumericMechanism,
+    check_unit_interval, BitVec, CategoricalReport, DebiasParams, FrequencyOracle, NumericMechanism,
 };
 pub use multidim::{AttrReport, AttrSpec, AttrValue};

@@ -56,6 +56,39 @@ pub fn check_unit_interval(t: f64) -> Result<()> {
     }
 }
 
+/// The affine debiasing coefficients of a frequency oracle.
+///
+/// Every oracle in this crate reports, for each category `v`, a Bernoulli
+/// "hit bit" `b_v` (the bit of a unary report, or the indicator `x == v` of
+/// a direct report) with `Pr[b_v = 1] = p` when `v` is the true value and
+/// `q` otherwise. The debiased per-report support is therefore the *affine*
+/// function `(b_v − q)/(p − q)` — which is what lets the aggregator
+/// accumulate raw hit counts and debias once at estimation time instead of
+/// paying an O(k) virtual-call loop per report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DebiasParams {
+    /// Probability that the true category's hit bit is 1.
+    pub p: f64,
+    /// Probability that any other category's hit bit is 1.
+    pub q: f64,
+}
+
+impl DebiasParams {
+    /// The debiased support value for a raw hit bit.
+    #[inline]
+    pub fn support_of(&self, hit: bool) -> f64 {
+        let b = if hit { 1.0 } else { 0.0 };
+        (b - self.q) / (self.p - self.q)
+    }
+
+    /// Debiases an aggregate hit count over `reports` reports:
+    /// `(count − reports·q)/(p − q)`, the sum of per-report supports.
+    #[inline]
+    pub fn debias_count(&self, count: u64, reports: usize) -> f64 {
+        (count as f64 - reports as f64 * self.q) / (self.p - self.q)
+    }
+}
+
 /// A mechanism for one categorical attribute with domain `{0, …, k-1}`,
 /// supporting frequency estimation ("frequency oracle" in the LDP
 /// literature; the paper plugs OUE into Algorithm 4 in §IV-C).
@@ -75,15 +108,63 @@ pub trait FrequencyOracle: Send + Sync {
     /// [`LdpError::InvalidCategory`] if `v ≥ k`.
     fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Result<CategoricalReport>;
 
+    /// Perturbs a category into a caller-owned report, reusing its storage
+    /// (the bit vector of a unary report) when possible. This is the
+    /// zero-allocation path the streaming pipeline uses; the default
+    /// implementation simply replaces `out` with a fresh report.
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::perturb`].
+    fn perturb_into(
+        &self,
+        value: u32,
+        rng: &mut dyn RngCore,
+        out: &mut CategoricalReport,
+    ) -> Result<()> {
+        *out = self.perturb(value, rng)?;
+        Ok(())
+    }
+
+    /// Reference perturbation path, kept for distribution-equivalence tests
+    /// and throughput baselines: unary oracles override this with the naive
+    /// bit-by-bit Bernoulli sampler that [`FrequencyOracle::perturb`]'s
+    /// sparse sampling must match in distribution. Defaults to `perturb`.
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::perturb`].
+    fn perturb_naive(&self, value: u32, rng: &mut dyn RngCore) -> Result<CategoricalReport> {
+        self.perturb(value, rng)
+    }
+
+    /// The `(p, q)` pair making the oracle's support affine in the hit bit —
+    /// see [`DebiasParams`].
+    fn debias_params(&self) -> DebiasParams;
+
     /// The *debiased* contribution of `report` to the count estimate of
     /// category `v`: summing this over all reports and dividing by `n` yields
     /// an unbiased estimate of the frequency of `v`.
-    fn support(&self, report: &CategoricalReport, v: u32) -> f64;
+    ///
+    /// Provided in terms of [`FrequencyOracle::debias_params`]: unary
+    /// reports contribute their bit at `v`, direct reports the indicator
+    /// `x == v`.
+    fn support(&self, report: &CategoricalReport, v: u32) -> f64 {
+        let hit = match report {
+            CategoricalReport::Bits(bits) => bits.get(v),
+            CategoricalReport::Value(x) => *x == v,
+        };
+        self.debias_params().support_of(hit)
+    }
 
     /// Per-report variance of [`FrequencyOracle::support`] when the true
     /// frequency of the target category is `f` (used for accuracy analysis
     /// and tested against simulation).
-    fn support_variance(&self, f: f64) -> f64;
+    ///
+    /// Provided: `Var[(b−q)/(p−q)]` with `b ~ Bernoulli(f·p + (1−f)·q)`.
+    fn support_variance(&self, f: f64) -> f64 {
+        let DebiasParams { p, q } = self.debias_params();
+        let p_one = f * p + (1.0 - f) * q;
+        p_one * (1.0 - p_one) / ((p - q) * (p - q))
+    }
 }
 
 /// The perturbed message a user sends for one categorical attribute.
@@ -151,9 +232,51 @@ impl BitVec {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
 
+    /// Clears every bit (word-at-a-time; the length is unchanged).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
     /// Iterates over all bits in index order.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Iterates over the indices of set bits in increasing order, touching
+    /// each backing word once (O(words + ones), not O(len)). This is the
+    /// single canonical set-bit walk — count-based aggregation sits on top
+    /// of it, so it must stay branch-light (an explicit word cursor, not an
+    /// iterator-combinator chain).
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        struct IterOnes<'a> {
+            words: &'a [u64],
+            wi: usize,
+            current: u64,
+        }
+        impl Iterator for IterOnes<'_> {
+            type Item = u32;
+            #[inline]
+            fn next(&mut self) -> Option<u32> {
+                while self.current == 0 {
+                    self.wi += 1;
+                    self.current = *self.words.get(self.wi)?;
+                }
+                let tz = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                Some(self.wi as u32 * 64 + tz)
+            }
+        }
+        IterOnes {
+            words: &self.words,
+            wi: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The backing 64-bit words, least-significant bit first. Bits at or
+    /// beyond [`BitVec::len`] are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 }
 
@@ -207,6 +330,37 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bitvec_get_out_of_range_panics() {
         BitVec::zeros(8).get(8);
+    }
+
+    #[test]
+    fn bitvec_iter_ones_matches_iter() {
+        let mut b = BitVec::zeros(200);
+        for i in [0u32, 1, 62, 63, 64, 100, 127, 128, 199] {
+            b.set(i, true);
+        }
+        let ones: Vec<u32> = b.iter_ones().collect();
+        assert_eq!(ones, vec![0, 1, 62, 63, 64, 100, 127, 128, 199]);
+        let from_iter: Vec<u32> = b
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bit)| bit.then_some(i as u32))
+            .collect();
+        assert_eq!(ones, from_iter);
+        assert_eq!(b.words().len(), 4);
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+        assert_eq!(b.len(), 200);
+    }
+
+    #[test]
+    fn debias_params_support_and_count_agree() {
+        let dp = DebiasParams { p: 0.5, q: 0.2 };
+        assert!((dp.support_of(true) - (1.0 - 0.2) / 0.3).abs() < 1e-12);
+        assert!((dp.support_of(false) - (0.0 - 0.2) / 0.3).abs() < 1e-12);
+        // Count debias = sum of per-report supports: 3 hits out of 10.
+        let sum = 3.0 * dp.support_of(true) + 7.0 * dp.support_of(false);
+        assert!((dp.debias_count(3, 10) - sum).abs() < 1e-12);
     }
 
     #[test]

@@ -4,8 +4,17 @@ use crate::budget::Epsilon;
 use crate::error::{LdpError, Result};
 use crate::math::ln_binomial;
 use crate::mechanism::check_unit_interval;
-use crate::rng::{bernoulli, sample_distinct, sample_weighted};
+use crate::rng::{bernoulli, sample_distinct_into, sample_weighted};
 use rand::RngCore;
+
+/// Caller-owned scratch for [`DuchiMultidim::perturb_into`]: the direction
+/// vector and agreement-set buffers that the allocating path re-creates per
+/// call.
+#[derive(Debug, Clone, Default)]
+pub struct DuchiScratch {
+    v: Vec<f64>,
+    agree: Vec<u32>,
+}
 
 /// Duchi et al.'s solution for a tuple `t ∈ [-1, 1]^d`.
 ///
@@ -105,12 +114,43 @@ impl DuchiMultidim {
         self.b * self.b
     }
 
+    /// A scratch buffer sized for this mechanism, enabling the
+    /// zero-allocation [`DuchiMultidim::perturb_into`] loop.
+    pub fn scratch(&self) -> DuchiScratch {
+        DuchiScratch {
+            v: Vec::with_capacity(self.d),
+            agree: Vec::with_capacity(self.d),
+        }
+    }
+
     /// Perturbs a tuple `t ∈ [-1, 1]^d` into a vertex of `{-B, B}^d`.
+    ///
+    /// Convenience wrapper over [`DuchiMultidim::perturb_into`]; simulation
+    /// loops should hold an output vector + scratch and call that instead.
     ///
     /// # Errors
     /// [`LdpError::DimensionMismatch`] for wrong tuple length,
     /// [`LdpError::OutOfDomain`] for out-of-range coordinates.
     pub fn perturb(&self, t: &[f64], rng: &mut dyn RngCore) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.d);
+        let mut scratch = self.scratch();
+        self.perturb_into(t, rng, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Zero-allocation streaming form of [`DuchiMultidim::perturb`]: writes
+    /// the perturbed vertex into `out` (cleared and refilled), reusing the
+    /// caller's scratch buffers.
+    ///
+    /// # Errors
+    /// As [`DuchiMultidim::perturb`].
+    pub fn perturb_into(
+        &self,
+        t: &[f64],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+        scratch: &mut DuchiScratch,
+    ) -> Result<()> {
         if t.len() != self.d {
             return Err(LdpError::DimensionMismatch {
                 expected: self.d,
@@ -121,47 +161,62 @@ impl DuchiMultidim {
             check_unit_interval(x)?;
         }
         // Step 1: the input-dependent direction vector v.
-        let v: Vec<f64> = t
-            .iter()
-            .map(|&x| {
-                if bernoulli(rng, 0.5 + 0.5 * x) {
-                    1.0
-                } else {
-                    -1.0
-                }
-            })
-            .collect();
+        scratch.v.clear();
+        scratch.v.extend(t.iter().map(|&x| {
+            if bernoulli(rng, 0.5 + 0.5 * x) {
+                1.0
+            } else {
+                -1.0
+            }
+        }));
         // Step 2: pick the halfspace, then sample s uniformly within it.
         let positive = bernoulli(rng, self.plus_prob);
-        let s = self.sample_halfspace(&v, positive, rng);
-        Ok(s.into_iter().map(|sign| sign * self.b).collect())
+        self.sample_halfspace_into(positive, rng, out, scratch);
+        out.iter_mut().for_each(|x| *x *= self.b);
+        Ok(())
     }
 
-    /// Uniformly samples `s ∈ {-1,1}^d` with `s·v ≥ 0` (or `≤ 0`).
+    /// Uniformly samples `s ∈ {-1,1}^d` with `s·v ≥ 0` (or `≤ 0`), where `v`
+    /// is `scratch.v`, writing the sign vector into `out`.
     ///
     /// Uniformity over the halfspace factorizes: condition on the number of
     /// agreeing coordinates `A` (weight `C(d, A)`), then choose which `A`
     /// coordinates agree uniformly. By symmetry this is exactly uniform over
     /// `T⁺` (resp. `T⁻`), in deterministic `O(d)` time — unlike rejection
     /// sampling, whose worst case is unbounded.
-    fn sample_halfspace(&self, v: &[f64], positive: bool, rng: &mut dyn RngCore) -> Vec<f64> {
+    fn sample_halfspace_into(
+        &self,
+        positive: bool,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+        scratch: &mut DuchiScratch,
+    ) {
         let d = self.d;
         let lo = d.div_ceil(2);
         let idx = sample_weighted(rng, &self.agree_weights_plus);
         let agreements = lo + idx;
-        let agree_set = sample_distinct(rng, d, agreements);
-        let mut s: Vec<f64> = v.iter().map(|&x| -x).collect();
-        for &i in &agree_set {
-            s[i as usize] = v[i as usize];
+        sample_distinct_into(rng, d, agreements, &mut scratch.agree);
+        out.clear();
+        out.extend(scratch.v.iter().map(|&x| -x));
+        for &i in &scratch.agree {
+            out[i as usize] = scratch.v[i as usize];
         }
-        if positive {
-            s
-        } else {
+        if !positive {
             // T⁻ is the mirror image of T⁺: s·v ≤ 0 ⟺ (-s)·v ≥ 0, and the
             // map is a bijection, so negating a uniform T⁺ sample is uniform
             // over T⁻.
-            s.iter().map(|&x| -x).collect()
+            out.iter_mut().for_each(|x| *x = -*x);
         }
+    }
+
+    /// Test-facing wrapper returning the sampled sign vector.
+    #[cfg(test)]
+    fn sample_halfspace(&self, v: &[f64], positive: bool, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut scratch = self.scratch();
+        scratch.v.extend_from_slice(v);
+        let mut out = Vec::with_capacity(self.d);
+        self.sample_halfspace_into(positive, rng, &mut out, &mut scratch);
+        out
     }
 }
 
@@ -304,6 +359,22 @@ mod tests {
         for (key, c) in counts {
             let frac = c as f64 / n as f64;
             assert!((frac - 0.25).abs() < 0.01, "{key:?}: {frac}");
+        }
+    }
+
+    #[test]
+    fn perturb_into_matches_perturb() {
+        let md = mech(1.5, 7);
+        let t = [0.3, -0.3, 0.9, 0.0, -1.0, 1.0, 0.5];
+        let mut rng_a = seeded_rng(777);
+        let mut rng_b = seeded_rng(777);
+        let mut out = Vec::new();
+        let mut scratch = md.scratch();
+        for round in 0..300 {
+            let owned = md.perturb(&t, &mut rng_a).unwrap();
+            md.perturb_into(&t, &mut rng_b, &mut out, &mut scratch)
+                .unwrap();
+            assert_eq!(out, owned, "round {round}");
         }
     }
 

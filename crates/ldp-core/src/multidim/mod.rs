@@ -13,8 +13,8 @@ mod sampling;
 pub mod wire;
 
 pub use composition::{CompositionPerturber, DenseReport};
-pub use duchi_md::DuchiMultidim;
-pub use sampling::{optimal_k, SamplingPerturber, SparseReport};
+pub use duchi_md::{DuchiMultidim, DuchiScratch};
+pub use sampling::{optimal_k, SamplingPerturber, SparseReport, SparseScratch};
 
 use crate::error::{LdpError, Result};
 use crate::mechanism::CategoricalReport;

@@ -3,9 +3,9 @@
 use crate::budget::Epsilon;
 use crate::error::{LdpError, Result};
 use crate::kinds::{NumericKind, OracleKind};
-use crate::mechanism::{FrequencyOracle, NumericMechanism};
+use crate::mechanism::{CategoricalReport, FrequencyOracle, NumericMechanism};
 use crate::multidim::{AttrReport, AttrSpec, AttrValue};
-use crate::rng::sample_distinct;
+use crate::rng::sample_distinct_into;
 use rand::RngCore;
 
 /// The paper's choice of the number of sampled attributes (Equation 12):
@@ -34,6 +34,16 @@ pub struct SparseReport {
 }
 
 impl SparseReport {
+    /// An empty report shell with entry capacity for `k` attributes, meant
+    /// to be (re)filled by [`SamplingPerturber::perturb_into`].
+    pub fn with_capacity(d: usize, k: usize) -> Self {
+        SparseReport {
+            d,
+            k,
+            entries: Vec::with_capacity(k),
+        }
+    }
+
     /// Densifies a numeric-only report into the `t* ∈ ℝ^d` tuple of
     /// Algorithm 4 (zeros at unsampled positions).
     ///
@@ -175,12 +185,61 @@ impl SamplingPerturber {
         &self.specs
     }
 
+    /// A scratch buffer sized for this perturber, enabling the
+    /// zero-allocation [`SamplingPerturber::perturb_into`] loop.
+    pub fn scratch(&self) -> SparseScratch {
+        SparseScratch {
+            sampled: Vec::with_capacity(self.k),
+            pool: self
+                .specs
+                .iter()
+                .map(|spec| match spec {
+                    AttrSpec::Numeric => None,
+                    // Placeholder; the oracle's `perturb_into` right-sizes it
+                    // (e.g. to a k-bit vector) on first use, after which it
+                    // is recycled user after user.
+                    AttrSpec::Categorical { .. } => Some(CategoricalReport::Value(0)),
+                })
+                .collect(),
+        }
+    }
+
     /// Perturbs one user tuple.
+    ///
+    /// Convenience wrapper over [`SamplingPerturber::perturb_into`] that
+    /// allocates the report (and a transient scratch); simulation loops
+    /// should hold a report + scratch pair and call `perturb_into` instead.
     ///
     /// # Errors
     /// Rejects tuples whose length or attribute types do not match the
     /// schema, or whose values are out of domain.
     pub fn perturb(&self, tuple: &[AttrValue], rng: &mut dyn RngCore) -> Result<SparseReport> {
+        let mut report = SparseReport::with_capacity(self.specs.len(), self.k);
+        let mut scratch = self.scratch();
+        self.perturb_into(tuple, rng, &mut report, &mut scratch)?;
+        Ok(report)
+    }
+
+    /// Zero-allocation streaming form of [`SamplingPerturber::perturb`]:
+    /// refills `report` in place, recycling the previous call's entry vector
+    /// and categorical payloads (bit vectors) through `scratch`. After the
+    /// first call per attribute, steady-state perturbation performs no heap
+    /// allocation at all.
+    ///
+    /// `report` and `scratch` may start empty (see
+    /// [`SparseReport::with_capacity`] and [`SamplingPerturber::scratch`])
+    /// but must then stay paired with this perturber: payload buffers
+    /// shuttle between the two across calls.
+    ///
+    /// # Errors
+    /// As [`SamplingPerturber::perturb`].
+    pub fn perturb_into(
+        &self,
+        tuple: &[AttrValue],
+        rng: &mut dyn RngCore,
+        report: &mut SparseReport,
+        scratch: &mut SparseScratch,
+    ) -> Result<()> {
         let d = self.specs.len();
         if tuple.len() != d {
             return Err(LdpError::DimensionMismatch {
@@ -188,13 +247,20 @@ impl SamplingPerturber {
                 actual: tuple.len(),
             });
         }
+        debug_assert_eq!(scratch.pool.len(), d, "scratch built for another schema");
         for (i, (value, spec)) in tuple.iter().zip(&self.specs).enumerate() {
             value.validate(spec, i)?;
         }
-        let sampled = sample_distinct(rng, d, self.k);
-        let mut entries = Vec::with_capacity(self.k);
-        for j in sampled {
-            let report = match tuple[j as usize] {
+        // Recycle the previous report's categorical payloads into the pool,
+        // so their bit vectors are reused instead of reallocated.
+        for (j, rep) in report.entries.drain(..) {
+            if let AttrReport::Categorical(cat) = rep {
+                scratch.pool[j as usize] = Some(cat);
+            }
+        }
+        sample_distinct_into(rng, d, self.k, &mut scratch.sampled);
+        for &j in &scratch.sampled {
+            let entry = match tuple[j as usize] {
                 AttrValue::Numeric(x) => {
                     // Lines 5–6 of Algorithm 4: perturb with budget ε/k and
                     // scale by d/k.
@@ -208,16 +274,18 @@ impl SamplingPerturber {
                     let oracle = self.oracles[j as usize]
                         .as_ref()
                         .expect("schema marks this attribute categorical");
-                    AttrReport::Categorical(oracle.perturb(v, rng)?)
+                    let mut cat = scratch.pool[j as usize]
+                        .take()
+                        .unwrap_or(CategoricalReport::Value(0));
+                    oracle.perturb_into(v, rng, &mut cat)?;
+                    AttrReport::Categorical(cat)
                 }
             };
-            entries.push((j, report));
+            report.entries.push((j, entry));
         }
-        Ok(SparseReport {
-            d,
-            k: self.k,
-            entries,
-        })
+        report.d = d;
+        report.k = self.k;
+        Ok(())
     }
 
     /// Convenience for numeric-only schemas: perturbs `t ∈ [-1,1]^d` and
@@ -234,6 +302,22 @@ impl SamplingPerturber {
     pub fn oracle(&self, j: usize) -> Option<&dyn FrequencyOracle> {
         self.oracles.get(j).and_then(|o| o.as_deref())
     }
+
+    /// The shared ε/k numeric mechanism, if the schema has numeric
+    /// attributes (exposed so benches can drive the raw client hot path).
+    pub fn numeric_mechanism(&self) -> Option<&dyn NumericMechanism> {
+        self.numeric.as_deref()
+    }
+}
+
+/// Caller-owned scratch space for [`SamplingPerturber::perturb_into`]:
+/// the reusable sampled-index buffer plus a per-attribute pool of
+/// categorical payload buffers (bit vectors for unary oracles) that shuttle
+/// between the pool and the report across calls.
+#[derive(Debug, Clone)]
+pub struct SparseScratch {
+    sampled: Vec<u32>,
+    pool: Vec<Option<CategoricalReport>>,
 }
 
 impl std::fmt::Debug for SamplingPerturber {
@@ -353,6 +437,53 @@ mod tests {
         assert!(p.oracle(1).is_some());
         assert!(p.oracle(0).is_none());
         assert_eq!(p.oracle(3).unwrap().k(), 7);
+    }
+
+    #[test]
+    fn perturb_into_matches_perturb_and_recycles_buffers() {
+        let specs = vec![
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 6 },
+            AttrSpec::Categorical { k: 3 },
+            AttrSpec::Numeric,
+        ];
+        let p = SamplingPerturber::with_k(
+            Epsilon::new(3.0).unwrap(),
+            specs,
+            NumericKind::Hybrid,
+            OracleKind::Oue,
+            3,
+        )
+        .unwrap();
+        let tuple = vec![
+            AttrValue::Numeric(0.1),
+            AttrValue::Categorical(5),
+            AttrValue::Categorical(0),
+            AttrValue::Numeric(-0.4),
+        ];
+        // Identical RNG streams through the allocating and streaming paths
+        // must produce identical report sequences.
+        let mut rng_a = seeded_rng(555);
+        let mut rng_b = seeded_rng(555);
+        let mut report = SparseReport::with_capacity(p.d(), p.k());
+        let mut scratch = p.scratch();
+        for round in 0..200 {
+            let owned = p.perturb(&tuple, &mut rng_a).unwrap();
+            p.perturb_into(&tuple, &mut rng_b, &mut report, &mut scratch)
+                .unwrap();
+            assert_eq!(report.d, owned.d);
+            assert_eq!(report.k, owned.k);
+            assert_eq!(report.entries, owned.entries, "round {round}");
+        }
+        // Validation errors still surface through the streaming path.
+        assert!(p
+            .perturb_into(
+                &tuple[..2],
+                &mut rng_b,
+                &mut SparseReport::with_capacity(p.d(), p.k()),
+                &mut p.scratch()
+            )
+            .is_err());
     }
 
     #[test]

@@ -50,6 +50,26 @@ pub fn attr_report_bits(report: &AttrReport) -> usize {
     }
 }
 
+/// Wire size of one attribute report given its schema spec, charging direct
+/// categorical reports their true `⌈log₂ k⌉` bits instead of
+/// [`attr_report_bits`]'s schema-less 32-bit fallback.
+///
+/// # Panics
+/// Panics if the report type disagrees with the spec (reports produced by a
+/// perturber on the same schema always agree).
+pub fn attr_report_bits_with_schema(
+    report: &AttrReport,
+    spec: &crate::multidim::AttrSpec,
+) -> usize {
+    match (report, spec) {
+        (AttrReport::Numeric(_), crate::multidim::AttrSpec::Numeric) => F64_BITS,
+        (AttrReport::Categorical(c), crate::multidim::AttrSpec::Categorical { k }) => {
+            categorical_report_bits(c, *k)
+        }
+        _ => panic!("report entry type disagrees with schema"),
+    }
+}
+
 /// Wire size of an Algorithm 4 sparse report: per entry, an attribute index
 /// plus the payload.
 pub fn sparse_report_bits(report: &SparseReport) -> usize {
@@ -58,6 +78,27 @@ pub fn sparse_report_bits(report: &SparseReport) -> usize {
         .entries
         .iter()
         .map(|(_, rep)| idx + attr_report_bits(rep))
+        .sum()
+}
+
+/// Schema-aware form of [`sparse_report_bits`]: sizes each entry with
+/// [`attr_report_bits_with_schema`], so GRR-style direct reports are charged
+/// `⌈log₂ k⌉` bits — exactly what [`WireFormat::encode_sparse`] emits
+/// (minus its 16-bit header).
+///
+/// # Panics
+/// Panics if the report's dimensionality or entry types disagree with the
+/// schema.
+pub fn sparse_report_bits_with_schema(
+    report: &SparseReport,
+    specs: &[crate::multidim::AttrSpec],
+) -> usize {
+    assert_eq!(report.d, specs.len(), "schema mismatch");
+    let idx = index_bits(report.d);
+    report
+        .entries
+        .iter()
+        .map(|(j, rep)| idx + attr_report_bits_with_schema(rep, &specs[*j as usize]))
         .sum()
 }
 
@@ -285,6 +326,50 @@ mod tests {
     #[test]
     fn duchi_is_one_bit_per_dimension() {
         assert_eq!(duchi_md_report_bits(94), 94);
+    }
+
+    #[test]
+    fn schema_aware_sizes_charge_log_k_for_direct_reports() {
+        use crate::multidim::AttrSpec;
+        let specs = vec![
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 27 },
+            AttrSpec::Categorical { k: 5 },
+        ];
+        let report = SparseReport {
+            d: 3,
+            k: 3,
+            entries: vec![
+                (0, AttrReport::Numeric(0.5)),
+                (1, AttrReport::Categorical(CategoricalReport::Value(13))),
+                (
+                    2,
+                    AttrReport::Categorical(CategoricalReport::Bits(BitVec::zeros(5))),
+                ),
+            ],
+        };
+        // Indices: 2 bits each; payloads: 64 + ⌈log₂ 27⌉ = 5 + 5 unary bits.
+        assert_eq!(
+            sparse_report_bits_with_schema(&report, &specs),
+            3 * 2 + 64 + 5 + 5
+        );
+        // The schema-less fallback charges 32 bits for the direct report.
+        assert_eq!(sparse_report_bits(&report), 3 * 2 + 64 + 32 + 5);
+        // Schema-aware accounting matches the codec's emitted size exactly
+        // (modulo the 16-bit entry-count header).
+        let format = WireFormat::new(specs.clone());
+        let bytes = format.encode_sparse(&report);
+        assert_eq!(
+            bytes.len(),
+            (16 + sparse_report_bits_with_schema(&report, &specs)).div_ceil(8)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with schema")]
+    fn schema_aware_sizes_reject_type_mismatch() {
+        use crate::multidim::AttrSpec;
+        attr_report_bits_with_schema(&AttrReport::Numeric(0.0), &AttrSpec::Categorical { k: 4 });
     }
 
     #[test]

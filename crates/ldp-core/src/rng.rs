@@ -44,26 +44,130 @@ pub fn random_sign(rng: &mut dyn RngCore) -> f64 {
     }
 }
 
+/// Uniform draw from `{0, …, bound-1}` via Lemire's multiply-shift: one
+/// 64-bit draw, a widening multiply, no division. The mapping bias is
+/// O(bound/2^64) — immeasurably small for any domain this crate handles —
+/// which buys back the ~20-cycle hardware divide a `%`-based range draw
+/// pays, in loops that make one draw per flipped bit.
+#[inline]
+pub fn uniform_index(rng: &mut dyn RngCore, bound: u32) -> u32 {
+    debug_assert!(bound > 0, "uniform_index needs a positive bound");
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u32
+}
+
 /// Samples `k` distinct indices uniformly from `{0, …, d-1}` (Floyd's
 /// algorithm), in O(k) expected time and O(k) space. The result is sorted,
 /// which makes downstream report layouts deterministic.
 ///
+/// Thin wrapper over [`sample_distinct_into`] that allocates a fresh vector;
+/// hot loops should hold a reusable buffer and call the `_into` variant.
+///
 /// # Panics
 /// Panics in debug builds if `k > d`.
 pub fn sample_distinct(rng: &mut dyn RngCore, d: usize, k: usize) -> Vec<u32> {
+    let mut chosen = Vec::with_capacity(k);
+    sample_distinct_into(rng, d, k, &mut chosen);
+    chosen
+}
+
+/// Buffer-reusing form of [`sample_distinct`]: clears `out` and fills it
+/// with `k` sorted distinct indices from `{0, …, d-1}`.
+///
+/// The buffer is kept sorted during Floyd's walk, so membership tests are
+/// O(log k) binary searches instead of the O(k) linear probes a scratch-free
+/// implementation would need — and the output needs no final sort. Draws
+/// map raw 64-bit outputs through [`uniform_index`]'s multiply-shift rather
+/// than the modulo reduction earlier revisions used, so seeded streams are
+/// *not* bit-compatible with pre-optimization outputs (the distribution is
+/// the same; fixed-seed statistical tests re-validate it).
+///
+/// # Panics
+/// Panics in debug builds if `k > d`.
+pub fn sample_distinct_into(rng: &mut dyn RngCore, d: usize, k: usize, out: &mut Vec<u32>) {
     debug_assert!(k <= d, "cannot sample {k} distinct indices from {d}");
+    out.clear();
+    out.reserve(k);
     // For small k relative to d, Floyd's algorithm touches only k slots.
-    let mut chosen: Vec<u32> = Vec::with_capacity(k);
     for j in (d - k)..d {
-        let t = rng.random_range(0..=j as u32);
-        if chosen.contains(&t) {
-            chosen.push(j as u32);
-        } else {
-            chosen.push(t);
+        let t = uniform_index(rng, j as u32 + 1);
+        match out.binary_search(&t) {
+            // `t` already chosen: take `j` instead. Every element chosen so
+            // far is < j, so appending keeps the buffer sorted.
+            Ok(_) => out.push(j as u32),
+            Err(pos) => out.insert(pos, t),
         }
     }
-    chosen.sort_unstable();
-    chosen
+}
+
+/// Visits each index in `{0, …, n-1}` that an independent Bernoulli(`q`)
+/// coin marks as a success, in increasing order, via geometric gap sampling:
+/// the number of skipped indices between successes is `⌊ln U / ln(1−q)⌋`
+/// with `U ~ Uniform(0, 1]`, so the walk costs O(n·q) RNG draws instead of
+/// the `n` draws of a per-index loop. The unary oracles' sparse sampler
+/// falls back to this walk when its precomputed Binomial CDF would
+/// underflow (see `categorical::UnaryEncoder`); it is also the
+/// position-streaming alternative when no flip-count table is available.
+pub fn for_each_bernoulli_index<F: FnMut(u32)>(rng: &mut dyn RngCore, n: u32, q: f64, mut f: F) {
+    if n == 0 || q <= 0.0 {
+        return;
+    }
+    if q >= 1.0 {
+        (0..n).for_each(f);
+        return;
+    }
+    // ln(1−q), computed as ln_1p(−q) for accuracy at small q.
+    let ln_1q = (-q).ln_1p();
+    let mut i: u64 = 0;
+    while i < u64::from(n) {
+        let u = 1.0 - rng.random::<f64>(); // (0, 1]
+        let gap = (u.ln() / ln_1q).floor();
+        // `gap` is non-negative; a huge or infinite gap means no further
+        // successes in range.
+        if gap >= f64::from(n) {
+            return;
+        }
+        i += gap as u64;
+        if i >= u64::from(n) {
+            return;
+        }
+        f(i as u32);
+        i += 1;
+    }
+}
+
+/// Draws from Binomial(`n`, `q`) by CDF inversion: a single uniform walked
+/// down the probability masses `P(m) = C(n,m) q^m (1−q)^{n−m}` via the
+/// two-multiplication recurrence `P(m) = P(m−1) · (q/(1−q)) · (n−m+1)/m`.
+/// O(n·q) expected iterations with no transcendental calls in the loop —
+/// cheaper than a geometric-gap walk when only the *count* of successes is
+/// needed (the sparse unary sampler then places that many flips with
+/// Floyd's algorithm).
+///
+/// Requires `(1−q)^n` representable: callers must check
+/// `n·ln(1−q) > −700` (≈ `f64::MIN_POSITIVE.ln()`) and fall back to
+/// [`for_each_bernoulli_index`] otherwise — debug-asserted here.
+pub fn sample_binomial_inversion(rng: &mut dyn RngCore, n: u32, q: f64) -> u32 {
+    if n == 0 || q <= 0.0 {
+        return 0;
+    }
+    if q >= 1.0 {
+        return n;
+    }
+    let ln_1q = (-q).ln_1p();
+    debug_assert!(
+        f64::from(n) * ln_1q > -700.0,
+        "(1-q)^n underflows: n={n}, q={q}"
+    );
+    let mut c = (f64::from(n) * ln_1q).exp(); // P(0) = (1-q)^n
+    let r = q / (1.0 - q);
+    let mut u = rng.random::<f64>();
+    let mut m = 0u32;
+    while u > c && m < n {
+        u -= c;
+        m += 1;
+        c *= r * f64::from(n - m + 1) / f64::from(m);
+    }
+    m
 }
 
 /// Samples an index from an unnormalized weight slice.
@@ -160,6 +264,94 @@ mod tests {
             let rel = (c as f64 - expected).abs() / expected;
             assert!(rel < 0.03, "index {i}: count {c}, expected {expected}");
         }
+    }
+
+    #[test]
+    fn sample_distinct_into_reuses_buffer_and_matches_wrapper() {
+        let mut buf = Vec::new();
+        for (d, k) in [(10usize, 3usize), (100, 10), (7, 7), (5, 0)] {
+            // Same seed through both paths must yield the same index set.
+            let mut a = seeded_rng(1000 + d as u64);
+            let mut b = seeded_rng(1000 + d as u64);
+            let owned = sample_distinct(&mut a, d, k);
+            sample_distinct_into(&mut b, d, k, &mut buf);
+            assert_eq!(owned, buf, "d={d} k={k}");
+            assert!(buf.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn bernoulli_indices_edge_cases() {
+        let mut rng = seeded_rng(20);
+        let collect = |rng: &mut dyn RngCore, n: u32, q: f64| {
+            let mut buf = Vec::new();
+            for_each_bernoulli_index(rng, n, q, |i| buf.push(i));
+            buf
+        };
+        assert!(collect(&mut rng, 0, 0.5).is_empty());
+        assert!(collect(&mut rng, 10, 0.0).is_empty());
+        assert_eq!(collect(&mut rng, 10, 1.0), (0..10).collect::<Vec<u32>>());
+        let buf = collect(&mut rng, 64, 0.3);
+        assert!(buf.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+        assert!(buf.iter().all(|&i| i < 64));
+    }
+
+    #[test]
+    fn bernoulli_indices_marginals_match_q() {
+        // Each index must be included with probability q, independently —
+        // the property the sparse OUE/SUE sampler relies on.
+        let mut rng = seeded_rng(21);
+        let (n, q, trials) = (48u32, 0.21f64, 60_000usize);
+        let mut counts = vec![0usize; n as usize];
+        let mut total = 0usize;
+        for _ in 0..trials {
+            for_each_bernoulli_index(&mut rng, n, q, |i| {
+                counts[i as usize] += 1;
+                total += 1;
+            });
+        }
+        let var = q * (1.0 - q);
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            crate::assert_within_ci!(freq, q, var, trials, "index {i}");
+        }
+        // Total set-bit count has mean n·q and variance n·q(1−q).
+        let mean_total = total as f64 / trials as f64;
+        crate::assert_within_ci!(mean_total, f64::from(n) * q, f64::from(n) * var, trials);
+    }
+
+    #[test]
+    fn binomial_inversion_matches_moments() {
+        let mut rng = seeded_rng(22);
+        for (n, q) in [(63u32, 0.27f64), (255, 0.02), (10, 0.9), (1, 0.5)] {
+            let trials = 60_000;
+            let mut sum = 0.0f64;
+            let mut sq = 0.0f64;
+            for _ in 0..trials {
+                let m = f64::from(sample_binomial_inversion(&mut rng, n, q));
+                assert!(m <= f64::from(n));
+                sum += m;
+                sq += m * m;
+            }
+            let mean = sum / trials as f64;
+            let var = sq / trials as f64 - mean * mean;
+            let (e_mean, e_var) = (f64::from(n) * q, f64::from(n) * q * (1.0 - q));
+            crate::assert_within_ci!(mean, e_mean, e_var, trials, "n={n} q={q}");
+            // Sample variance of a binomial concentrates with sd ≈
+            // √((m4-ish)/trials); a generous 10% band suffices here.
+            assert!(
+                (var - e_var).abs() / e_var < 0.1,
+                "n={n} q={q}: var {var} vs {e_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_inversion_edge_cases() {
+        let mut rng = seeded_rng(23);
+        assert_eq!(sample_binomial_inversion(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial_inversion(&mut rng, 10, 0.0), 0);
+        assert_eq!(sample_binomial_inversion(&mut rng, 10, 1.0), 10);
     }
 
     #[test]
