@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Gate a fresh throughput run against the committed BENCH_throughput.json.
+
+Two kinds of fields, two kinds of gates:
+
+* accuracy fields (``estimate_checksum`` per grid cell and per worker-sweep
+  entry) are deterministic — fixed seeds, fixed checksum population, a
+  bit-exact batched-RNG layer — so they must match EXACTLY. Any drift means
+  an estimate changed and fails the job.
+* speed fields (``fast_users_per_sec`` / ``batched_users_per_sec``) are
+  measured on shared CI runners, so the gate is deliberately generous: the
+  job only fails when a matched cell drops below ``--min-ratio`` (default
+  0.2, i.e. a 5x regression) of the committed number. The committed JSON —
+  regenerated on a quiet machine whenever the hot path changes — remains
+  the authoritative trajectory; this gate just catches catastrophic
+  regressions before they merge.
+
+Platform caveat for the exact gate: the draw streams are platform-fixed,
+but a few oracle/mechanism parameters pass through libm transcendentals
+(exp/ln), which may differ by an ulp across libc/architectures. Regenerate
+the committed BENCH_throughput.json on the CI platform family
+(x86_64 linux) so its checksums are the ones CI reproduces; a one-bit
+checksum drift on a perf-only refresh made from another platform means
+exactly this, not a real estimate change.
+
+Cells are matched on (protocol, eps, d, k, sampled_k); a quick-mode run
+covers a subset of the committed default-mode grid, and unmatched committed
+cells are fine. Zero matched cells fails (the grids no longer line up).
+"""
+
+import argparse
+import json
+import sys
+
+
+def cell_key(cell):
+    return (
+        cell["protocol"],
+        float(cell["eps"]),
+        int(cell["d"]),
+        int(cell["k"]),
+        int(cell["sampled_k"]),
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--committed", required=True, help="committed BENCH_throughput.json")
+    parser.add_argument("--measured", required=True, help="freshly measured JSON")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.2,
+        help="fail when measured/committed users-per-sec drops below this",
+    )
+    args = parser.parse_args()
+
+    with open(args.committed) as f:
+        committed = json.load(f)
+    with open(args.measured) as f:
+        measured = json.load(f)
+
+    committed_cells = {cell_key(c): c for c in committed["cells"]}
+    failures = []
+    matched = 0
+
+    for cell in measured["cells"]:
+        key = cell_key(cell)
+        ref = committed_cells.get(key)
+        if ref is None:
+            continue
+        matched += 1
+        label = "{} eps={} d={} k={}".format(*key[:4])
+
+        # Accuracy: exact. The checksum population and seed are fixed across
+        # modes, so any difference is a real estimate change.
+        if cell["estimate_checksum"] != ref["estimate_checksum"]:
+            failures.append(
+                f"{label}: estimate_checksum drifted "
+                f"({ref['estimate_checksum']} -> {cell['estimate_checksum']})"
+            )
+
+        # Speed: generous. Shared runners wobble; only a collapse fails.
+        for field in ("fast_users_per_sec", "batched_users_per_sec"):
+            if field not in ref:
+                continue  # committed JSON predates the field
+            ratio = cell[field] / ref[field]
+            marker = "OK" if ratio >= args.min_ratio else "FAIL"
+            print(f"{marker} {label} {field}: {cell[field]:.0f} vs {ref[field]:.0f} (x{ratio:.2f})")
+            if ratio < args.min_ratio:
+                failures.append(f"{label}: {field} regressed to x{ratio:.2f} of committed")
+
+    if matched == 0:
+        failures.append("no measured cell matched any committed cell — grid keys drifted")
+
+    # Worker sweep: same fixed users/seed in every mode, so checksums are
+    # exact too, and all entries within one file must agree with each other.
+    for name, report in (("committed", committed), ("measured", measured)):
+        sweep = report.get("worker_sweep")
+        if sweep:
+            sums = {c["estimate_checksum"] for c in sweep["cells"]}
+            if len(sums) > 1:
+                failures.append(f"{name} worker_sweep checksums disagree internally: {sums}")
+    if "worker_sweep" in committed and "worker_sweep" in measured:
+        a = committed["worker_sweep"]["cells"][0]["estimate_checksum"]
+        b = measured["worker_sweep"]["cells"][0]["estimate_checksum"]
+        if a != b:
+            failures.append(f"worker_sweep estimate_checksum drifted ({a} -> {b})")
+
+    print(f"\n{matched} cells matched against the committed grid")
+    if failures:
+        print("\nFAILURES:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("bench regression gate passed")
+
+
+if __name__ == "__main__":
+    main()

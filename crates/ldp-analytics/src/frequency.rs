@@ -49,6 +49,51 @@ impl FrequencyAccumulator {
         }
     }
 
+    /// An empty accumulator with the oracle's debiasing parameters declared
+    /// up front — the constructor for the fused perturb-and-count engine,
+    /// whose per-hit path ([`FrequencyAccumulator::note_report`] /
+    /// [`FrequencyAccumulator::note_hit`]) carries no oracle to read them
+    /// from. Declaring them here preserves the mixed-parameter safety check:
+    /// [`FrequencyAccumulator::add`] and
+    /// [`FrequencyAccumulator::merge`] still reject any other `(p, q)`.
+    pub fn with_debias(k: u32, scale: f64, debias: DebiasParams) -> Self {
+        FrequencyAccumulator {
+            counts: vec![0; k as usize],
+            reports: 0,
+            population: None,
+            scale,
+            debias: Some(debias),
+        }
+    }
+
+    /// Fused-engine path: records that one report arrived for this
+    /// attribute. The report's raw hits follow through
+    /// [`FrequencyAccumulator::note_hit`]; together the pair is exactly
+    /// [`FrequencyAccumulator::add`] minus the second walk over the bit
+    /// vector (the perturber streams each hit as it places it).
+    ///
+    /// The accumulator must have been built with
+    /// [`FrequencyAccumulator::with_debias`] (debug-asserted): estimation
+    /// needs the `(p, q)` the reports were produced with.
+    #[inline]
+    pub fn note_report(&mut self) {
+        debug_assert!(
+            self.debias.is_some(),
+            "fused counting needs with_debias(); the (p, q) pair cannot be recovered later"
+        );
+        self.reports += 1;
+    }
+
+    /// Fused-engine path: records one raw hit for category `v` of the
+    /// current report. See [`FrequencyAccumulator::note_report`].
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the accumulator's domain.
+    #[inline]
+    pub fn note_hit(&mut self, v: u32) {
+        self.counts[v as usize] += 1;
+    }
+
     /// Domain size.
     pub fn k(&self) -> u32 {
         self.counts.len() as u32

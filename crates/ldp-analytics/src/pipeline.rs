@@ -10,37 +10,62 @@
 //!   via Laplace/SCDF/Staircase, or jointly via Duchi et al.'s Algorithm 3),
 //!   and every categorical attribute gets `ε/d` through the oracle.
 //!
-//! Users are simulated in parallel shards (std scoped threads); each shard
-//! owns a seeded RNG and local accumulators which are merged in shard order
-//! at the end. The shard count — not the worker-thread count — fully
-//! determines the RNG streams and the merge order, so estimates are
-//! bit-identical across machines with different core counts.
+//! ## Determinism model and scheduling
+//!
+//! A run's random draws are fully determined by three fixed quantities —
+//! the shard count ([`DEFAULT_SHARDS`] unless overridden), the block size
+//! ([`BLOCK_USERS`]), and the run seed. Each shard's contiguous user range
+//! is chopped into blocks of at most [`BLOCK_USERS`] users; block `b` (in
+//! user order) draws from an RNG seeded by `(run seed, b)` and accumulates
+//! into its own local accumulators, which are merged in block order at the
+//! end. Worker threads are pure *schedulers*: a deterministic work-stealing
+//! runner hands blocks to whichever worker is idle (a shared atomic cursor
+//! — idle workers steal the remaining blocks), so neither the worker count
+//! nor the steal order can change a single bit of any estimate. That
+//! invariant is what makes default-configuration runs reproducible across
+//! machines with different core counts, and it is enforced in CI by a job
+//! that diffs runs under different `--workers` values.
 //!
 //! The per-user loop is the system's hot path and is allocation-free in
-//! steady state: perturbation goes through
-//! [`SamplingPerturber::perturb_into`] with caller-owned scratch, and
-//! categorical aggregation through the count-based
-//! [`FrequencyAccumulator`] (O(set bits) per report instead of an O(k)
-//! support loop).
+//! steady state: each block wraps its seeded generator in an
+//! [`ldp_core::rng::RngBlock`] (one monomorphized batched refill instead of
+//! a virtual call per draw), perturbation goes through the fused
+//! [`SamplingPerturber::perturb_counting`] engine with caller-owned scratch
+//! — fully monomorphized over the batched rng, streaming each categorical
+//! hit into the count-based [`FrequencyAccumulator`] as it is placed — so a
+//! report costs O(set bits) total, with no second walk over any bit vector
+//! and no O(k) support loop.
 
 use crate::frequency::FrequencyAccumulator;
 use crate::mean::MeanAccumulator;
 use ldp_core::multidim::{DuchiMultidim, SamplingPerturber, SparseReport};
-use ldp_core::rng::seeded_rng;
+use ldp_core::rng::{seeded_rng, RngBlock};
 use ldp_core::{
-    AttrReport, AttrValue, CategoricalReport, Epsilon, LdpError, NumericKind, OracleKind, Result,
+    AnyOracle, AttrValue, CategoricalReport, Epsilon, LdpError, NumericKind, OracleKind, Result,
 };
 use ldp_data::Dataset;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default number of simulation shards.
 ///
 /// Fixed (rather than derived from `available_parallelism`) so that
 /// default-configuration runs are bit-for-bit reproducible across machines:
-/// each shard owns a seeded RNG stream, so the shard count is part of the
-/// experiment's definition, not a hardware detail. Override with
-/// [`Collector::with_threads`].
+/// shards define the contiguous user ranges the seeded blocks partition, so
+/// the shard count is part of the experiment's definition, not a hardware
+/// detail. Override with [`Collector::with_threads`].
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Maximum users per scheduling block.
+///
+/// Blocks are the unit of both seeding and scheduling: each shard range is
+/// chopped into blocks of at most this many users, block `b` draws from an
+/// RNG derived from `(run seed, b)`, and the work-stealing runner hands
+/// whole blocks to idle workers. The value is part of the determinism model
+/// (changing it re-partitions the RNG streams), chosen so that typical
+/// experiment sizes leave each shard a single block while paper-scale runs
+/// (millions of users) still split into enough blocks to load-balance.
+pub const BLOCK_USERS: usize = 16_384;
 
 /// How the best-effort baseline spends the numeric block's budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -150,18 +175,19 @@ impl Collector {
         }
     }
 
-    /// Overrides the shard count (1 for exact single-stream determinism).
-    /// Each shard owns an independent seeded RNG stream, so changing the
-    /// shard count changes the (equally valid) random draws.
+    /// Overrides the shard count (1 for exact single-stream determinism at
+    /// small n). Shards define the contiguous ranges the seeded blocks
+    /// partition, so changing the shard count changes the (equally valid)
+    /// random draws.
     pub fn with_threads(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
     }
 
-    /// Caps the number of OS worker threads that process the shards. This
-    /// is a scheduling knob only: any worker count produces bit-identical
-    /// estimates, because shards — not workers — own the RNG streams and
-    /// the merge order is fixed by shard index.
+    /// Caps the number of OS worker threads in the work-stealing runner.
+    /// This is a scheduling knob only: any worker count produces
+    /// bit-identical estimates, because blocks — not workers — own the RNG
+    /// streams and the merge order is fixed by block index.
     pub fn with_worker_threads(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
         self
@@ -172,47 +198,63 @@ impl Collector {
         self.protocol
     }
 
-    /// Runs every shard's closure across the worker pool, returning results
-    /// in shard order (worker scheduling cannot reorder or change them).
-    fn run_sharded<T, F>(&self, n: usize, f: F) -> Vec<Result<T>>
+    /// Runs every block's closure across the worker pool, returning results
+    /// in block order.
+    ///
+    /// Scheduling is deterministic work-stealing: a shared atomic cursor
+    /// over the block list; each worker claims (steals) the next unclaimed
+    /// block the moment it goes idle, so a straggler block never strands the
+    /// rest of the pool the way the old statically striped scheduler could.
+    /// Because every block owns its seed (derived from its index) and
+    /// results are scattered back into index-ordered slots, neither the
+    /// worker count nor the steal order can affect what this returns — only
+    /// how fast it returns it.
+    fn run_blocks<T, F>(&self, n: usize, f: F) -> Vec<Result<T>>
     where
         T: Send,
         F: Fn(usize, std::ops::Range<usize>) -> Result<T> + Sync,
     {
-        let ranges = shard_ranges(n, self.shards);
+        let blocks = block_ranges(n, self.shards);
         let workers = self
             .workers
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
-            .clamp(1, ranges.len());
-        let slots: Vec<Option<Result<T>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let ranges = &ranges;
-                    let f = &f;
-                    scope.spawn(move || {
-                        // Stride over shards so each shard's work is
-                        // independent of how many workers exist.
-                        ranges
-                            .iter()
-                            .enumerate()
-                            .skip(w)
-                            .step_by(workers)
-                            .map(|(c, range)| (c, f(c, range.clone())))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            let mut slots: Vec<Option<Result<T>>> = (0..ranges.len()).map(|_| None).collect();
-            for handle in handles {
-                for (c, res) in handle.join().expect("shard worker panicked") {
-                    slots[c] = Some(res);
-                }
+            .clamp(1, blocks.len());
+        let mut slots: Vec<Option<Result<T>>> = (0..blocks.len()).map(|_| None).collect();
+        if workers == 1 {
+            for (b, range) in blocks.iter().enumerate() {
+                slots[b] = Some(f(b, range.clone()));
             }
-            slots
-        });
+        } else {
+            let next = AtomicUsize::new(0);
+            let per_worker: Vec<Vec<(usize, Result<T>)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let blocks = &blocks;
+                        let next = &next;
+                        let f = &f;
+                        scope.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let b = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(range) = blocks.get(b) else { break };
+                                done.push((b, f(b, range.clone())));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("block worker panicked"))
+                    .collect()
+            });
+            for (b, res) in per_worker.into_iter().flatten() {
+                slots[b] = Some(res);
+            }
+        }
         slots
             .into_iter()
-            .map(|slot| slot.expect("every shard is scheduled on exactly one worker"))
+            .map(|slot| slot.expect("every block is claimed by exactly one worker"))
             .collect()
     }
 
@@ -254,29 +296,39 @@ impl Collector {
             slot_of[j] = Some(slot);
         }
 
-        let results = self.run_sharded(dataset.n(), |c, range| {
-            let mut rng = shard_rng(seed, c);
+        let results = self.run_blocks(dataset.n(), |b, range| {
+            // Batched, monomorphized, fused hot path: every draw comes from
+            // the block's buffered generator with no dyn dispatch, and
+            // categorical hits stream straight into the count accumulators
+            // as they are placed (no second walk over any bit vector).
+            let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(block_rng(seed, b));
             let mut means = MeanAccumulator::new(d);
             let mut freqs: Vec<FrequencyAccumulator> = cat_indices
                 .iter()
                 .map(|&j| {
-                    let k = perturber.oracle(j).expect("categorical").k();
-                    FrequencyAccumulator::new(k, scale)
+                    let oracle = perturber.oracle(j).expect("categorical");
+                    FrequencyAccumulator::with_debias(oracle.k(), scale, oracle.debias_params())
                 })
                 .collect();
             let mut tuple: Vec<AttrValue> = Vec::with_capacity(d);
             let mut report = SparseReport::with_capacity(d, perturber.k());
             let mut scratch = perturber.scratch();
+            // Hits follow their report event, so the slot lookup happens
+            // once per report and each hit is a bare counter increment.
+            let mut slot = 0usize;
             for i in range {
                 dataset.canonical_tuple_into(i, &mut tuple);
-                perturber.perturb_into(&tuple, &mut rng, &mut report, &mut scratch)?;
-                for (j, rep) in &report.entries {
-                    if let AttrReport::Categorical(cat) = rep {
-                        let slot = slot_of[*j as usize].expect("categorical index");
-                        let oracle = perturber.oracle(*j as usize).expect("categorical");
-                        freqs[slot].add(oracle, cat);
+                perturber.perturb_counting(&tuple, &mut rng, &mut report, &mut scratch, |obs| {
+                    match obs {
+                        ldp_core::multidim::CatObservation::Report { attr } => {
+                            slot = slot_of[attr as usize].expect("categorical index");
+                            freqs[slot].note_report();
+                        }
+                        ldp_core::multidim::CatObservation::Hit { category, .. } => {
+                            freqs[slot].note_hit(category);
+                        }
                     }
-                }
+                })?;
                 means.add_sparse(&report)?;
             }
             Ok((means, freqs))
@@ -350,22 +402,24 @@ impl Collector {
                 }
             }
         };
-        let oracles: Vec<Box<dyn ldp_core::FrequencyOracle>> = cat_indices
+        // Unboxed oracles: the per-entry perturbation below dispatches with
+        // one match and monomorphizes over the block's batched rng.
+        let oracles: Vec<AnyOracle> = cat_indices
             .iter()
             .map(|&j| {
                 let ldp_core::AttrSpec::Categorical { k } = schema.attr_specs()[j] else {
                     unreachable!("categorical index");
                 };
-                oracle.build(per_attr_eps, k)
+                AnyOracle::build(oracle, per_attr_eps, k)
             })
             .collect::<Result<Vec<_>>>()?;
 
-        let results = self.run_sharded(dataset.n(), |c, range| {
-            let mut rng = shard_rng(seed, c);
+        let results = self.run_blocks(dataset.n(), |b, range| {
+            let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(block_rng(seed, b));
             let mut means = MeanAccumulator::new(d);
             let mut freqs: Vec<FrequencyAccumulator> = oracles
                 .iter()
-                .map(|o| FrequencyAccumulator::new(o.k(), 1.0))
+                .map(|o| FrequencyAccumulator::with_debias(o.k(), 1.0, o.debias_params()))
                 .collect();
             let mut tuple: Vec<AttrValue> = Vec::with_capacity(d);
             let mut dense = vec![0.0; d];
@@ -416,8 +470,16 @@ impl Collector {
                     let AttrValue::Categorical(v) = tuple[j] else {
                         unreachable!("schema-validated");
                     };
-                    oracles[slot].perturb_into(v, &mut rng, &mut cat_reports[slot])?;
-                    freqs[slot].add(oracles[slot].as_ref(), &cat_reports[slot]);
+                    // Fused perturb-and-count: hits stream into the
+                    // accumulator as the oracle places them.
+                    let acc = &mut freqs[slot];
+                    acc.note_report();
+                    oracles[slot].perturb_into_noting(
+                        v,
+                        &mut rng,
+                        &mut cat_reports[slot],
+                        |c| acc.note_hit(c),
+                    )?;
                 }
                 means.add_dense(&dense)?;
             }
@@ -464,9 +526,31 @@ fn shard_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-/// Decorrelated per-shard RNG.
-fn shard_rng(seed: u64, shard: usize) -> rand::rngs::StdRng {
-    seeded_rng(seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+/// The deterministic block partition: every shard range chopped into blocks
+/// of at most [`BLOCK_USERS`] users, listed in user order. This layout —
+/// together with [`block_rng`] — *is* the run's randomness structure; the
+/// scheduler merely decides which worker executes which block.
+fn block_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shard_list = shard_ranges(n, shards);
+    let mut out = Vec::with_capacity(shard_list.len());
+    for shard in shard_list {
+        let mut start = shard.start;
+        while shard.end - start > BLOCK_USERS {
+            out.push(start..start + BLOCK_USERS);
+            start += BLOCK_USERS;
+        }
+        out.push(start..shard.end);
+    }
+    out
+}
+
+/// Decorrelated per-block RNG, derived from `(run seed, block index)`.
+///
+/// When every shard fits in a single block (n ≤ shards · [`BLOCK_USERS`]),
+/// block indices coincide with shard indices and this reproduces the
+/// pre-block per-shard streams exactly.
+fn block_rng(seed: u64, block: usize) -> rand::rngs::StdRng {
+    seeded_rng(seed ^ (block as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// MSE of the mean estimates over the numeric attributes, against the
@@ -656,6 +740,33 @@ mod tests {
                 assert_eq!(default.mean_vector(), capped.mean_vector(), "{workers}");
                 assert_eq!(default.frequencies, capped.frequencies, "{workers}");
             }
+        }
+    }
+
+    #[test]
+    fn multi_block_shards_are_invariant_to_workers_and_steal_order() {
+        // Force shard ranges larger than BLOCK_USERS so a single shard
+        // splits into several seeded blocks, then check the work-stealing
+        // runner still produces bit-identical estimates for every worker
+        // count (steal order varies run to run; results must not).
+        let n = 2 * BLOCK_USERS + 777;
+        let ds = numeric_dataset(n, 2, gaussian(0.1), 46).unwrap();
+        let base = Collector::new(
+            Protocol::Sampling {
+                numeric: NumericKind::Hybrid,
+                oracle: OracleKind::Oue,
+            },
+            eps(2.0),
+        )
+        .with_threads(2); // 2 shards → 2–3 blocks each
+        let reference = base.clone().with_worker_threads(1).run(&ds, 21).unwrap();
+        for workers in [2usize, 5, 32] {
+            let got = base
+                .clone()
+                .with_worker_threads(workers)
+                .run(&ds, 21)
+                .unwrap();
+            assert_eq!(reference.mean_vector(), got.mean_vector(), "{workers}");
         }
     }
 

@@ -1,0 +1,94 @@
+//! `determinism` — prints bit-exact pipeline estimates for diffing.
+//!
+//! The collection pipeline's determinism model promises that worker count
+//! and steal order never change an estimate: blocks own the RNG streams and
+//! the merge order. This binary makes that promise diffable. It runs both
+//! protocol families over a fixed census workload with the worker counts in
+//! `--workers` (comma-separated), asserts in-process that every count
+//! yields identical results, and prints each estimate's exact bit pattern —
+//! never the worker counts themselves — so
+//!
+//! ```text
+//! cargo run --release -p ldp-bench --bin determinism -- --workers 1 > a.txt
+//! cargo run --release -p ldp-bench --bin determinism -- --workers 7 > b.txt
+//! diff a.txt b.txt
+//! ```
+//!
+//! is an end-to-end, cross-process check of scheduler invariance. CI runs
+//! exactly that pair on every change.
+
+use ldp_analytics::{BestEffortNumeric, CollectionResult, Collector, Protocol};
+use ldp_bench::Args;
+use ldp_core::{Epsilon, NumericKind, OracleKind};
+use ldp_data::census::generate_br;
+
+/// Fixed workload size: small enough for CI, large enough that every shard
+/// splits across categorical and numeric work.
+const USERS: usize = 24_000;
+
+fn print_result(label: &str, eps: f64, result: &CollectionResult) {
+    println!("{label} eps={eps} n={}", result.n);
+    for (j, mean) in &result.means {
+        println!("  mean[{j}] = {:016x}", mean.to_bits());
+    }
+    for (j, freqs) in &result.frequencies {
+        let bits: Vec<String> = freqs
+            .iter()
+            .map(|f| format!("{:016x}", f.to_bits()))
+            .collect();
+        println!("  freq[{j}] = {}", bits.join(" "));
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let workers = args.worker_sweep();
+    let dataset = generate_br(USERS, args.seed ^ 0xD1FF).expect("census generator");
+    for (label, protocol) in [
+        (
+            "Sampling(HM+OUE)",
+            Protocol::Sampling {
+                numeric: NumericKind::Hybrid,
+                oracle: OracleKind::Oue,
+            },
+        ),
+        (
+            "BestEffort(Duchi+GRR)",
+            Protocol::BestEffort {
+                numeric: BestEffortNumeric::DuchiMultidim,
+                oracle: OracleKind::Grr,
+            },
+        ),
+    ] {
+        for eps in [1.0f64, 4.0] {
+            let collector = Collector::new(protocol, Epsilon::new(eps).expect("positive"));
+            let mut reference: Option<CollectionResult> = None;
+            for &w in &workers {
+                let result = collector
+                    .clone()
+                    .with_worker_threads(w)
+                    .run(&dataset, args.seed)
+                    .expect("valid dataset");
+                match &reference {
+                    None => reference = Some(result),
+                    Some(r) => {
+                        assert_eq!(
+                            r.mean_vector(),
+                            result.mean_vector(),
+                            "{label} eps={eps}: workers={w} changed the means"
+                        );
+                        assert_eq!(
+                            r.frequencies, result.frequencies,
+                            "{label} eps={eps}: workers={w} changed the frequencies"
+                        );
+                    }
+                }
+            }
+            print_result(
+                label,
+                eps,
+                reference.as_ref().expect("at least one worker count"),
+            );
+        }
+    }
+}

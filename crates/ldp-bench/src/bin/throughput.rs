@@ -1,17 +1,35 @@
 //! Throughput bench: users/sec of the client→aggregator hot path over a
-//! protocol × ε × d × k grid, baseline vs streaming engine.
+//! protocol × ε × d × k grid — pre-optimization baseline vs scalar
+//! streaming vs batched-RNG streaming — plus a `--workers` sweep of the
+//! work-stealing pipeline runner.
 //!
 //! Prints a human-readable table and, with `--out FILE`, writes the JSON
-//! report (the `BENCH_throughput.json` trajectory artifact).
+//! report (the `BENCH_throughput.json` trajectory artifact). The write is
+//! atomic (temp file + rename in the target directory), so a killed run can
+//! never leave a truncated artifact that a later existence check
+//! half-passes.
 
 use ldp_bench::{emit, throughput, Args};
+use std::path::Path;
+
+/// Writes `contents` to `path` via a sibling temp file + rename, so readers
+/// only ever observe the old artifact or the complete new one.
+fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let target = Path::new(path);
+    let mut tmp = target.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    std::fs::write(tmp, contents)?;
+    // Same-directory rename: atomic on POSIX, and never a cross-device move.
+    std::fs::rename(tmp, target)
+}
 
 fn main() {
     let args = Args::parse();
     let report = throughput::run(&args);
     emit("throughput", &report.render());
     if let Some(path) = &args.out {
-        std::fs::write(path, report.to_json())
+        write_atomic(path, &report.to_json())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("wrote {path}");
     }

@@ -29,6 +29,11 @@ pub struct Args {
     /// Output file for machine-readable (JSON) results, for binaries that
     /// emit them (currently `throughput`).
     pub out: Option<String>,
+    /// Worker counts for scheduling-sensitive binaries: the `throughput`
+    /// bench sweeps each value, `determinism` runs the pipeline at each and
+    /// insists the results match. `None` uses a mode-appropriate default
+    /// (see [`Args::worker_sweep`]).
+    pub workers: Option<Vec<usize>>,
 }
 
 impl Default for Args {
@@ -44,14 +49,16 @@ impl Default for Args {
             full_scale: false,
             quick: false,
             out: None,
+            workers: None,
         }
     }
 }
 
 impl Args {
     /// Parses `std::env::args()`, honoring `--users`, `--runs`, `--threads`,
-    /// `--seed`, `--folds`, `--repeats`, `--ml-users`, `--full-scale`, and
-    /// `--quick`.
+    /// `--seed`, `--folds`, `--repeats`, `--ml-users`, `--full-scale`,
+    /// `--quick`, `--out`, and `--workers` (a comma-separated list, e.g.
+    /// `--workers 1,2,8`).
     ///
     /// # Panics
     /// Panics with a usage message on malformed flags (these are operator
@@ -90,9 +97,25 @@ impl Args {
                             .unwrap_or_else(|| panic!("missing value for --out")),
                     )
                 }
+                "--workers" => {
+                    let raw = it
+                        .next()
+                        .unwrap_or_else(|| panic!("missing value for --workers"));
+                    let list: Vec<usize> = raw
+                        .split(',')
+                        .map(|w| {
+                            w.trim()
+                                .parse()
+                                .unwrap_or_else(|e| panic!("bad value for --workers: {e}"))
+                        })
+                        .collect();
+                    assert!(!list.is_empty(), "--workers needs at least one count");
+                    assert!(list.iter().all(|&w| w >= 1), "--workers counts must be ≥ 1");
+                    out.workers = Some(list);
+                }
                 other => panic!(
                     "unknown flag `{other}`; supported: --users --runs --threads --seed \
-                     --folds --repeats --ml-users --full-scale --quick --out"
+                     --folds --repeats --ml-users --full-scale --quick --out --workers"
                 ),
             }
         }
@@ -115,6 +138,16 @@ impl Args {
             self.ml_users = 6_000;
         }
         self
+    }
+
+    /// The worker counts to sweep: the explicit `--workers` list when given,
+    /// otherwise `[1, 2, 4]` in quick mode and `[1, 2, 4, 8]` elsewhere.
+    pub fn worker_sweep(&self) -> Vec<usize> {
+        match &self.workers {
+            Some(list) => list.clone(),
+            None if self.quick => vec![1, 2, 4],
+            None => vec![1, 2, 4, 8],
+        }
     }
 
     /// Per-run seed derivation.
@@ -157,6 +190,22 @@ mod tests {
     fn out_flag() {
         let a = parse(&["--out", "BENCH_throughput.json"]);
         assert_eq!(a.out.as_deref(), Some("BENCH_throughput.json"));
+    }
+
+    #[test]
+    fn workers_flag_parses_comma_list() {
+        let a = parse(&["--workers", "1,2,16"]);
+        assert_eq!(a.workers, Some(vec![1, 2, 16]));
+        assert_eq!(a.worker_sweep(), vec![1, 2, 16]);
+        // Defaults depend on the mode when the flag is absent.
+        assert_eq!(parse(&[]).worker_sweep(), vec![1, 2, 4, 8]);
+        assert_eq!(parse(&["--quick"]).worker_sweep(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--workers")]
+    fn workers_flag_rejects_zero() {
+        parse(&["--workers", "0"]);
     }
 
     #[test]

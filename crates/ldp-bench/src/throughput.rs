@@ -2,31 +2,56 @@
 //!
 //! The estimation benches answer "how accurate"; this bench anchors the
 //! perf trajectory by answering "how fast". For every cell of a
-//! protocol × ε × d × k grid it simulates the per-user hot loop twice:
+//! protocol × ε × d × k grid it simulates the per-user hot loop three
+//! times:
 //!
 //! * **baseline** — the pre-optimization path: an allocating
 //!   `perturb`-style loop with the naive per-bit unary sampler
-//!   ([`FrequencyOracle::perturb_naive`]), a linear slot scan per entry,
-//!   and the O(k) per-report `support()` aggregation loop;
-//! * **fast** — the streaming engine: `perturb_into` with caller-owned
-//!   scratch (sparse binomial-count bit sampling, recycled bit vectors), a
-//!   precomputed attribute→slot table, and count-based aggregation.
+//!   ([`ldp_core::FrequencyOracle::perturb_naive`]), a linear slot scan per
+//!   entry, and the O(k) per-report `support()` aggregation loop;
+//! * **fast** — the streaming engine with *scalar* randomness:
+//!   `perturb_into` with caller-owned scratch (sparse binomial-count bit
+//!   sampling, recycled bit vectors), a precomputed attribute→slot table,
+//!   and count-based aggregation, drawing through `&mut dyn RngCore` (one
+//!   virtual call per draw);
+//! * **batched** — this PR's engine: the streaming loop monomorphized over
+//!   an [`RngBlock`] (one batched refill amortizes the generator's state
+//!   update, placement draws arrive as buffer slices, no dyn dispatch
+//!   anywhere in the per-draw path) with *fused* perturb-and-count
+//!   aggregation — categorical hits stream into the count accumulators as
+//!   they are placed, so a report is never walked twice.
 //!
-//! Both arms run the same workload single-threaded (users/sec per core),
-//! and both numbers land in the JSON report so the speedup is recorded
+//! All arms run the same workload single-threaded (users/sec per core) and
+//! all numbers land in the JSON report, so every speedup is recorded
 //! against the in-tree baseline rather than a lost git revision.
+//!
+//! Two accuracy guards ride along. Each cell carries an
+//! `estimate_checksum` — an FNV-1a fold over the bit patterns of the
+//! frequency estimates from a fixed-size run ([`CHECKSUM_USERS`] users,
+//! mode-independent) — which CI compares against the committed JSON and
+//! fails on *any* drift; the bench itself asserts the scalar and batched
+//! arms produce bit-identical estimates before emitting the checksum. And a
+//! `--workers` sweep times the full [`Collector`] pipeline (work-stealing
+//! block runner) at several worker counts, asserting every count yields the
+//! same estimate checksum — the worker-invariance half of the determinism
+//! model.
 
 use crate::cli::Args;
 use crate::table::{fixed, Table};
-use ldp_analytics::{FrequencyAccumulator, MeanAccumulator};
+use ldp_analytics::{Collector, FrequencyAccumulator, MeanAccumulator, Protocol};
 use ldp_core::multidim::{SamplingPerturber, SparseReport};
-use ldp_core::rng::{sample_distinct, seeded_rng};
+use ldp_core::rng::{sample_distinct, seeded_rng, DrawSource, RngBlock};
 use ldp_core::{
-    AttrReport, AttrSpec, AttrValue, CategoricalReport, Epsilon, FrequencyOracle, NumericKind,
-    OracleKind,
+    AnyOracle, AttrReport, AttrSpec, AttrValue, CategoricalReport, Epsilon, NumericKind, OracleKind,
 };
-use rand::Rng;
+use ldp_data::census::generate_br;
+use rand::{Rng, RngCore};
 use std::time::Instant;
+
+/// Users used for the per-cell estimate checksum. Fixed — independent of
+/// `--quick` / `--full-scale` — so checksums from a CI smoke run are
+/// comparable against the committed default-mode JSON.
+pub const CHECKSUM_USERS: usize = 10_000;
 
 /// One measured grid cell.
 #[derive(Debug, Clone)]
@@ -46,10 +71,47 @@ pub struct ThroughputCell {
     pub users: usize,
     /// Users/sec of the pre-optimization path.
     pub baseline_users_per_sec: f64,
-    /// Users/sec of the streaming engine.
+    /// Users/sec of the streaming engine with scalar (dyn-dispatched)
+    /// randomness.
     pub fast_users_per_sec: f64,
+    /// Users/sec of the batched engine: monomorphized over [`RngBlock`]
+    /// with fused perturb-and-count aggregation.
+    pub batched_users_per_sec: f64,
     /// `fast / baseline`.
     pub speedup: f64,
+    /// `batched / fast` — the win attributable to the batched-RNG fused
+    /// engine over the scalar streaming engine.
+    pub batched_speedup: f64,
+    /// FNV-1a fold of the frequency-estimate bit patterns from a fixed
+    /// [`CHECKSUM_USERS`]-user run; the scalar and batched arms are asserted
+    /// bit-identical before this is recorded, and CI fails if it drifts from
+    /// the committed JSON at all.
+    pub estimate_checksum: u64,
+}
+
+/// One timed worker count of the pipeline sweep.
+#[derive(Debug, Clone)]
+pub struct WorkerSweepCell {
+    /// Worker-thread cap handed to the work-stealing runner.
+    pub workers: usize,
+    /// End-to-end users/sec of `Collector::run`.
+    pub users_per_sec: f64,
+    /// FNV-1a fold of every estimate's bit pattern — identical across all
+    /// worker counts by the determinism model (asserted while sweeping).
+    pub estimate_checksum: u64,
+}
+
+/// The `--workers` sweep: the full pipeline on a census workload.
+#[derive(Debug, Clone)]
+pub struct WorkerSweep {
+    /// Protocol label.
+    pub protocol: String,
+    /// Privacy budget.
+    pub eps: f64,
+    /// Simulated users (fixed across modes so checksums are comparable).
+    pub users: usize,
+    /// One entry per swept worker count.
+    pub cells: Vec<WorkerSweepCell>,
 }
 
 /// The full grid result.
@@ -61,6 +123,8 @@ pub struct ThroughputReport {
     pub seed: u64,
     /// All measured cells.
     pub cells: Vec<ThroughputCell>,
+    /// The `--workers` pipeline sweep.
+    pub worker_sweep: WorkerSweep,
 }
 
 /// Which collection protocol a cell measures.
@@ -138,12 +202,35 @@ fn time_users_per_sec(users: usize, mut work: impl FnMut()) -> f64 {
     users as f64 / secs
 }
 
+/// Times the three arms of one cell interleaved, best-of-3 each: one
+/// untimed warmup per arm, then three rounds of baseline→fast→batched.
+/// Interleaving means slow thermal / frequency drift hits all arms alike
+/// instead of systematically penalizing whichever arm runs last, and
+/// best-of discards one-sided scheduling noise.
+fn time_arms(users: usize, mut arms: [&mut dyn FnMut(); 3]) -> [f64; 3] {
+    for arm in arms.iter_mut() {
+        arm();
+    }
+    let mut best = [f64::MAX; 3];
+    for _ in 0..3 {
+        for (i, arm) in arms.iter_mut().enumerate() {
+            let start = Instant::now();
+            arm();
+            best[i] = best[i].min(start.elapsed().as_secs_f64().max(1e-9));
+        }
+    }
+    best.map(|secs| users as f64 / secs)
+}
+
 /// The pre-PR hot loop for Algorithm 4: allocating perturbation with the
 /// naive per-bit unary sampler, linear slot scans, and O(k) support-loop
 /// aggregation. Returns the frequency estimates so the optimizer cannot
 /// discard the work.
 fn run_sampling_baseline(p: &SamplingPerturber, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
-    let mut rng = seeded_rng(seed);
+    let mut seeded = seeded_rng(seed);
+    // The historical path drew through a trait object; pin that dispatch so
+    // the baseline arm keeps measuring what it always measured.
+    let mut rng: &mut dyn RngCore = &mut seeded;
     let d = w.d;
     let cat_indices: Vec<usize> = (0..d).filter(|&j| !w.specs[j].is_numeric()).collect();
     let mut means = MeanAccumulator::new(d);
@@ -197,10 +284,81 @@ fn run_sampling_baseline(p: &SamplingPerturber, w: &Workload, seed: u64) -> Vec<
         .collect()
 }
 
-/// The streaming hot loop for Algorithm 4: `perturb_into` with scratch,
-/// slot-table dispatch, count-based aggregation.
+/// The streaming hot loop for Algorithm 4 with scalar randomness: every
+/// draw is a virtual call through `&mut dyn RngCore`, exactly as the
+/// pipeline ran before the batched RNG layer.
 fn run_sampling_fast(p: &SamplingPerturber, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
-    let mut rng = seeded_rng(seed);
+    let mut seeded = seeded_rng(seed);
+    let rng: &mut dyn RngCore = &mut seeded;
+    run_sampling_streaming(p, w, rng)
+}
+
+/// This PR's engine: monomorphized over the batched [`RngBlock`] (no
+/// virtual call anywhere in the per-draw path) *and* fused — categorical
+/// hits stream into the count accumulators as the oracle places them, so a
+/// report is never walked twice and categorical entries never cycle through
+/// the sparse report at all. Bit-identical output to [`run_sampling_fast`]
+/// under the same seed: the block is a stream-exact prefix of the scalar
+/// generator, and the streamed hits are exactly the set bits the scalar
+/// engine re-reads (asserted per cell before the checksum is recorded).
+fn run_sampling_batched(p: &SamplingPerturber, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
+    use ldp_core::multidim::CatObservation;
+    let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(seeded_rng(seed));
+    let d = w.d;
+    let cat_indices: Vec<usize> = (0..d).filter(|&j| !w.specs[j].is_numeric()).collect();
+    let mut slot_of: Vec<Option<usize>> = vec![None; d];
+    for (slot, &j) in cat_indices.iter().enumerate() {
+        slot_of[j] = Some(slot);
+    }
+    let mut means = MeanAccumulator::new(d);
+    let mut freqs: Vec<FrequencyAccumulator> = cat_indices
+        .iter()
+        .map(|&j| {
+            let oracle = p.oracle(j).expect("categorical");
+            FrequencyAccumulator::with_debias(oracle.k(), p.scale(), oracle.debias_params())
+        })
+        .collect();
+    let mut report = SparseReport::with_capacity(d, p.k());
+    let mut scratch = p.scratch();
+    // Hits follow their report event, so the slot lookup happens once per
+    // report and each hit is a bare counter increment.
+    let mut slot = 0usize;
+    for i in 0..w.users {
+        p.perturb_counting(
+            w.tuple(i),
+            &mut rng,
+            &mut report,
+            &mut scratch,
+            |obs| match obs {
+                CatObservation::Report { attr } => {
+                    slot = slot_of[attr as usize].expect("categorical index");
+                    freqs[slot].note_report();
+                }
+                CatObservation::Hit { category, .. } => {
+                    freqs[slot].note_hit(category);
+                }
+            },
+        )
+        .expect("valid tuple");
+        means.add_sparse(&report).expect("matching dimensions");
+    }
+    freqs
+        .iter_mut()
+        .map(|f| {
+            f.set_population(w.users);
+            f.estimate().expect("population set")
+        })
+        .collect()
+}
+
+/// Shared streaming engine: `perturb_into` with scratch, slot-table
+/// dispatch, count-based aggregation. Generic over the rng so the scalar
+/// and batched arms time the same code with different dispatch.
+fn run_sampling_streaming<R: DrawSource + ?Sized>(
+    p: &SamplingPerturber,
+    w: &Workload,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
     let d = w.d;
     let cat_indices: Vec<usize> = (0..d).filter(|&j| !w.specs[j].is_numeric()).collect();
     let mut slot_of: Vec<Option<usize>> = vec![None; d];
@@ -215,7 +373,7 @@ fn run_sampling_fast(p: &SamplingPerturber, w: &Workload, seed: u64) -> Vec<Vec<
     let mut report = SparseReport::with_capacity(d, p.k());
     let mut scratch = p.scratch();
     for i in 0..w.users {
-        p.perturb_into(w.tuple(i), &mut rng, &mut report, &mut scratch)
+        p.perturb_into(w.tuple(i), &mut *rng, &mut report, &mut scratch)
             .expect("valid tuple");
         for (j, rep) in &report.entries {
             if let AttrReport::Categorical(cat) = rep {
@@ -234,10 +392,12 @@ fn run_sampling_fast(p: &SamplingPerturber, w: &Workload, seed: u64) -> Vec<Vec<
         .collect()
 }
 
-/// Oracles and the ε/d numeric mechanism for the composition baseline.
+/// Oracles and the ε/d numeric mechanism for the composition baseline. The
+/// oracles are unboxed so the streaming arms can monomorphize; the baseline
+/// arm reaches the trait path through [`AnyOracle::as_dyn`].
 struct CompositionState {
     mech: Box<dyn ldp_core::NumericMechanism>,
-    oracles: Vec<Option<Box<dyn FrequencyOracle>>>,
+    oracles: Vec<Option<AnyOracle>>,
 }
 
 fn composition_state(
@@ -253,7 +413,9 @@ fn composition_state(
             .iter()
             .map(|spec| match spec {
                 AttrSpec::Numeric => None,
-                AttrSpec::Categorical { k } => Some(oracle.build(per_attr, *k).expect("k ≥ 2")),
+                AttrSpec::Categorical { k } => {
+                    Some(AnyOracle::build(oracle, per_attr, *k).expect("k ≥ 2"))
+                }
             })
             .collect(),
     }
@@ -262,7 +424,8 @@ fn composition_state(
 /// Pre-PR composition loop: naive per-bit perturbation + support-loop
 /// aggregation over every attribute.
 fn run_composition_baseline(state: &CompositionState, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
-    let mut rng = seeded_rng(seed);
+    let mut seeded = seeded_rng(seed);
+    let rng: &mut dyn RngCore = &mut seeded;
     let mut supports: Vec<Vec<f64>> = state
         .oracles
         .iter()
@@ -275,11 +438,11 @@ fn run_composition_baseline(state: &CompositionState, w: &Workload, seed: u64) -
         for (j, value) in w.tuple(i).iter().enumerate() {
             match value {
                 AttrValue::Numeric(x) => {
-                    mean_sum += state.mech.perturb(*x, &mut rng).expect("valid input");
+                    mean_sum += state.mech.perturb(*x, &mut *rng).expect("valid input");
                 }
                 AttrValue::Categorical(v) => {
-                    let oracle = state.oracles[j].as_deref().expect("categorical");
-                    let rep = oracle.perturb_naive(*v, &mut rng).expect("valid category");
+                    let oracle = state.oracles[j].as_ref().expect("categorical").as_dyn();
+                    let rep = oracle.perturb_naive(*v, &mut *rng).expect("valid category");
                     for cat in 0..oracle.k() {
                         supports[slot][cat as usize] += oracle.support(&rep, cat);
                     }
@@ -295,10 +458,61 @@ fn run_composition_baseline(state: &CompositionState, w: &Workload, seed: u64) -
         .collect()
 }
 
-/// Streaming composition loop: `perturb_into` report reuse + count-based
-/// aggregation.
+/// Streaming composition loop with scalar (dyn-dispatched) randomness.
 fn run_composition_fast(state: &CompositionState, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
-    let mut rng = seeded_rng(seed);
+    let mut seeded = seeded_rng(seed);
+    let rng: &mut dyn RngCore = &mut seeded;
+    run_composition_streaming(state, w, rng)
+}
+
+/// This PR's composition engine: monomorphized over the batched
+/// [`RngBlock`] with fused perturb-and-count (see [`run_sampling_batched`]).
+fn run_composition_batched(state: &CompositionState, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(seeded_rng(seed));
+    let mut freqs: Vec<FrequencyAccumulator> = state
+        .oracles
+        .iter()
+        .flatten()
+        .map(|o| FrequencyAccumulator::with_debias(o.k(), 1.0, o.debias_params()))
+        .collect();
+    let mut cat_reports: Vec<CategoricalReport> =
+        freqs.iter().map(|_| CategoricalReport::Value(0)).collect();
+    let mut mean_sum = 0.0f64;
+    for i in 0..w.users {
+        let mut slot = 0usize;
+        for (j, value) in w.tuple(i).iter().enumerate() {
+            match value {
+                AttrValue::Numeric(x) => {
+                    mean_sum += state.mech.perturb(*x, &mut &mut rng).expect("valid input");
+                }
+                AttrValue::Categorical(v) => {
+                    let oracle = state.oracles[j].as_ref().expect("categorical");
+                    let acc = &mut freqs[slot];
+                    acc.note_report();
+                    oracle
+                        .perturb_into_noting(*v, &mut rng, &mut cat_reports[slot], |c| {
+                            acc.note_hit(c)
+                        })
+                        .expect("valid category");
+                    slot += 1;
+                }
+            }
+        }
+    }
+    std::hint::black_box(mean_sum);
+    freqs
+        .iter()
+        .map(|f| f.estimate().expect("reports absorbed"))
+        .collect()
+}
+
+/// Shared streaming composition engine: `perturb_into` report reuse +
+/// count-based aggregation, generic over the rng.
+fn run_composition_streaming<R: DrawSource + ?Sized>(
+    state: &CompositionState,
+    w: &Workload,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
     let mut freqs: Vec<FrequencyAccumulator> = state
         .oracles
         .iter()
@@ -313,14 +527,14 @@ fn run_composition_fast(state: &CompositionState, w: &Workload, seed: u64) -> Ve
         for (j, value) in w.tuple(i).iter().enumerate() {
             match value {
                 AttrValue::Numeric(x) => {
-                    mean_sum += state.mech.perturb(*x, &mut rng).expect("valid input");
+                    mean_sum += state.mech.perturb(*x, &mut &mut *rng).expect("valid input");
                 }
                 AttrValue::Categorical(v) => {
-                    let oracle = state.oracles[j].as_deref().expect("categorical");
+                    let oracle = state.oracles[j].as_ref().expect("categorical");
                     oracle
-                        .perturb_into(*v, &mut rng, &mut cat_reports[slot])
+                        .perturb_into(*v, &mut *rng, &mut cat_reports[slot])
                         .expect("valid category");
-                    freqs[slot].add(oracle, &cat_reports[slot]);
+                    freqs[slot].add(oracle.as_dyn(), &cat_reports[slot]);
                     slot += 1;
                 }
             }
@@ -333,6 +547,69 @@ fn run_composition_fast(state: &CompositionState, w: &Workload, seed: u64) -> Ve
         .collect()
 }
 
+/// FNV-1a 64-bit fold over the little-endian bit patterns of a nested
+/// estimate table. Order-sensitive and exact: two estimate sets hash equal
+/// iff every f64 is bit-identical in the same position.
+fn checksum_estimates(estimates: &[Vec<f64>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for row in estimates {
+        for &x in row {
+            for b in x.to_bits().to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}
+
+/// Runs the `--workers` sweep: the full `Collector` pipeline (work-stealing
+/// block runner, batched RNG) on a BR-census workload, timed at each worker
+/// count. Panics if any worker count changes the estimate checksum — that
+/// would be a determinism-model violation, and CI separately enforces it by
+/// diffing runs.
+pub fn run_worker_sweep(workers: &[usize], users: usize, seed: u64) -> WorkerSweep {
+    let eps = 4.0;
+    let dataset = generate_br(users, seed ^ 0xB12).expect("census generator");
+    let collector = Collector::new(
+        Protocol::Sampling {
+            numeric: NumericKind::Hybrid,
+            oracle: OracleKind::Oue,
+        },
+        Epsilon::new(eps).expect("positive"),
+    );
+    let mut cells = Vec::with_capacity(workers.len());
+    let mut reference: Option<u64> = None;
+    for &w in workers {
+        let c = collector.clone().with_worker_threads(w);
+        let mut checksum = 0u64;
+        let users_per_sec = time_users_per_sec(users, || {
+            let result = c.run(&dataset, seed).expect("valid dataset");
+            let mut table: Vec<Vec<f64>> = vec![result.mean_vector()];
+            table.extend(result.frequencies.iter().map(|(_, f)| f.clone()));
+            checksum = checksum_estimates(&table);
+        });
+        match reference {
+            None => reference = Some(checksum),
+            Some(r) => assert_eq!(
+                r, checksum,
+                "worker count {w} changed the estimates — determinism violation"
+            ),
+        }
+        cells.push(WorkerSweepCell {
+            workers: w,
+            users_per_sec,
+            estimate_checksum: checksum,
+        });
+    }
+    WorkerSweep {
+        protocol: "Sampling(HM+OUE) on BR census".into(),
+        eps,
+        users,
+        cells,
+    }
+}
+
 /// Users per cell, scaled so every cell does comparable total bit-work:
 /// the baseline arm costs O(reports × k_dom) per user.
 fn users_for_cell(args: &Args, reports_per_user: usize, k_dom: u32) -> usize {
@@ -341,8 +618,18 @@ fn users_for_cell(args: &Args, reports_per_user: usize, k_dom: u32) -> usize {
     (budget / cost).clamp(1_000, args.users.max(1_000))
 }
 
-/// Runs the full grid.
+/// Simulated users in the `--workers` pipeline sweep. Fixed across modes so
+/// sweep checksums from any run of the binary are comparable.
+pub const SWEEP_USERS: usize = 100_000;
+
+/// Runs the full grid with the standard [`SWEEP_USERS`] pipeline sweep.
 pub fn run(args: &Args) -> ThroughputReport {
+    run_with_sweep_users(args, SWEEP_USERS)
+}
+
+/// Grid + sweep with an explicit sweep size (tests use a small one; the
+/// binary always uses [`SWEEP_USERS`]).
+fn run_with_sweep_users(args: &Args, sweep_users: usize) -> ThroughputReport {
     let protocols = [
         BenchProtocol::Sampling(NumericKind::Hybrid, OracleKind::Oue),
         BenchProtocol::Sampling(NumericKind::Hybrid, OracleKind::Sue),
@@ -366,6 +653,9 @@ pub fn run(args: &Args) -> ThroughputReport {
             }
         }
     }
+    // Pipeline sweep at a fixed, mode-independent size so its checksums are
+    // comparable between a CI smoke run and the committed default-mode JSON.
+    let worker_sweep = run_worker_sweep(&args.worker_sweep(), sweep_users, args.seed);
     ThroughputReport {
         mode: if args.quick {
             "quick".into()
@@ -376,6 +666,7 @@ pub fn run(args: &Args) -> ThroughputReport {
         },
         seed: args.seed,
         cells,
+        worker_sweep,
     }
 }
 
@@ -393,12 +684,32 @@ fn run_cell(
                 .expect("valid schema");
             let users = users_for_cell(args, p.k(), k_dom);
             let w = Workload::generate(users, d, k_dom, args.seed ^ 0xBE1C);
-            let baseline = time_users_per_sec(users, || {
-                std::hint::black_box(run_sampling_baseline(&p, &w, args.seed));
-            });
-            let fast = time_users_per_sec(users, || {
-                std::hint::black_box(run_sampling_fast(&p, &w, args.seed));
-            });
+            let [baseline, fast, batched] = time_arms(
+                users,
+                [
+                    &mut || {
+                        std::hint::black_box(run_sampling_baseline(&p, &w, args.seed));
+                    },
+                    &mut || {
+                        std::hint::black_box(run_sampling_fast(&p, &w, args.seed));
+                    },
+                    &mut || {
+                        std::hint::black_box(run_sampling_batched(&p, &w, args.seed));
+                    },
+                ],
+            );
+            // Accuracy fields: a fixed-size run, with the scalar and batched
+            // arms required to agree bit for bit before the checksum lands
+            // in the JSON.
+            let wc = Workload::generate(CHECKSUM_USERS, d, k_dom, args.seed ^ 0xBE1C);
+            let scalar_est = run_sampling_fast(&p, &wc, args.seed);
+            let batched_est = run_sampling_batched(&p, &wc, args.seed);
+            assert_eq!(
+                checksum_estimates(&scalar_est),
+                checksum_estimates(&batched_est),
+                "scalar and batched arms diverged ({}, eps={eps}, d={d}, k={k_dom})",
+                protocol.label()
+            );
             ThroughputCell {
                 protocol: protocol.label(),
                 eps,
@@ -408,19 +719,39 @@ fn run_cell(
                 users,
                 baseline_users_per_sec: baseline,
                 fast_users_per_sec: fast,
+                batched_users_per_sec: batched,
                 speedup: fast / baseline,
+                batched_speedup: batched / fast,
+                estimate_checksum: checksum_estimates(&scalar_est),
             }
         }
         BenchProtocol::Composition(numeric, oracle) => {
             let state = composition_state(e, &mixed_specs(d, k_dom), numeric, oracle);
             let users = users_for_cell(args, d, k_dom);
             let w = Workload::generate(users, d, k_dom, args.seed ^ 0xBE1C);
-            let baseline = time_users_per_sec(users, || {
-                std::hint::black_box(run_composition_baseline(&state, &w, args.seed));
-            });
-            let fast = time_users_per_sec(users, || {
-                std::hint::black_box(run_composition_fast(&state, &w, args.seed));
-            });
+            let [baseline, fast, batched] = time_arms(
+                users,
+                [
+                    &mut || {
+                        std::hint::black_box(run_composition_baseline(&state, &w, args.seed));
+                    },
+                    &mut || {
+                        std::hint::black_box(run_composition_fast(&state, &w, args.seed));
+                    },
+                    &mut || {
+                        std::hint::black_box(run_composition_batched(&state, &w, args.seed));
+                    },
+                ],
+            );
+            let wc = Workload::generate(CHECKSUM_USERS, d, k_dom, args.seed ^ 0xBE1C);
+            let scalar_est = run_composition_fast(&state, &wc, args.seed);
+            let batched_est = run_composition_batched(&state, &wc, args.seed);
+            assert_eq!(
+                checksum_estimates(&scalar_est),
+                checksum_estimates(&batched_est),
+                "scalar and batched arms diverged ({}, eps={eps}, d={d}, k={k_dom})",
+                protocol.label()
+            );
             ThroughputCell {
                 protocol: protocol.label(),
                 eps,
@@ -430,7 +761,10 @@ fn run_cell(
                 users,
                 baseline_users_per_sec: baseline,
                 fast_users_per_sec: fast,
+                batched_users_per_sec: batched,
                 speedup: fast / baseline,
+                batched_speedup: batched / fast,
+                estimate_checksum: checksum_estimates(&scalar_est),
             }
         }
     }
@@ -452,7 +786,9 @@ impl ThroughputReport {
                 "users",
                 "baseline u/s",
                 "fast u/s",
+                "batched u/s",
                 "speedup",
+                "batched×",
             ],
         );
         for c in &self.cells {
@@ -464,10 +800,29 @@ impl ThroughputReport {
                 c.users.to_string(),
                 format!("{:.0}", c.baseline_users_per_sec),
                 format!("{:.0}", c.fast_users_per_sec),
+                format!("{:.0}", c.batched_users_per_sec),
                 fixed(c.speedup),
+                fixed(c.batched_speedup),
             ]);
         }
-        table.render()
+        let mut out = table.render();
+        let mut sweep = Table::new(
+            &format!(
+                "Worker sweep: {} pipeline, eps = {}, n = {} (work-stealing runner)",
+                self.worker_sweep.protocol, self.worker_sweep.eps, self.worker_sweep.users
+            ),
+            &["workers", "users/sec", "estimate checksum"],
+        );
+        for c in &self.worker_sweep.cells {
+            sweep.row(vec![
+                c.workers.to_string(),
+                format!("{:.0}", c.users_per_sec),
+                format!("0x{:016x}", c.estimate_checksum),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&sweep.render());
+        out
     }
 
     /// Machine-readable JSON (hand-rolled: the workspace's `serde` shim has
@@ -479,12 +834,15 @@ impl ThroughputReport {
         out.push_str("  \"threads\": 1,\n");
         out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"checksum_users\": {CHECKSUM_USERS},\n"));
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"protocol\": \"{}\", \"eps\": {}, \"d\": {}, \"k\": {}, \
                  \"sampled_k\": {}, \"users\": {}, \"baseline_users_per_sec\": {:.1}, \
-                 \"fast_users_per_sec\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                 \"fast_users_per_sec\": {:.1}, \"batched_users_per_sec\": {:.1}, \
+                 \"speedup\": {:.3}, \"batched_speedup\": {:.3}, \
+                 \"estimate_checksum\": \"0x{:016x}\"}}{}\n",
                 c.protocol,
                 c.eps,
                 c.d,
@@ -493,11 +851,33 @@ impl ThroughputReport {
                 c.users,
                 c.baseline_users_per_sec,
                 c.fast_users_per_sec,
+                c.batched_users_per_sec,
                 c.speedup,
+                c.batched_speedup,
+                c.estimate_checksum,
                 if i + 1 == self.cells.len() { "" } else { "," }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"worker_sweep\": {{\"protocol\": \"{}\", \"eps\": {}, \"users\": {}, \"cells\": [\n",
+            self.worker_sweep.protocol, self.worker_sweep.eps, self.worker_sweep.users
+        ));
+        for (i, c) in self.worker_sweep.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workers\": {}, \"users_per_sec\": {:.1}, \
+                 \"estimate_checksum\": \"0x{:016x}\"}}{}\n",
+                c.workers,
+                c.users_per_sec,
+                c.estimate_checksum,
+                if i + 1 == self.worker_sweep.cells.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ]}\n}\n");
         out
     }
 }
@@ -554,21 +934,70 @@ mod tests {
     }
 
     #[test]
+    fn batched_arm_is_bit_identical_to_scalar_arm() {
+        // The batched arm is not a statistical twin of the scalar arm — it
+        // must be the *same* computation with cheaper dispatch. Full
+        // element-wise bit equality, both protocol families.
+        let e = Epsilon::new(1.0).unwrap();
+        let (d, k_dom, users) = (6usize, 32u32, 5_000usize);
+        let w = Workload::generate(users, d, k_dom, 404);
+        let p = SamplingPerturber::new(e, w.specs.clone(), NumericKind::Hybrid, OracleKind::Oue)
+            .unwrap();
+        let scalar = run_sampling_fast(&p, &w, 11);
+        let batched = run_sampling_batched(&p, &w, 11);
+        assert_eq!(scalar, batched);
+        let state = composition_state(e, &w.specs, NumericKind::Laplace, OracleKind::Oue);
+        let scalar = run_composition_fast(&state, &w, 12);
+        let batched = run_composition_batched(&state, &w, 12);
+        assert_eq!(scalar, batched);
+    }
+
+    #[test]
+    fn checksum_is_order_and_bit_sensitive() {
+        let a = vec![vec![0.5, -1.25], vec![3.0]];
+        let mut b = a.clone();
+        assert_eq!(checksum_estimates(&a), checksum_estimates(&b));
+        b[0].swap(0, 1);
+        assert_ne!(checksum_estimates(&a), checksum_estimates(&b));
+        let c = vec![vec![0.5, -1.25], vec![3.0 + f64::EPSILON * 4.0]];
+        assert_ne!(checksum_estimates(&a), checksum_estimates(&c));
+    }
+
+    #[test]
+    fn worker_sweep_is_invariant_and_times_every_count() {
+        // Small n keeps this fast; run_worker_sweep itself asserts checksum
+        // equality across worker counts, which is the property under test.
+        let sweep = run_worker_sweep(&[1, 3, 8], 4_000, 77);
+        assert_eq!(sweep.cells.len(), 3);
+        let reference = sweep.cells[0].estimate_checksum;
+        for c in &sweep.cells {
+            assert_eq!(c.estimate_checksum, reference);
+            assert!(c.users_per_sec.is_finite() && c.users_per_sec > 0.0);
+        }
+    }
+
+    #[test]
     fn report_renders_and_serializes() {
-        let report = run(&tiny_args());
+        let report = run_with_sweep_users(&tiny_args(), 3_000);
         assert!(!report.cells.is_empty());
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"throughput\""));
         assert!(json.contains("Sampling(HM+OUE)"));
         assert!(json.contains("baseline_users_per_sec"));
         assert!(json.contains("fast_users_per_sec"));
+        assert!(json.contains("batched_users_per_sec"));
+        assert!(json.contains("estimate_checksum"));
+        assert!(json.contains("worker_sweep"));
         // Rates are positive and finite in every cell.
         for c in &report.cells {
             assert!(c.baseline_users_per_sec.is_finite() && c.baseline_users_per_sec > 0.0);
             assert!(c.fast_users_per_sec.is_finite() && c.fast_users_per_sec > 0.0);
+            assert!(c.batched_users_per_sec.is_finite() && c.batched_users_per_sec > 0.0);
             assert!(c.speedup.is_finite() && c.speedup > 0.0);
+            assert!(c.batched_speedup.is_finite() && c.batched_speedup > 0.0);
         }
         let table = report.render();
         assert!(table.contains("users/sec"));
+        assert!(table.contains("Worker sweep"));
     }
 }

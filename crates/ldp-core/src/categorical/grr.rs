@@ -49,6 +49,57 @@ impl Grr {
     pub fn q(&self) -> f64 {
         self.q
     }
+
+    /// Generic form of [`FrequencyOracle::perturb_into`], monomorphized over
+    /// the concrete rng. Draw-for-draw identical to
+    /// [`FrequencyOracle::perturb`] (one Bernoulli coin, then — only on a
+    /// lie — one range draw), so the trait and generic paths consume the
+    /// same stream.
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::perturb`].
+    #[inline]
+    pub fn fill_into<R: RngCore + ?Sized>(
+        &self,
+        value: u32,
+        rng: &mut R,
+        out: &mut CategoricalReport,
+    ) -> Result<()> {
+        check_category(value, self.k)?;
+        *out = CategoricalReport::Value(if bernoulli(rng, self.p) {
+            value
+        } else {
+            let r = rng.random_range(0..self.k - 1);
+            if r >= value {
+                r + 1
+            } else {
+                r
+            }
+        });
+        Ok(())
+    }
+
+    /// [`Grr::fill_into`] with the per-hit observer of the fused
+    /// perturb-and-count engine: a direct report's single "hit" is the
+    /// reported category itself.
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::perturb`].
+    #[inline]
+    pub fn fill_into_noting<R: RngCore + ?Sized, F: FnMut(u32)>(
+        &self,
+        value: u32,
+        rng: &mut R,
+        out: &mut CategoricalReport,
+        mut note: F,
+    ) -> Result<()> {
+        self.fill_into(value, rng, out)?;
+        let CategoricalReport::Value(x) = out else {
+            unreachable!("GRR produces direct reports");
+        };
+        note(*x);
+        Ok(())
+    }
 }
 
 impl FrequencyOracle for Grr {
@@ -65,14 +116,9 @@ impl FrequencyOracle for Grr {
     }
 
     fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Result<CategoricalReport> {
-        check_category(value, self.k)?;
-        if bernoulli(rng, self.p) {
-            Ok(CategoricalReport::Value(value))
-        } else {
-            // Uniform over the k−1 categories other than `value`.
-            let r = rng.random_range(0..self.k - 1);
-            Ok(CategoricalReport::Value(if r >= value { r + 1 } else { r }))
-        }
+        let mut out = CategoricalReport::Value(0);
+        self.fill_into(value, rng, &mut out)?;
+        Ok(out)
     }
 
     fn debias_params(&self) -> DebiasParams {

@@ -19,6 +19,108 @@ pub use sue::Sue;
 use crate::budget::Epsilon;
 use crate::error::{LdpError, Result};
 use crate::kinds::OracleKind;
+use crate::mechanism::{CategoricalReport, DebiasParams, FrequencyOracle};
+use crate::rng::DrawSource;
+
+/// Enum dispatch over the concrete frequency oracles.
+///
+/// The [`FrequencyOracle`] trait stays object-safe for the experiment
+/// harness (boxed oracles, `&mut dyn RngCore`), but a boxed oracle forces a
+/// virtual call per report *and* per draw — the dispatch the batched-RNG hot
+/// path exists to remove. `AnyOracle` is the monomorphic alternative the
+/// streaming pipelines hold: one predictable match per report, and a
+/// [`AnyOracle::perturb_into`] generic over the rng so the whole sampling
+/// loop inlines when driven by an [`crate::rng::RngBlock`].
+#[derive(Debug, Clone)]
+pub enum AnyOracle {
+    /// Optimized unary encoding (the paper's choice).
+    Oue(Oue),
+    /// k-ary randomized response.
+    Grr(Grr),
+    /// Symmetric unary encoding (basic RAPPOR).
+    Sue(Sue),
+}
+
+impl AnyOracle {
+    /// Instantiates the oracle selected by `kind` for budget `ε` and domain
+    /// size `k` — the unboxed counterpart of [`OracleKind::build`].
+    ///
+    /// # Errors
+    /// Propagates the oracle constructor's validation (`k ≥ 2`).
+    pub fn build(kind: OracleKind, epsilon: Epsilon, k: u32) -> Result<Self> {
+        Ok(match kind {
+            OracleKind::Oue => AnyOracle::Oue(Oue::new(epsilon, k)?),
+            OracleKind::Grr => AnyOracle::Grr(Grr::new(epsilon, k)?),
+            OracleKind::Sue => AnyOracle::Sue(Sue::new(epsilon, k)?),
+        })
+    }
+
+    /// Borrows the oracle as a trait object, for the object-safe half of the
+    /// API (accumulators, harness tables, diagnostics).
+    pub fn as_dyn(&self) -> &dyn FrequencyOracle {
+        match self {
+            AnyOracle::Oue(o) => o,
+            AnyOracle::Grr(o) => o,
+            AnyOracle::Sue(o) => o,
+        }
+    }
+
+    /// Domain size `k`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.as_dyn().k()
+    }
+
+    /// The oracle's `(p, q)` debiasing pair.
+    #[inline]
+    pub fn debias_params(&self) -> DebiasParams {
+        self.as_dyn().debias_params()
+    }
+
+    /// Monomorphized perturbation into a caller-owned report: one match,
+    /// then the concrete oracle's generic `fill_into`. Draw-for-draw
+    /// identical to the trait's `perturb_into`.
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::perturb`].
+    #[inline]
+    pub fn perturb_into<R: DrawSource + ?Sized>(
+        &self,
+        value: u32,
+        rng: &mut R,
+        out: &mut CategoricalReport,
+    ) -> Result<()> {
+        match self {
+            AnyOracle::Oue(o) => o.fill_into(value, rng, out),
+            AnyOracle::Grr(o) => o.fill_into(value, rng, out),
+            AnyOracle::Sue(o) => o.fill_into(value, rng, out),
+        }
+    }
+
+    /// [`AnyOracle::perturb_into`] with a per-raw-hit observer: `note(v)`
+    /// fires once for every set bit of a unary report (as it is placed) or
+    /// once with the reported category of a direct report. Draw-for-draw
+    /// identical to `perturb_into`; the observed hits are exactly the hits
+    /// [`crate::mechanism::FrequencyOracle::support`] would see, which is
+    /// what lets a count-based aggregator skip re-walking the report.
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::perturb`].
+    #[inline]
+    pub fn perturb_into_noting<R: DrawSource + ?Sized, F: FnMut(u32)>(
+        &self,
+        value: u32,
+        rng: &mut R,
+        out: &mut CategoricalReport,
+        note: F,
+    ) -> Result<()> {
+        match self {
+            AnyOracle::Oue(o) => o.fill_into_noting(value, rng, out, note),
+            AnyOracle::Grr(o) => o.fill_into_noting(value, rng, out, note),
+            AnyOracle::Sue(o) => o.fill_into_noting(value, rng, out, note),
+        }
+    }
+}
 
 /// Wang et al.'s (USENIX Security 2017) selection rule: GRR has lower
 /// estimator variance than OUE exactly when `k − 2 < 3e^ε` (GRR's variance
@@ -103,13 +205,30 @@ impl UnaryEncoder {
     /// Sparse-samples one unary report into a caller-owned
     /// [`crate::mechanism::CategoricalReport`], reusing its bit vector when
     /// it already has length `k` and replacing it otherwise. This is the
-    /// shared implementation behind OUE's and SUE's `perturb_into`.
-    pub(crate) fn fill_report(
+    /// shared implementation behind OUE's and SUE's `perturb_into`. Generic
+    /// over the rng so concrete generators (e.g.
+    /// [`crate::rng::RngBlock`]) monomorphize the whole sampling loop and
+    /// serve the placement draws as buffer slices.
+    pub(crate) fn fill_report<R: DrawSource + ?Sized>(
         &self,
         k: u32,
         value: u32,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut R,
         out: &mut crate::mechanism::CategoricalReport,
+    ) {
+        self.fill_report_noting(k, value, rng, out, |_| {});
+    }
+
+    /// [`UnaryEncoder::fill_report`] with the per-set-bit observer of
+    /// [`UnaryEncoder::fill_sparse_noting`].
+    #[inline]
+    pub(crate) fn fill_report_noting<R: DrawSource + ?Sized, F: FnMut(u32)>(
+        &self,
+        k: u32,
+        value: u32,
+        rng: &mut R,
+        out: &mut crate::mechanism::CategoricalReport,
+        note: F,
     ) {
         use crate::mechanism::{BitVec, CategoricalReport};
         let bits = match out {
@@ -122,20 +241,40 @@ impl UnaryEncoder {
                 bits
             }
         };
-        self.fill_sparse(bits, value, rng);
+        self.fill_sparse_noting(bits, value, rng, note);
     }
 
-    /// O(k·q) sparse report sampling (see the type docs).
-    pub(crate) fn fill_sparse(
+    /// O(k·q) sparse report sampling (see the type docs), kept as the
+    /// observer-free entry point for tests and future callers.
+    #[cfg(test)]
+    pub(crate) fn fill_sparse<R: DrawSource + ?Sized>(
         &self,
         bits: &mut crate::mechanism::BitVec,
         value: u32,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut R,
+    ) {
+        self.fill_sparse_noting(bits, value, rng, |_| {});
+    }
+
+    /// [`UnaryEncoder::fill_sparse`] with an observer: `note` is called once
+    /// for every bit that ends up set, as it is placed. This is the hook the
+    /// fused perturb-and-count engine uses — the aggregator counts hits
+    /// during placement instead of re-walking the finished bit vector, so a
+    /// report costs O(set bits) *total*, not O(set bits) twice plus a
+    /// word scan.
+    #[inline]
+    pub(crate) fn fill_sparse_noting<R: DrawSource + ?Sized, F: FnMut(u32)>(
+        &self,
+        bits: &mut crate::mechanism::BitVec,
+        value: u32,
+        rng: &mut R,
+        mut note: F,
     ) {
         use rand::Rng;
         bits.clear();
         if crate::rng::bernoulli(rng, self.p) {
             bits.set(value, true);
+            note(value);
         }
         let n = bits.len() - 1; // non-true positions
         if n == 0 || self.q <= 0.0 {
@@ -148,6 +287,7 @@ impl UnaryEncoder {
             // Underflow/extreme regime: geometric-gap walk.
             crate::rng::for_each_bernoulli_index(rng, n, self.q, |idx| {
                 bits.set(place(idx), true);
+                note(place(idx));
             });
             return;
         }
@@ -155,25 +295,37 @@ impl UnaryEncoder {
         let m = (self.flip_cdf.partition_point(|&c| c <= u) as u32).min(n);
         // Floyd's algorithm, with the report itself as the "already chosen"
         // set: bit place(t) is set iff flip-index t was already chosen,
-        // because place() never lands on the true bit.
-        for j in (n - m)..n {
-            let t = place(crate::rng::uniform_index(rng, j + 1));
-            if bits.get(t) {
-                bits.set(place(j), true);
-            } else {
-                bits.set(t, true);
+        // because place() never lands on the true bit. (Each iteration sets
+        // exactly one previously-unset bit: on a collision it falls back to
+        // place(j), and j cannot have been chosen in an earlier iteration —
+        // all earlier picks are < j.) The m placement draws stream through
+        // `with_raw`: a batched source hands them over as buffer slices, so
+        // this loop walks plain memory instead of paying per-draw generator
+        // bookkeeping.
+        let mut j = n - m;
+        rng.with_raw(m, |chunk| {
+            for &raw in chunk {
+                let t = place(crate::rng::index_from_raw(raw, j + 1));
+                if bits.get(t) {
+                    bits.set(place(j), true);
+                    note(place(j));
+                } else {
+                    bits.set(t, true);
+                    note(t);
+                }
+                j += 1;
             }
-        }
+        });
     }
 
     /// The naive per-bit reference sampler: one Bernoulli draw per bit.
     /// Kept as the distribution oracle for equivalence tests and as the
     /// throughput bench's pre-optimization baseline.
-    pub(crate) fn fill_dense(
+    pub(crate) fn fill_dense<R: rand::RngCore + ?Sized>(
         &self,
         bits: &mut crate::mechanism::BitVec,
         value: u32,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut R,
     ) {
         bits.clear();
         for i in 0..bits.len() {

@@ -56,6 +56,46 @@ impl Oue {
     pub fn p(&self) -> f64 {
         P_TRUE
     }
+
+    /// Generic form of [`FrequencyOracle::perturb_into`]: the same sparse
+    /// sampler, monomorphized over the concrete rng so hot loops driven by a
+    /// [`crate::rng::RngBlock`] pay no virtual call per draw. The trait
+    /// method delegates here with `R = dyn RngCore`, so both paths consume
+    /// identical draw streams.
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::perturb`].
+    #[inline]
+    pub fn fill_into<R: crate::rng::DrawSource + ?Sized>(
+        &self,
+        value: u32,
+        rng: &mut R,
+        out: &mut CategoricalReport,
+    ) -> Result<()> {
+        check_category(value, self.k)?;
+        self.enc.fill_report(self.k, value, rng, out);
+        Ok(())
+    }
+
+    /// [`Oue::fill_into`] with an observer called once per set bit, as it
+    /// is placed — the fused perturb-and-count hook (the aggregator
+    /// increments its raw hit counts here instead of re-walking the
+    /// finished bit vector).
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::perturb`].
+    #[inline]
+    pub fn fill_into_noting<R: crate::rng::DrawSource + ?Sized, F: FnMut(u32)>(
+        &self,
+        value: u32,
+        rng: &mut R,
+        out: &mut CategoricalReport,
+        note: F,
+    ) -> Result<()> {
+        check_category(value, self.k)?;
+        self.enc.fill_report_noting(self.k, value, rng, out, note);
+        Ok(())
+    }
 }
 
 impl FrequencyOracle for Oue {
@@ -87,9 +127,7 @@ impl FrequencyOracle for Oue {
         rng: &mut dyn RngCore,
         out: &mut CategoricalReport,
     ) -> Result<()> {
-        check_category(value, self.k)?;
-        self.enc.fill_report(self.k, value, rng, out);
-        Ok(())
+        self.fill_into(value, rng, out)
     }
 
     /// The naive per-bit sampler (one Bernoulli draw per bit) — the

@@ -53,6 +53,42 @@ impl Sue {
     pub fn q(&self) -> f64 {
         self.q
     }
+
+    /// Generic form of [`FrequencyOracle::perturb_into`]; see
+    /// [`crate::categorical::Oue::fill_into`] — SUE only differs in
+    /// `(p, q)`.
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::perturb`].
+    #[inline]
+    pub fn fill_into<R: crate::rng::DrawSource + ?Sized>(
+        &self,
+        value: u32,
+        rng: &mut R,
+        out: &mut CategoricalReport,
+    ) -> Result<()> {
+        check_category(value, self.k)?;
+        self.enc.fill_report(self.k, value, rng, out);
+        Ok(())
+    }
+
+    /// [`Sue::fill_into`] with the per-set-bit observer; see
+    /// [`crate::categorical::Oue::fill_into_noting`].
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::perturb`].
+    #[inline]
+    pub fn fill_into_noting<R: crate::rng::DrawSource + ?Sized, F: FnMut(u32)>(
+        &self,
+        value: u32,
+        rng: &mut R,
+        out: &mut CategoricalReport,
+        note: F,
+    ) -> Result<()> {
+        check_category(value, self.k)?;
+        self.enc.fill_report_noting(self.k, value, rng, out, note);
+        Ok(())
+    }
 }
 
 impl FrequencyOracle for Sue {
@@ -82,9 +118,7 @@ impl FrequencyOracle for Sue {
         rng: &mut dyn RngCore,
         out: &mut CategoricalReport,
     ) -> Result<()> {
-        check_category(value, self.k)?;
-        self.enc.fill_report(self.k, value, rng, out);
-        Ok(())
+        self.fill_into(value, rng, out)
     }
 
     /// The naive per-bit reference sampler.

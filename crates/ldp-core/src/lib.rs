@@ -64,6 +64,7 @@ pub mod theory;
 pub mod variance;
 
 pub use budget::Epsilon;
+pub use categorical::AnyOracle;
 pub use domain::NumericDomain;
 pub use error::{LdpError, Result};
 pub use kinds::{NumericKind, OracleKind};

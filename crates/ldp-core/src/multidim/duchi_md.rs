@@ -140,14 +140,17 @@ impl DuchiMultidim {
 
     /// Zero-allocation streaming form of [`DuchiMultidim::perturb`]: writes
     /// the perturbed vertex into `out` (cleared and refilled), reusing the
-    /// caller's scratch buffers.
+    /// caller's scratch buffers. Generic over the rng so a concrete
+    /// generator (e.g. [`crate::rng::RngBlock`]) monomorphizes the whole
+    /// sampling chain — direction coins, halfspace choice, agreement-set
+    /// placement — with no virtual call per draw.
     ///
     /// # Errors
     /// As [`DuchiMultidim::perturb`].
-    pub fn perturb_into(
+    pub fn perturb_into<R: RngCore + ?Sized>(
         &self,
         t: &[f64],
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         out: &mut Vec<f64>,
         scratch: &mut DuchiScratch,
     ) -> Result<()> {
@@ -162,13 +165,13 @@ impl DuchiMultidim {
         }
         // Step 1: the input-dependent direction vector v.
         scratch.v.clear();
-        scratch.v.extend(t.iter().map(|&x| {
-            if bernoulli(rng, 0.5 + 0.5 * x) {
+        for &x in t {
+            scratch.v.push(if bernoulli(&mut *rng, 0.5 + 0.5 * x) {
                 1.0
             } else {
                 -1.0
-            }
-        }));
+            });
+        }
         // Step 2: pick the halfspace, then sample s uniformly within it.
         let positive = bernoulli(rng, self.plus_prob);
         self.sample_halfspace_into(positive, rng, out, scratch);
@@ -184,16 +187,16 @@ impl DuchiMultidim {
     /// coordinates agree uniformly. By symmetry this is exactly uniform over
     /// `T⁺` (resp. `T⁻`), in deterministic `O(d)` time — unlike rejection
     /// sampling, whose worst case is unbounded.
-    fn sample_halfspace_into(
+    fn sample_halfspace_into<R: RngCore + ?Sized>(
         &self,
         positive: bool,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         out: &mut Vec<f64>,
         scratch: &mut DuchiScratch,
     ) {
         let d = self.d;
         let lo = d.div_ceil(2);
-        let idx = sample_weighted(rng, &self.agree_weights_plus);
+        let idx = sample_weighted(&mut *rng, &self.agree_weights_plus);
         let agreements = lo + idx;
         sample_distinct_into(rng, d, agreements, &mut scratch.agree);
         out.clear();

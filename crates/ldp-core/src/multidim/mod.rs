@@ -14,7 +14,7 @@ pub mod wire;
 
 pub use composition::{CompositionPerturber, DenseReport};
 pub use duchi_md::{DuchiMultidim, DuchiScratch};
-pub use sampling::{optimal_k, SamplingPerturber, SparseReport, SparseScratch};
+pub use sampling::{optimal_k, CatObservation, SamplingPerturber, SparseReport, SparseScratch};
 
 use crate::error::{LdpError, Result};
 use crate::mechanism::CategoricalReport;

@@ -1,6 +1,7 @@
 //! The paper's Algorithm 4 and its §IV-C mixed-type extension.
 
 use crate::budget::Epsilon;
+use crate::categorical::AnyOracle;
 use crate::error::{LdpError, Result};
 use crate::kinds::{NumericKind, OracleKind};
 use crate::mechanism::{CategoricalReport, FrequencyOracle, NumericMechanism};
@@ -63,6 +64,26 @@ impl SparseReport {
     }
 }
 
+/// One categorical observation streamed by
+/// [`SamplingPerturber::perturb_counting`], the fused perturb-and-count
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatObservation {
+    /// A categorical attribute was sampled; its hits follow.
+    Report {
+        /// Attribute index in the schema.
+        attr: u32,
+    },
+    /// One raw hit for the attribute — a set bit of a unary report, or the
+    /// reported value of a direct report.
+    Hit {
+        /// Attribute index in the schema.
+        attr: u32,
+        /// The hit category.
+        category: u32,
+    },
+}
+
 /// Algorithm 4 with the §IV-C extension: perturbs tuples over an arbitrary
 /// mixed numeric/categorical schema by sampling `k` attributes and spending
 /// `ε/k` on each through a 1-D mechanism (numeric) or frequency oracle
@@ -90,7 +111,10 @@ pub struct SamplingPerturber {
     k: usize,
     numeric: Option<Box<dyn NumericMechanism>>,
     /// One oracle per attribute slot (None for numeric slots), all at ε/k.
-    oracles: Vec<Option<Box<dyn FrequencyOracle>>>,
+    /// Stored unboxed ([`AnyOracle`]) so the generic `perturb_into` path
+    /// dispatches with one match instead of a vtable, and the sampling loop
+    /// monomorphizes over the caller's rng.
+    oracles: Vec<Option<AnyOracle>>,
     scale: f64,
 }
 
@@ -145,7 +169,9 @@ impl SamplingPerturber {
             .iter()
             .map(|spec| match spec {
                 AttrSpec::Numeric => Ok(None),
-                AttrSpec::Categorical { k: dom } => oracle_kind.build(per_attr, *dom).map(Some),
+                AttrSpec::Categorical { k: dom } => {
+                    AnyOracle::build(oracle_kind, per_attr, *dom).map(Some)
+                }
             })
             .collect::<Result<Vec<_>>>()?;
         let scale = d as f64 / k as f64;
@@ -226,6 +252,13 @@ impl SamplingPerturber {
     /// first call per attribute, steady-state perturbation performs no heap
     /// allocation at all.
     ///
+    /// Generic over the rng: with a trait object (`R = dyn RngCore`) this is
+    /// the classic scalar path, while a concrete generator — in particular
+    /// [`crate::rng::RngBlock`] — monomorphizes the categorical sampling
+    /// loop end to end, removing every virtual call from the per-draw hot
+    /// path. Both instantiations consume identical draw streams, so they
+    /// produce bit-identical reports under the same seed.
+    ///
     /// `report` and `scratch` may start empty (see
     /// [`SparseReport::with_capacity`] and [`SamplingPerturber::scratch`])
     /// but must then stay paired with this perturber: payload buffers
@@ -233,10 +266,10 @@ impl SamplingPerturber {
     ///
     /// # Errors
     /// As [`SamplingPerturber::perturb`].
-    pub fn perturb_into(
+    pub fn perturb_into<R: crate::rng::DrawSource + ?Sized>(
         &self,
         tuple: &[AttrValue],
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         report: &mut SparseReport,
         scratch: &mut SparseScratch,
     ) -> Result<()> {
@@ -258,17 +291,20 @@ impl SamplingPerturber {
                 scratch.pool[j as usize] = Some(cat);
             }
         }
-        sample_distinct_into(rng, d, self.k, &mut scratch.sampled);
+        sample_distinct_into(&mut *rng, d, self.k, &mut scratch.sampled);
         for &j in &scratch.sampled {
             let entry = match tuple[j as usize] {
                 AttrValue::Numeric(x) => {
                     // Lines 5–6 of Algorithm 4: perturb with budget ε/k and
-                    // scale by d/k.
+                    // scale by d/k. The 1-D mechanisms stay behind their
+                    // object-safe trait; `&mut &mut R` is `Sized` and
+                    // implements `RngCore`, so it coerces to the trait
+                    // object even when `R` itself is unsized.
                     let mech = self
                         .numeric
                         .as_ref()
                         .expect("schema has numeric attributes");
-                    AttrReport::Numeric(self.scale * mech.perturb(x, rng)?)
+                    AttrReport::Numeric(self.scale * mech.perturb(x, &mut &mut *rng)?)
                 }
                 AttrValue::Categorical(v) => {
                     let oracle = self.oracles[j as usize]
@@ -277,11 +313,92 @@ impl SamplingPerturber {
                     let mut cat = scratch.pool[j as usize]
                         .take()
                         .unwrap_or(CategoricalReport::Value(0));
-                    oracle.perturb_into(v, rng, &mut cat)?;
+                    oracle.perturb_into(v, &mut *rng, &mut cat)?;
                     AttrReport::Categorical(cat)
                 }
             };
             report.entries.push((j, entry));
+        }
+        report.d = d;
+        report.k = self.k;
+        Ok(())
+    }
+
+    /// Fused perturb-and-count form of [`SamplingPerturber::perturb_into`]:
+    /// the single-pass engine the streaming pipelines run.
+    ///
+    /// Numeric sub-reports land in `report` exactly as `perturb_into`
+    /// leaves them (so `MeanAccumulator::add_sparse` works unchanged), but
+    /// categorical sub-reports never materialize as report entries: each is
+    /// sampled into a scratch-owned payload and *observed* through
+    /// `on_cat` — one [`CatObservation::Report`] when a categorical
+    /// attribute is sampled, then one [`CatObservation::Hit`] per raw hit
+    /// (set bit of a unary report, reported value of a direct one), emitted
+    /// as the hit is placed. A count-based aggregator applies them
+    /// directly, so aggregation costs nothing beyond the placement loop —
+    /// no per-entry oracle lookup, no second walk over the bit vector, no
+    /// entry push/drain traffic.
+    ///
+    /// Draw-for-draw identical to [`SamplingPerturber::perturb_into`]: the
+    /// streamed hits are exactly the set bits of the report that call would
+    /// have produced, so the two engines yield bit-identical estimates
+    /// under the same seed (pinned by tests).
+    ///
+    /// # Errors
+    /// As [`SamplingPerturber::perturb`].
+    pub fn perturb_counting<R: crate::rng::DrawSource + ?Sized, F: FnMut(CatObservation)>(
+        &self,
+        tuple: &[AttrValue],
+        rng: &mut R,
+        report: &mut SparseReport,
+        scratch: &mut SparseScratch,
+        mut on_cat: F,
+    ) -> Result<()> {
+        let d = self.specs.len();
+        if tuple.len() != d {
+            return Err(LdpError::DimensionMismatch {
+                expected: d,
+                actual: tuple.len(),
+            });
+        }
+        debug_assert_eq!(scratch.pool.len(), d, "scratch built for another schema");
+        for (i, (value, spec)) in tuple.iter().zip(&self.specs).enumerate() {
+            value.validate(spec, i)?;
+        }
+        // Categorical payloads stay in the pool across calls; only numeric
+        // entries cycle through the report, so the drain below is cheap (it
+        // still recycles payloads left over from a `perturb_into` call on
+        // the same pair).
+        for (j, rep) in report.entries.drain(..) {
+            if let AttrReport::Categorical(cat) = rep {
+                scratch.pool[j as usize] = Some(cat);
+            }
+        }
+        sample_distinct_into(&mut *rng, d, self.k, &mut scratch.sampled);
+        for &j in &scratch.sampled {
+            match tuple[j as usize] {
+                AttrValue::Numeric(x) => {
+                    let mech = self
+                        .numeric
+                        .as_ref()
+                        .expect("schema has numeric attributes");
+                    let noisy = self.scale * mech.perturb(x, &mut &mut *rng)?;
+                    report.entries.push((j, AttrReport::Numeric(noisy)));
+                }
+                AttrValue::Categorical(v) => {
+                    let oracle = self.oracles[j as usize]
+                        .as_ref()
+                        .expect("schema marks this attribute categorical");
+                    let mut cat = scratch.pool[j as usize]
+                        .take()
+                        .unwrap_or(CategoricalReport::Value(0));
+                    on_cat(CatObservation::Report { attr: j });
+                    oracle.perturb_into_noting(v, &mut *rng, &mut cat, |category| {
+                        on_cat(CatObservation::Hit { attr: j, category })
+                    })?;
+                    scratch.pool[j as usize] = Some(cat);
+                }
+            }
         }
         report.d = d;
         report.k = self.k;
@@ -300,7 +417,13 @@ impl SamplingPerturber {
 
     /// The frequency oracle assigned to attribute `j`, if categorical.
     pub fn oracle(&self, j: usize) -> Option<&dyn FrequencyOracle> {
-        self.oracles.get(j).and_then(|o| o.as_deref())
+        self.any_oracle(j).map(AnyOracle::as_dyn)
+    }
+
+    /// The unboxed oracle for attribute `j`, if categorical — the handle
+    /// monomorphized aggregation loops use to avoid per-report vtables.
+    pub fn any_oracle(&self, j: usize) -> Option<&AnyOracle> {
+        self.oracles.get(j).and_then(Option::as_ref)
     }
 
     /// The shared ε/k numeric mechanism, if the schema has numeric
@@ -484,6 +607,116 @@ mod tests {
                 &mut p.scratch()
             )
             .is_err());
+    }
+
+    #[test]
+    fn perturb_counting_streams_exactly_the_report_hits() {
+        // The fused engine must be the same computation as perturb_into:
+        // identical draw stream, numeric entries identical, and the streamed
+        // (attr, category) hits exactly the set bits / reported values of
+        // the reports perturb_into would have produced.
+        use crate::mechanism::CategoricalReport;
+        let specs = vec![
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 24 },
+            AttrSpec::Categorical { k: 5 },
+            AttrSpec::Numeric,
+        ];
+        let tuple = vec![
+            AttrValue::Numeric(0.2),
+            AttrValue::Categorical(20),
+            AttrValue::Categorical(1),
+            AttrValue::Numeric(-0.7),
+        ];
+        for oracle in [OracleKind::Oue, OracleKind::Sue, OracleKind::Grr] {
+            let p = SamplingPerturber::with_k(
+                Epsilon::new(2.5).unwrap(),
+                specs.clone(),
+                NumericKind::Hybrid,
+                oracle,
+                3,
+            )
+            .unwrap();
+            let mut rng_a = seeded_rng(909);
+            let mut rng_b = seeded_rng(909);
+            let mut report_a = SparseReport::with_capacity(p.d(), p.k());
+            let mut report_b = SparseReport::with_capacity(p.d(), p.k());
+            let mut scratch_a = p.scratch();
+            let mut scratch_b = p.scratch();
+            for round in 0..300 {
+                p.perturb_into(&tuple, &mut rng_a, &mut report_a, &mut scratch_a)
+                    .unwrap();
+                let mut observed: Vec<CatObservation> = Vec::new();
+                p.perturb_counting(&tuple, &mut rng_b, &mut report_b, &mut scratch_b, |obs| {
+                    observed.push(obs)
+                })
+                .unwrap();
+                // Reference events from the unfused report, in entry order.
+                let mut expected: Vec<CatObservation> = Vec::new();
+                let mut numeric_a: Vec<(u32, f64)> = Vec::new();
+                for (j, rep) in &report_a.entries {
+                    match rep {
+                        AttrReport::Numeric(x) => numeric_a.push((*j, *x)),
+                        AttrReport::Categorical(cat) => {
+                            expected.push(CatObservation::Report { attr: *j });
+                            match cat {
+                                CategoricalReport::Bits(bits) => {
+                                    for v in bits.iter_ones() {
+                                        expected.push(CatObservation::Hit {
+                                            attr: *j,
+                                            category: v,
+                                        });
+                                    }
+                                }
+                                CategoricalReport::Value(x) => {
+                                    expected.push(CatObservation::Hit {
+                                        attr: *j,
+                                        category: *x,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                // Hits are streamed in placement order, not index order;
+                // compare per-report sets via sorting within each report.
+                let normalize = |events: &[CatObservation]| {
+                    let mut out: Vec<(u32, Vec<u32>)> = Vec::new();
+                    for e in events {
+                        match e {
+                            CatObservation::Report { attr } => out.push((*attr, Vec::new())),
+                            CatObservation::Hit { attr, category } => {
+                                let last = out.last_mut().expect("hit before report");
+                                assert_eq!(last.0, *attr, "hit for a different attribute");
+                                last.1.push(*category);
+                            }
+                        }
+                    }
+                    for (_, hits) in &mut out {
+                        hits.sort_unstable();
+                    }
+                    out
+                };
+                assert_eq!(
+                    normalize(&observed),
+                    normalize(&expected),
+                    "{oracle:?} round {round}"
+                );
+                // Numeric entries agree, and the fused report carries ONLY
+                // numeric entries.
+                let numeric_b: Vec<(u32, f64)> = report_b
+                    .entries
+                    .iter()
+                    .map(|(j, rep)| match rep {
+                        AttrReport::Numeric(x) => (*j, *x),
+                        AttrReport::Categorical(_) => {
+                            panic!("fused report must not carry categorical entries")
+                        }
+                    })
+                    .collect();
+                assert_eq!(numeric_a, numeric_b, "{oracle:?} round {round}");
+            }
+        }
     }
 
     #[test]

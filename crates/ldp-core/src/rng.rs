@@ -1,8 +1,12 @@
 //! Randomness helpers shared by all mechanisms.
 //!
-//! Mechanisms take `&mut dyn RngCore` so they stay object-safe (the harness
-//! iterates over boxed mechanisms), while tests and examples use seeded
-//! [`StdRng`]s for reproducibility.
+//! Mechanism *traits* take `&mut dyn RngCore` so they stay object-safe (the
+//! harness iterates over boxed mechanisms), while the helpers here are
+//! generic over `R: RngCore + ?Sized`: the same function serves trait
+//! objects (`R = dyn RngCore`) and monomorphizes fully — every draw inlined,
+//! no virtual calls — when handed a concrete generator such as
+//! [`RngBlock`]`<StdRng>`. Tests and examples use seeded [`StdRng`]s for
+//! reproducibility.
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -15,9 +19,188 @@ pub fn seeded_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// Default number of 64-bit draws an [`RngBlock`] buffers per refill.
+///
+/// 256 words = 2 KiB — comfortably L1-resident next to the report buffers
+/// the hot loops carry, yet large enough that the refill loop amortizes to
+/// nothing per draw.
+pub const RNG_BLOCK_LEN: usize = 256;
+
+/// A batching adapter over a concrete [`RngCore`]: fills an inline buffer
+/// of raw 64-bit uniforms in one monomorphized pass and serves subsequent
+/// draws from it.
+///
+/// The per-user hot loops make dozens of draws per report (Floyd placement,
+/// binomial inversion, Bernoulli coins); routed through `&mut dyn RngCore`
+/// each draw is an uninlinable virtual call into the generator's state
+/// update. `RngBlock` moves that state update into the batched refill —
+/// the generator is cloned into a local so its state lives in registers for
+/// the whole fill, immune to aliasing with the buffer writes — and reduces
+/// a served draw to one compare against the const length and one load from
+/// an inline array (no heap indirection: the buffer lives inside the
+/// struct, so `LEN` is a compile-time constant and the serve path carries
+/// no pointer chase). Combined with the generic helpers in this module it
+/// removes dyn dispatch from the hot loop entirely.
+///
+/// The stream is a bit-exact prefix of the inner generator's: draw `i` from
+/// an `RngBlock` equals draw `i` from the bare `R` under the same seed,
+/// regardless of `LEN`. Pipelines can therefore switch between the scalar
+/// and batched paths without changing any estimate (the `rng_block`
+/// integration tests pin this).
+#[derive(Debug, Clone)]
+pub struct RngBlock<R: RngCore + Clone, const LEN: usize = RNG_BLOCK_LEN> {
+    inner: R,
+    buf: [u64; LEN],
+    pos: usize,
+}
+
+impl<R: RngCore + Clone, const LEN: usize> RngBlock<R, LEN> {
+    /// Wraps `inner`. `LEN` is a performance knob only (it never affects
+    /// the draw stream); the [`RNG_BLOCK_LEN`] default is right for the
+    /// simulation hot loops.
+    ///
+    /// # Panics
+    /// Panics if `LEN == 0`.
+    pub fn new(inner: R) -> Self {
+        assert!(LEN > 0, "RngBlock needs a positive buffer length");
+        RngBlock {
+            inner,
+            // Start exhausted so construction costs nothing when few draws
+            // follow; the first draw pays the first refill.
+            buf: [0; LEN],
+            pos: LEN,
+        }
+    }
+
+    /// One whole-buffer batched fill — the only place the concrete `R`'s
+    /// state update runs. The generator is cloned into a local first: the
+    /// optimizer then keeps its state in registers across all `LEN` steps
+    /// (a borrow-based fill would reload it each iteration, since the
+    /// compiler cannot rule out aliasing between the generator and the
+    /// buffer being written). Deliberately *not* `#[cold]`: it runs every
+    /// `LEN` draws, and cold functions are optimized for size, which would
+    /// gut the fill loop this type exists for.
+    #[inline(never)]
+    fn refill(&mut self) {
+        let mut local = self.inner.clone();
+        for slot in self.buf.iter_mut() {
+            *slot = local.next_u64();
+        }
+        self.inner = local;
+        self.pos = 0;
+    }
+
+    /// Returns the wrapped generator, discarding any buffered draws.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: RngCore + Clone, const LEN: usize> RngCore for RngBlock<R, LEN> {
+    #[inline(always)]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos == LEN {
+            self.refill();
+        }
+        let x = self.buf[self.pos];
+        self.pos += 1;
+        x
+    }
+
+    #[inline(always)]
+    fn next_u32(&mut self) -> u32 {
+        // Matches StdRng's convention (high word) so conversions that go
+        // through next_u32 stay aligned with the unbatched stream.
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// A draw source that can stream runs of raw 64-bit draws.
+///
+/// The unary oracles' Floyd placement loop consumes one raw draw per
+/// flipped bit. Through [`RngCore`] alone, each of those draws pays the
+/// source's per-call bookkeeping (a virtual call on the scalar path, a
+/// buffer-cursor check on the batched one). `DrawSource::with_raw` lets a
+/// source hand the loop a whole *slice* of upcoming draws instead:
+/// [`RngBlock`] serves its internal buffer directly — one cursor update per
+/// chunk rather than per draw, with the placement loop iterating plain
+/// memory — while scalar sources fall back to one-draw chunks, making the
+/// fallback exactly the per-draw loop they always ran.
+///
+/// Implementations must deliver the draws in stream order: consuming `n`
+/// draws through `with_raw` leaves the source in the same state as `n`
+/// calls to `next_u64`, so scalar and batched paths stay bit-compatible.
+pub trait DrawSource: RngCore {
+    /// Streams the next `n` raw draws to `f`, in order, in whatever chunk
+    /// sizes the source can serve cheaply. `f` sees every draw exactly
+    /// once; chunk boundaries carry no meaning.
+    fn with_raw(&mut self, n: u32, f: impl FnMut(&[u64]));
+}
+
+/// One-draw-at-a-time fallback used by the scalar implementations.
+#[inline]
+fn singles<R: RngCore + ?Sized>(rng: &mut R, n: u32, mut f: impl FnMut(&[u64])) {
+    for _ in 0..n {
+        f(&[rng.next_u64()]);
+    }
+}
+
+impl DrawSource for StdRng {
+    #[inline]
+    fn with_raw(&mut self, n: u32, f: impl FnMut(&[u64])) {
+        singles(self, n, f);
+    }
+}
+
+impl DrawSource for dyn RngCore + '_ {
+    #[inline]
+    fn with_raw(&mut self, n: u32, f: impl FnMut(&[u64])) {
+        singles(self, n, f);
+    }
+}
+
+impl<R: DrawSource + ?Sized> DrawSource for &mut R {
+    #[inline]
+    fn with_raw(&mut self, n: u32, f: impl FnMut(&[u64])) {
+        (**self).with_raw(n, f);
+    }
+}
+
+impl<R: RngCore + Clone, const LEN: usize> DrawSource for RngBlock<R, LEN> {
+    #[inline]
+    fn with_raw(&mut self, n: u32, mut f: impl FnMut(&[u64])) {
+        let mut remaining = n as usize;
+        while remaining > 0 {
+            if self.pos == LEN {
+                self.refill();
+            }
+            let take = remaining.min(LEN - self.pos);
+            f(&self.buf[self.pos..self.pos + take]);
+            self.pos += take;
+            remaining -= take;
+        }
+    }
+}
+
+/// Maps one raw 64-bit draw to `{0, …, bound-1}` (Lemire multiply-shift) —
+/// the conversion behind [`uniform_index`], exposed for loops that consume
+/// pre-fetched draws from [`DrawSource::with_raw`].
+#[inline]
+pub fn index_from_raw(raw: u64, bound: u32) -> u32 {
+    debug_assert!(bound > 0, "index_from_raw needs a positive bound");
+    ((u128::from(raw) * u128::from(bound)) >> 64) as u32
+}
+
 /// Draws `true` with probability `p` (clamped to `[0, 1]`).
 #[inline]
-pub fn bernoulli(rng: &mut dyn RngCore, p: f64) -> bool {
+pub fn bernoulli<R: RngCore + ?Sized>(rng: &mut R, p: f64) -> bool {
     if p <= 0.0 {
         return false;
     }
@@ -29,14 +212,14 @@ pub fn bernoulli(rng: &mut dyn RngCore, p: f64) -> bool {
 
 /// Uniform draw from `[lo, hi)`. Requires `lo < hi` (checked in debug).
 #[inline]
-pub fn uniform(rng: &mut dyn RngCore, lo: f64, hi: f64) -> f64 {
+pub fn uniform<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
     debug_assert!(lo < hi, "uniform requires lo < hi, got [{lo}, {hi})");
     lo + (hi - lo) * rng.random::<f64>()
 }
 
 /// Draws `±1` with equal probability.
 #[inline]
-pub fn random_sign(rng: &mut dyn RngCore) -> f64 {
+pub fn random_sign<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     if rng.random::<bool>() {
         1.0
     } else {
@@ -50,9 +233,8 @@ pub fn random_sign(rng: &mut dyn RngCore) -> f64 {
 /// which buys back the ~20-cycle hardware divide a `%`-based range draw
 /// pays, in loops that make one draw per flipped bit.
 #[inline]
-pub fn uniform_index(rng: &mut dyn RngCore, bound: u32) -> u32 {
-    debug_assert!(bound > 0, "uniform_index needs a positive bound");
-    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u32
+pub fn uniform_index<R: RngCore + ?Sized>(rng: &mut R, bound: u32) -> u32 {
+    index_from_raw(rng.next_u64(), bound)
 }
 
 /// Samples `k` distinct indices uniformly from `{0, …, d-1}` (Floyd's
@@ -64,7 +246,7 @@ pub fn uniform_index(rng: &mut dyn RngCore, bound: u32) -> u32 {
 ///
 /// # Panics
 /// Panics in debug builds if `k > d`.
-pub fn sample_distinct(rng: &mut dyn RngCore, d: usize, k: usize) -> Vec<u32> {
+pub fn sample_distinct<R: RngCore + ?Sized>(rng: &mut R, d: usize, k: usize) -> Vec<u32> {
     let mut chosen = Vec::with_capacity(k);
     sample_distinct_into(rng, d, k, &mut chosen);
     chosen
@@ -83,7 +265,12 @@ pub fn sample_distinct(rng: &mut dyn RngCore, d: usize, k: usize) -> Vec<u32> {
 ///
 /// # Panics
 /// Panics in debug builds if `k > d`.
-pub fn sample_distinct_into(rng: &mut dyn RngCore, d: usize, k: usize, out: &mut Vec<u32>) {
+pub fn sample_distinct_into<R: RngCore + ?Sized>(
+    rng: &mut R,
+    d: usize,
+    k: usize,
+    out: &mut Vec<u32>,
+) {
     debug_assert!(k <= d, "cannot sample {k} distinct indices from {d}");
     out.clear();
     out.reserve(k);
@@ -107,7 +294,12 @@ pub fn sample_distinct_into(rng: &mut dyn RngCore, d: usize, k: usize, out: &mut
 /// falls back to this walk when its precomputed Binomial CDF would
 /// underflow (see `categorical::UnaryEncoder`); it is also the
 /// position-streaming alternative when no flip-count table is available.
-pub fn for_each_bernoulli_index<F: FnMut(u32)>(rng: &mut dyn RngCore, n: u32, q: f64, mut f: F) {
+pub fn for_each_bernoulli_index<R: RngCore + ?Sized, F: FnMut(u32)>(
+    rng: &mut R,
+    n: u32,
+    q: f64,
+    mut f: F,
+) {
     if n == 0 || q <= 0.0 {
         return;
     }
@@ -146,7 +338,7 @@ pub fn for_each_bernoulli_index<F: FnMut(u32)>(rng: &mut dyn RngCore, n: u32, q:
 /// Requires `(1−q)^n` representable: callers must check
 /// `n·ln(1−q) > −700` (≈ `f64::MIN_POSITIVE.ln()`) and fall back to
 /// [`for_each_bernoulli_index`] otherwise — debug-asserted here.
-pub fn sample_binomial_inversion(rng: &mut dyn RngCore, n: u32, q: f64) -> u32 {
+pub fn sample_binomial_inversion<R: RngCore + ?Sized>(rng: &mut R, n: u32, q: f64) -> u32 {
     if n == 0 || q <= 0.0 {
         return 0;
     }
@@ -175,7 +367,7 @@ pub fn sample_binomial_inversion(rng: &mut dyn RngCore, n: u32, q: f64) -> u32 {
 /// Used by the exact (non-rejection) sampler for Duchi et al.'s
 /// multidimensional mechanism. Weights must be non-negative with a positive
 /// sum (checked in debug builds).
-pub fn sample_weighted(rng: &mut dyn RngCore, weights: &[f64]) -> usize {
+pub fn sample_weighted<R: RngCore + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     let total: f64 = weights.iter().sum();
     debug_assert!(total > 0.0 && total.is_finite(), "bad weight sum {total}");
     let mut u = rng.random::<f64>() * total;
@@ -352,6 +544,78 @@ mod tests {
         assert_eq!(sample_binomial_inversion(&mut rng, 0, 0.5), 0);
         assert_eq!(sample_binomial_inversion(&mut rng, 10, 0.0), 0);
         assert_eq!(sample_binomial_inversion(&mut rng, 10, 1.0), 10);
+    }
+
+    #[test]
+    fn rng_block_is_a_bit_exact_prefix_of_the_inner_stream() {
+        // Draw i from the block equals draw i from the bare generator, for
+        // any buffer length — the property that lets pipelines swap the
+        // scalar and batched paths without changing a single estimate.
+        fn check<const LEN: usize>() {
+            let mut bare = seeded_rng(99);
+            let mut block = RngBlock::<_, LEN>::new(seeded_rng(99));
+            for i in 0..2_000 {
+                assert_eq!(bare.next_u64(), block.next_u64(), "len={LEN} i={i}");
+            }
+        }
+        check::<1>();
+        check::<2>();
+        check::<7>();
+        check::<64>();
+        check::<256>();
+        check::<1000>();
+    }
+
+    #[test]
+    fn rng_block_next_u32_and_fill_bytes_match_stdrng() {
+        let mut bare = seeded_rng(7);
+        let mut block: RngBlock<StdRng> = RngBlock::new(seeded_rng(7));
+        for _ in 0..100 {
+            assert_eq!(bare.next_u32(), block.next_u32());
+        }
+        let mut a = [0u8; 37];
+        let mut b = [0u8; 37];
+        bare.fill_bytes(&mut a);
+        block.fill_bytes(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rng_block_serves_generic_helpers_identically() {
+        // The generic helpers must draw the same values through a block as
+        // through the bare rng: uniform_index, bernoulli, binomial, distinct.
+        let mut bare = seeded_rng(1234);
+        let mut block = RngBlock::<_, 17>::new(seeded_rng(1234));
+        let mut buf_a = Vec::new();
+        let mut buf_b = Vec::new();
+        for round in 0..500 {
+            assert_eq!(
+                uniform_index(&mut bare, 97),
+                uniform_index(&mut block, 97),
+                "round {round}"
+            );
+            assert_eq!(bernoulli(&mut bare, 0.37), bernoulli(&mut block, 0.37));
+            assert_eq!(
+                sample_binomial_inversion(&mut bare, 63, 0.27),
+                sample_binomial_inversion(&mut block, 63, 0.27)
+            );
+            sample_distinct_into(&mut bare, 50, 6, &mut buf_a);
+            sample_distinct_into(&mut block, 50, 6, &mut buf_b);
+            assert_eq!(buf_a, buf_b);
+        }
+    }
+
+    #[test]
+    fn rng_block_into_inner_returns_the_generator() {
+        let mut block = RngBlock::<_, 8>::new(seeded_rng(5));
+        let _ = block.next_u64();
+        // The inner rng has advanced by one full buffer (8 draws).
+        let mut inner = block.into_inner();
+        let mut reference = seeded_rng(5);
+        for _ in 0..8 {
+            reference.next_u64();
+        }
+        assert_eq!(inner.next_u64(), reference.next_u64());
     }
 
     #[test]
