@@ -94,6 +94,39 @@ impl FrequencyAccumulator {
         self.counts[v as usize] += 1;
     }
 
+    /// Absorbs one already-materialized report using the debias parameters
+    /// declared at construction ([`FrequencyAccumulator::with_debias`]) —
+    /// the aggregator-side path of the session API, where no oracle object
+    /// travels with the wire report. Exactly
+    /// [`FrequencyAccumulator::note_report`] plus one
+    /// [`FrequencyAccumulator::note_hit`] per set bit (unary) or reported
+    /// value (direct), so it leaves the accumulator in the same state as
+    /// the fused engine streaming the same report.
+    ///
+    /// # Panics
+    /// Panics if a unary report's length differs from the domain or a
+    /// direct report's value is out of domain (callers holding untrusted
+    /// reports should validate first), and debug-asserts that debias
+    /// parameters were declared.
+    pub fn count_report(&mut self, report: &CategoricalReport) {
+        debug_assert!(
+            self.debias.is_some(),
+            "count_report needs with_debias(); the (p, q) pair cannot be recovered later"
+        );
+        match report {
+            CategoricalReport::Bits(bits) => {
+                assert_eq!(bits.len(), self.k(), "report/accumulator domain mismatch");
+                for v in bits.iter_ones() {
+                    self.counts[v as usize] += 1;
+                }
+            }
+            CategoricalReport::Value(x) => {
+                self.counts[*x as usize] += 1;
+            }
+        }
+        self.reports += 1;
+    }
+
     /// Domain size.
     pub fn k(&self) -> u32 {
         self.counts.len() as u32

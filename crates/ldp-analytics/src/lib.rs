@@ -6,9 +6,14 @@
 //!   reports, with mergeable accumulators for sharded simulation.
 //! * [`frequency`] — debiased frequency estimation through any
 //!   [`ldp_core::FrequencyOracle`], including the `d/k` sampling correction.
+//! * [`session`] — the two-sided collection API: [`ClientEncoder`] turns
+//!   one user record into a serde-able [`Report`]; [`Aggregator`] consumes
+//!   reports incrementally, merges partial aggregates from other shards,
+//!   and yields [`CollectionResult`] snapshots at any point.
 //! * [`pipeline`] — end-to-end collection runs: the paper's proposal
 //!   ([`Protocol::Sampling`]) vs the best-effort composition of prior work
-//!   ([`Protocol::BestEffort`]), exactly as configured in §VI-A.
+//!   ([`Protocol::BestEffort`]), exactly as configured in §VI-A — a thin
+//!   block-parallel driver over the session API.
 //! * [`metrics`] / [`confidence`] — MSE / max-error metrics and
 //!   Bernstein-style instantiations of the Lemma 2/5 accuracy guarantees.
 
@@ -20,10 +25,12 @@ pub mod frequency;
 pub mod mean;
 pub mod metrics;
 pub mod pipeline;
+pub mod session;
 
 pub use frequency::FrequencyAccumulator;
 pub use mean::MeanAccumulator;
 pub use pipeline::{
-    categorical_mse, numeric_mse, BestEffortNumeric, CollectionResult, Collector, Protocol,
-    DEFAULT_SHARDS,
+    block_partition, block_rng, categorical_mse, numeric_mse, BestEffortNumeric, CollectionResult,
+    Collector, Protocol, BLOCK_USERS, DEFAULT_SHARDS,
 };
+pub use session::{Aggregator, ClientEncoder, CompositionReport, EncoderScratch, Report};

@@ -29,20 +29,24 @@
 //! The per-user loop is the system's hot path and is allocation-free in
 //! steady state: each block wraps its seeded generator in an
 //! [`ldp_core::rng::RngBlock`] (one monomorphized batched refill instead of
-//! a virtual call per draw), perturbation goes through the fused
-//! [`SamplingPerturber::perturb_counting`] engine with caller-owned scratch
-//! — fully monomorphized over the batched rng, streaming each categorical
-//! hit into the count-based [`FrequencyAccumulator`] as it is placed — so a
+//! a virtual call per draw) and drives the session API's fused
+//! [`Aggregator::absorb_with`] engine with caller-owned scratch — fully
+//! monomorphized over the batched rng, streaming each categorical hit into
+//! the count-based [`crate::FrequencyAccumulator`] as it is placed — so a
 //! report costs O(set bits) total, with no second walk over any bit vector
 //! and no O(k) support loop.
+//!
+//! [`Collector::run`] itself is a thin driver over the public
+//! [`ClientEncoder`]/[`Aggregator`] session API: one encoder shared by all
+//! blocks, one [`Aggregator`] partial per block (keyed by the block index
+//! as its merge ordinal), merged and snapshotted at the end. Everything it
+//! does can be reproduced — bit for bit — with the session API and the
+//! public [`block_partition`]/[`block_rng`] helpers; the `proptest_session`
+//! suite and the `distributed_collection` example do exactly that.
 
-use crate::frequency::FrequencyAccumulator;
-use crate::mean::MeanAccumulator;
-use ldp_core::multidim::{DuchiMultidim, SamplingPerturber, SparseReport};
+use crate::session::{Aggregator, ClientEncoder};
 use ldp_core::rng::{seeded_rng, RngBlock};
-use ldp_core::{
-    AnyOracle, AttrValue, CategoricalReport, Epsilon, LdpError, NumericKind, OracleKind, Result,
-};
+use ldp_core::{AttrValue, Epsilon, LdpError, NumericKind, OracleKind, Result};
 use ldp_data::Dataset;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -53,7 +57,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// default-configuration runs are bit-for-bit reproducible across machines:
 /// shards define the contiguous user ranges the seeded blocks partition, so
 /// the shard count is part of the experiment's definition, not a hardware
-/// detail. Override with [`Collector::with_threads`].
+/// detail. Override with [`Collector::with_shards`].
 pub const DEFAULT_SHARDS: usize = 16;
 
 /// Maximum users per scheduling block.
@@ -179,9 +183,23 @@ impl Collector {
     /// small n). Shards define the contiguous ranges the seeded blocks
     /// partition, so changing the shard count changes the (equally valid)
     /// random draws.
-    pub fn with_threads(mut self, shards: usize) -> Self {
+    pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
+    }
+
+    /// Deprecated alias of [`Collector::with_shards`].
+    ///
+    /// The old name suggested an OS-thread cap, but the knob has always set
+    /// the *simulation shard* count — part of the determinism model, never a
+    /// scheduling detail. Use [`Collector::with_shards`] for shards and
+    /// [`Collector::with_worker_threads`] for the worker cap.
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `with_shards`; for an OS-thread cap use `with_worker_threads`"
+    )]
+    pub fn with_threads(self, shards: usize) -> Self {
+        self.with_shards(shards)
     }
 
     /// Caps the number of OS worker threads in the work-stealing runner.
@@ -214,7 +232,7 @@ impl Collector {
         T: Send,
         F: Fn(usize, std::ops::Range<usize>) -> Result<T> + Sync,
     {
-        let blocks = block_ranges(n, self.shards);
+        let blocks = block_partition(n, self.shards);
         let workers = self
             .workers
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
@@ -260,6 +278,15 @@ impl Collector {
 
     /// Simulates every user perturbing her tuple and aggregates the reports.
     ///
+    /// A thin driver over the public session API: one [`ClientEncoder`]
+    /// shared by every block, one [`Aggregator`] partial per block (the
+    /// block index is its merge ordinal), all partials merged and
+    /// snapshotted at the end. Per block the fused
+    /// [`Aggregator::absorb_with`] engine runs — batched rng, streaming
+    /// perturb-and-count — so the redesigned surface sits on the same hot
+    /// path as before, and per-block aggregates merge in block-ordinal
+    /// order, bit-identical for any worker count or merge order.
+    ///
     /// # Errors
     /// Propagates schema/validation failures from the underlying mechanisms
     /// and rejects empty datasets.
@@ -267,247 +294,34 @@ impl Collector {
         if dataset.n() == 0 {
             return Err(LdpError::EmptyInput("rows"));
         }
-        match self.protocol {
-            Protocol::Sampling { numeric, oracle } => {
-                self.run_sampling(dataset, numeric, oracle, seed)
-            }
-            Protocol::BestEffort { numeric, oracle } => {
-                self.run_best_effort(dataset, numeric, oracle, seed)
-            }
-        }
-    }
-
-    fn run_sampling(
-        &self,
-        dataset: &Dataset,
-        numeric: NumericKind,
-        oracle: OracleKind,
-        seed: u64,
-    ) -> Result<CollectionResult> {
         let schema = dataset.schema();
-        let d = schema.d();
-        let perturber = SamplingPerturber::new(self.epsilon, schema.attr_specs(), numeric, oracle)?;
-        let scale = perturber.scale();
-        let cat_indices = schema.categorical_indices();
-        // Attribute index → frequency-accumulator slot, precomputed once so
-        // the per-entry hot loop is a table lookup, not a linear scan.
-        let mut slot_of: Vec<Option<usize>> = vec![None; d];
-        for (slot, &j) in cat_indices.iter().enumerate() {
-            slot_of[j] = Some(slot);
-        }
-
+        let encoder = ClientEncoder::new(self.protocol, self.epsilon, schema.attr_specs())?;
         let results = self.run_blocks(dataset.n(), |b, range| {
             // Batched, monomorphized, fused hot path: every draw comes from
             // the block's buffered generator with no dyn dispatch, and
             // categorical hits stream straight into the count accumulators
             // as they are placed (no second walk over any bit vector).
             let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(block_rng(seed, b));
-            let mut means = MeanAccumulator::new(d);
-            let mut freqs: Vec<FrequencyAccumulator> = cat_indices
-                .iter()
-                .map(|&j| {
-                    let oracle = perturber.oracle(j).expect("categorical");
-                    FrequencyAccumulator::with_debias(oracle.k(), scale, oracle.debias_params())
-                })
-                .collect();
-            let mut tuple: Vec<AttrValue> = Vec::with_capacity(d);
-            let mut report = SparseReport::with_capacity(d, perturber.k());
-            let mut scratch = perturber.scratch();
-            // Hits follow their report event, so the slot lookup happens
-            // once per report and each hit is a bare counter increment.
-            let mut slot = 0usize;
+            let mut agg = encoder.aggregator()?.with_ordinal(b as u64);
+            let mut scratch = encoder.scratch();
+            let mut tuple: Vec<AttrValue> = Vec::with_capacity(schema.d());
             for i in range {
                 dataset.canonical_tuple_into(i, &mut tuple);
-                perturber.perturb_counting(&tuple, &mut rng, &mut report, &mut scratch, |obs| {
-                    match obs {
-                        ldp_core::multidim::CatObservation::Report { attr } => {
-                            slot = slot_of[attr as usize].expect("categorical index");
-                            freqs[slot].note_report();
-                        }
-                        ldp_core::multidim::CatObservation::Hit { category, .. } => {
-                            freqs[slot].note_hit(category);
-                        }
-                    }
-                })?;
-                means.add_sparse(&report)?;
+                agg.absorb_with(&encoder, &tuple, &mut rng, &mut scratch)?;
             }
-            Ok((means, freqs))
+            Ok(agg)
         });
-
-        let mut means = MeanAccumulator::new(d);
-        let mut freqs: Vec<FrequencyAccumulator> = cat_indices
-            .iter()
-            .map(|&j| {
-                let k = perturber.oracle(j).expect("categorical").k();
-                FrequencyAccumulator::new(k, scale)
-            })
-            .collect();
+        let mut total: Option<Aggregator> = None;
         for res in results {
-            let (m, fs) = res?;
-            means.merge(&m)?;
-            for (acc, shard_acc) in freqs.iter_mut().zip(&fs) {
-                acc.merge(shard_acc)?;
+            let agg = res?;
+            match &mut total {
+                None => total = Some(agg),
+                Some(t) => t.merge(agg)?,
             }
         }
-        let n = dataset.n();
-        let mean_est = means.estimate()?;
-        let mut frequencies = Vec::with_capacity(cat_indices.len());
-        for (slot, &j) in cat_indices.iter().enumerate() {
-            freqs[slot].set_population(n);
-            frequencies.push((j, freqs[slot].estimate()?));
-        }
-        Ok(CollectionResult {
-            n,
-            means: schema
-                .numeric_indices()
-                .into_iter()
-                .map(|j| (j, mean_est[j]))
-                .collect(),
-            frequencies,
-        })
-    }
-
-    fn run_best_effort(
-        &self,
-        dataset: &Dataset,
-        numeric: BestEffortNumeric,
-        oracle: OracleKind,
-        seed: u64,
-    ) -> Result<CollectionResult> {
-        let schema = dataset.schema();
-        let d = schema.d();
-        let num_indices = schema.numeric_indices();
-        let cat_indices = schema.categorical_indices();
-        let d_num = num_indices.len();
-
-        // Budget allocation of §VI-A: ε·d_num/d to the numeric block,
-        // ε·d_cat/d to the categorical block, ε/d per categorical attribute.
-        let per_attr_eps = self.epsilon.split(d)?;
-
-        enum NumericState {
-            None,
-            PerAttr(Box<dyn ldp_core::NumericMechanism>),
-            Duchi(DuchiMultidim),
-        }
-        let numeric_state = if d_num == 0 {
-            NumericState::None
-        } else {
-            match numeric {
-                BestEffortNumeric::PerAttribute(kind) => {
-                    NumericState::PerAttr(kind.build(per_attr_eps))
-                }
-                BestEffortNumeric::DuchiMultidim => {
-                    let block_eps = self.epsilon.fraction(d_num as f64 / d as f64)?;
-                    NumericState::Duchi(DuchiMultidim::new(block_eps, d_num)?)
-                }
-            }
-        };
-        // Unboxed oracles: the per-entry perturbation below dispatches with
-        // one match and monomorphizes over the block's batched rng.
-        let oracles: Vec<AnyOracle> = cat_indices
-            .iter()
-            .map(|&j| {
-                let ldp_core::AttrSpec::Categorical { k } = schema.attr_specs()[j] else {
-                    unreachable!("categorical index");
-                };
-                AnyOracle::build(oracle, per_attr_eps, k)
-            })
-            .collect::<Result<Vec<_>>>()?;
-
-        let results = self.run_blocks(dataset.n(), |b, range| {
-            let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(block_rng(seed, b));
-            let mut means = MeanAccumulator::new(d);
-            let mut freqs: Vec<FrequencyAccumulator> = oracles
-                .iter()
-                .map(|o| FrequencyAccumulator::with_debias(o.k(), 1.0, o.debias_params()))
-                .collect();
-            let mut tuple: Vec<AttrValue> = Vec::with_capacity(d);
-            let mut dense = vec![0.0; d];
-            let mut numeric_block = vec![0.0; d_num];
-            let mut noisy: Vec<f64> = Vec::with_capacity(d_num);
-            let mut duchi_scratch = match &numeric_state {
-                NumericState::Duchi(md) => Some(md.scratch()),
-                _ => None,
-            };
-            // One reusable report buffer per categorical attribute, so the
-            // unary oracles recycle their bit vectors user after user.
-            let mut cat_reports: Vec<CategoricalReport> = oracles
-                .iter()
-                .map(|_| CategoricalReport::Value(0))
-                .collect();
-            for i in range {
-                dataset.canonical_tuple_into(i, &mut tuple);
-                dense.iter_mut().for_each(|x| *x = 0.0);
-                match &numeric_state {
-                    NumericState::None => {}
-                    NumericState::PerAttr(mech) => {
-                        for &j in num_indices.iter() {
-                            let AttrValue::Numeric(x) = tuple[j] else {
-                                unreachable!("schema-validated");
-                            };
-                            dense[j] = mech.perturb(x, &mut rng)?;
-                        }
-                    }
-                    NumericState::Duchi(md) => {
-                        for (slot, &j) in num_indices.iter().enumerate() {
-                            let AttrValue::Numeric(x) = tuple[j] else {
-                                unreachable!("schema-validated");
-                            };
-                            numeric_block[slot] = x;
-                        }
-                        md.perturb_into(
-                            &numeric_block,
-                            &mut rng,
-                            &mut noisy,
-                            duchi_scratch.as_mut().expect("built with Duchi state"),
-                        )?;
-                        for (slot, &j) in num_indices.iter().enumerate() {
-                            dense[j] = noisy[slot];
-                        }
-                    }
-                }
-                for (slot, &j) in cat_indices.iter().enumerate() {
-                    let AttrValue::Categorical(v) = tuple[j] else {
-                        unreachable!("schema-validated");
-                    };
-                    // Fused perturb-and-count: hits stream into the
-                    // accumulator as the oracle places them.
-                    let acc = &mut freqs[slot];
-                    acc.note_report();
-                    oracles[slot].perturb_into_noting(
-                        v,
-                        &mut rng,
-                        &mut cat_reports[slot],
-                        |c| acc.note_hit(c),
-                    )?;
-                }
-                means.add_dense(&dense)?;
-            }
-            Ok((means, freqs))
-        });
-
-        let mut means = MeanAccumulator::new(d);
-        let mut freqs: Vec<FrequencyAccumulator> = oracles
-            .iter()
-            .map(|o| FrequencyAccumulator::new(o.k(), 1.0))
-            .collect();
-        for res in results {
-            let (m, fs) = res?;
-            means.merge(&m)?;
-            for (acc, shard_acc) in freqs.iter_mut().zip(&fs) {
-                acc.merge(shard_acc)?;
-            }
-        }
-        let mean_est = means.estimate()?;
-        let mut frequencies = Vec::with_capacity(cat_indices.len());
-        for (slot, &j) in cat_indices.iter().enumerate() {
-            frequencies.push((j, freqs[slot].estimate()?));
-        }
-        Ok(CollectionResult {
-            n: dataset.n(),
-            means: num_indices.into_iter().map(|j| (j, mean_est[j])).collect(),
-            frequencies,
-        })
+        total
+            .expect("dataset is non-empty, so at least one block ran")
+            .snapshot()
     }
 }
 
@@ -530,7 +344,13 @@ fn shard_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
 /// of at most [`BLOCK_USERS`] users, listed in user order. This layout —
 /// together with [`block_rng`] — *is* the run's randomness structure; the
 /// scheduler merely decides which worker executes which block.
-fn block_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+///
+/// Public because it is the contract a distributed collection needs to
+/// reproduce a [`Collector::run`] bit for bit: feed block `b`'s users
+/// through a [`ClientEncoder`] with an [`ldp_core::rng::RngBlock`] over
+/// [`block_rng`]`(seed, b)` into an [`Aggregator`] with ordinal `b`, then
+/// merge the partials in any order.
+pub fn block_partition(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
     let shard_list = shard_ranges(n, shards);
     let mut out = Vec::with_capacity(shard_list.len());
     for shard in shard_list {
@@ -548,8 +368,9 @@ fn block_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
 ///
 /// When every shard fits in a single block (n ≤ shards · [`BLOCK_USERS`]),
 /// block indices coincide with shard indices and this reproduces the
-/// pre-block per-shard streams exactly.
-fn block_rng(seed: u64, block: usize) -> rand::rngs::StdRng {
+/// pre-block per-shard streams exactly. Public for the same reason as
+/// [`block_partition`]: it is half of the determinism contract.
+pub fn block_rng(seed: u64, block: usize) -> rand::rngs::StdRng {
     seeded_rng(seed ^ (block as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
@@ -611,7 +432,7 @@ mod tests {
             },
             eps(4.0),
         )
-        .with_threads(4);
+        .with_shards(4);
         let result = collector.run(&ds, 7).unwrap();
         assert_eq!(result.n, 60_000);
         assert_eq!(result.means.len(), 4);
@@ -634,7 +455,7 @@ mod tests {
             },
             eps(4.0),
         )
-        .with_threads(4);
+        .with_shards(4);
         let result = collector.run(&ds, 8).unwrap();
         for (j, est) in &result.means {
             let truth = ds.true_mean(*j).unwrap();
@@ -652,7 +473,7 @@ mod tests {
             },
             eps(4.0),
         )
-        .with_threads(4);
+        .with_shards(4);
         let result = collector.run(&ds, 9).unwrap();
         assert_eq!(result.means.len(), 6);
         assert_eq!(result.frequencies.len(), 10);
@@ -682,7 +503,7 @@ mod tests {
             },
             e,
         )
-        .with_threads(4);
+        .with_shards(4);
         let baseline = Collector::new(
             Protocol::BestEffort {
                 numeric: BestEffortNumeric::PerAttribute(NumericKind::Laplace),
@@ -690,7 +511,7 @@ mod tests {
             },
             e,
         )
-        .with_threads(4);
+        .with_shards(4);
         let runs = 5;
         let (mut p_num, mut p_cat, mut b_num, mut b_cat) = (0.0, 0.0, 0.0, 0.0);
         for r in 0..runs {
@@ -758,7 +579,7 @@ mod tests {
             },
             eps(2.0),
         )
-        .with_threads(2); // 2 shards → 2–3 blocks each
+        .with_shards(2); // 2 shards → 2–3 blocks each
         let reference = base.clone().with_worker_threads(1).run(&ds, 21).unwrap();
         for workers in [2usize, 5, 32] {
             let got = base
@@ -782,14 +603,14 @@ mod tests {
         };
         let a = Collector::new(protocol, eps(1.0)).run(&ds, 12).unwrap();
         let b = Collector::new(protocol, eps(1.0))
-            .with_threads(DEFAULT_SHARDS)
+            .with_shards(DEFAULT_SHARDS)
             .run(&ds, 12)
             .unwrap();
         assert_eq!(a.mean_vector(), b.mean_vector());
         // And a different shard count draws different (equally valid)
         // streams — the override is doing something.
         let c = Collector::new(protocol, eps(1.0))
-            .with_threads(DEFAULT_SHARDS + 1)
+            .with_shards(DEFAULT_SHARDS + 1)
             .run(&ds, 12)
             .unwrap();
         assert_ne!(a.mean_vector(), c.mean_vector());
@@ -805,12 +626,32 @@ mod tests {
             },
             eps(1.0),
         )
-        .with_threads(1);
+        .with_shards(1);
         let a = collector.run(&ds, 5).unwrap();
         let b = collector.run(&ds, 5).unwrap();
         assert_eq!(a.mean_vector(), b.mean_vector());
         let c = collector.run(&ds, 6).unwrap();
         assert_ne!(a.mean_vector(), c.mean_vector());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_threads_forwards_to_with_shards() {
+        let ds = numeric_dataset(2_000, 2, gaussian(0.2), 48).unwrap();
+        let protocol = Protocol::Sampling {
+            numeric: NumericKind::Hybrid,
+            oracle: OracleKind::Oue,
+        };
+        let a = Collector::new(protocol, eps(1.0))
+            .with_shards(3)
+            .run(&ds, 2)
+            .unwrap();
+        let b = Collector::new(protocol, eps(1.0))
+            .with_threads(3)
+            .run(&ds, 2)
+            .unwrap();
+        assert_eq!(a.mean_vector(), b.mean_vector());
+        assert_eq!(a.frequencies, b.frequencies);
     }
 
     #[test]

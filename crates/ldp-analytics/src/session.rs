@@ -1,0 +1,1316 @@
+//! The two-sided collection session API: untrusted clients encode, the
+//! server aggregates.
+//!
+//! The paper's deployment model is inherently split — millions of clients
+//! each perturb **one** record locally and send a compact report; a server
+//! consumes reports incrementally and publishes estimates. This module is
+//! that split, as API:
+//!
+//! * [`ClientEncoder`] — built from a [`Protocol`], an [`Epsilon`] and the
+//!   public schema; turns one user tuple into a serde-able [`Report`]
+//!   (Algorithm 4 sparse sampling, or the best-effort ε/d composition).
+//! * [`Report`] — the only thing that crosses the trust boundary: sampled
+//!   attribute indices plus numeric draws and categorical bits. Sized by
+//!   [`ldp_core::multidim::wire`], serialized by serde.
+//! * [`Aggregator`] — consumes reports incrementally ([`Aggregator::absorb`]),
+//!   merges partial aggregates from other shards or processes
+//!   ([`Aggregator::merge`]), and yields a [`CollectionResult`] snapshot at
+//!   any point ([`Aggregator::snapshot`]).
+//!
+//! ## Mergeable partials and the determinism model
+//!
+//! An [`Aggregator`] is a *set of partial aggregates* keyed by an ordinal
+//! ([`Aggregator::with_ordinal`]): everything it absorbs lands in its own
+//! ordinal's partial, and [`Aggregator::merge`] takes the union of the two
+//! ordinal sets. [`Aggregator::snapshot`] folds the partials in ascending
+//! ordinal order, so the floating-point summation order — and therefore
+//! every output bit — is fixed by the ordinals alone. Partials may be
+//! merged in **any** order, across threads, processes or machines, and the
+//! snapshot is bit-identical to the ordered fold; that is the invariant the
+//! [`Collector`](crate::Collector) pipeline, the `determinism` CI job and
+//! the `proptest_session` suite all pin.
+//!
+//! ## Fused simulation path
+//!
+//! A real deployment materializes every report. A simulation of millions of
+//! users should not: [`Aggregator::absorb_with`] runs the client encoder and
+//! the absorb in one fused pass (categorical hits stream into the count
+//! accumulators as the oracle places them — the PR 3 engine), consuming the
+//! same rng draws and leaving the aggregator in the same state as
+//! [`ClientEncoder::encode_into`] followed by [`Aggregator::absorb`].
+//! `Collector::run` is a thin block-parallel driver over exactly these
+//! calls.
+
+use crate::frequency::FrequencyAccumulator;
+use crate::mean::MeanAccumulator;
+use crate::pipeline::{BestEffortNumeric, CollectionResult, Protocol};
+use ldp_core::multidim::{
+    optimal_k, CatObservation, DuchiMultidim, DuchiScratch, SamplingPerturber, SparseReport,
+    SparseScratch,
+};
+use ldp_core::rng::DrawSource;
+use ldp_core::{
+    AnyNumeric, AnyOracle, AttrReport, AttrSpec, AttrValue, CategoricalReport, DebiasParams,
+    Epsilon, LdpError, Result,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The perturbed message one user submits for one record — the only data
+/// that crosses the client→server trust boundary.
+///
+/// Serde-able and compact: numeric entries are single `f64` draws,
+/// categorical entries are oracle bits (a `⌈log₂ k⌉`-bit value for GRR, a
+/// `k`-bit vector for OUE/SUE). [`ldp_core::multidim::wire`] provides the
+/// bit-level codec and size accounting for the sampling variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Report {
+    /// An Algorithm 4 report: `k` sampled attributes, each carrying an
+    /// ε/k-LDP sub-report (numeric entries pre-scaled by `d/k`).
+    Sampling(SparseReport),
+    /// A best-effort composition report: every attribute reported at its
+    /// split budget.
+    Composition(CompositionReport),
+}
+
+/// The dense report of the best-effort composition protocols: one numeric
+/// draw per numeric attribute and one categorical report per categorical
+/// attribute, each in schema slot order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CompositionReport {
+    /// Noisy numeric values, one per numeric attribute in schema order.
+    /// Under [`BestEffortNumeric::DuchiMultidim`] these are the coordinates
+    /// of Duchi et al.'s joint report; otherwise independent 1-D draws.
+    pub numeric: Vec<f64>,
+    /// Oracle reports, one per categorical attribute in schema order.
+    pub categorical: Vec<CategoricalReport>,
+}
+
+/// The shared public shape of a session: everything both sides derive from
+/// `(protocol, ε, schema)` without exchanging messages.
+#[derive(Debug, Clone)]
+struct Shape {
+    d: usize,
+    num_indices: Vec<usize>,
+    cat_indices: Vec<usize>,
+    /// Attribute index → categorical slot, so per-report dispatch is a
+    /// table lookup.
+    slot_of: Vec<Option<usize>>,
+    /// Estimator scale: `d/k` for sampling, `1` for composition.
+    scale: f64,
+    /// Per categorical slot: domain size and the oracle's `(p, q)` pair.
+    cats: Vec<(u32, DebiasParams)>,
+    /// Entries per sampling report (`k` of Equation 12); `d` for
+    /// composition.
+    sampled_k: usize,
+}
+
+impl Shape {
+    /// Derives the shape from an already-built engine — the cheap path
+    /// [`ClientEncoder`] uses, reading each oracle's `(k, p, q)` off the
+    /// engine instead of constructing throwaway oracles.
+    fn from_engine(specs: &[AttrSpec], engine: &Engine) -> Shape {
+        let d = specs.len();
+        let mut num_indices = Vec::new();
+        let mut cat_indices = Vec::new();
+        let mut slot_of = vec![None; d];
+        for (j, spec) in specs.iter().enumerate() {
+            match spec {
+                AttrSpec::Numeric => num_indices.push(j),
+                AttrSpec::Categorical { .. } => {
+                    slot_of[j] = Some(cat_indices.len());
+                    cat_indices.push(j);
+                }
+            }
+        }
+        let (scale, sampled_k, cats) = match engine {
+            Engine::Sampling(p) => {
+                let cats = cat_indices
+                    .iter()
+                    .map(|&j| {
+                        let o = p.any_oracle(j).expect("categorical slot");
+                        (o.k(), o.debias_params())
+                    })
+                    .collect();
+                (p.scale(), p.k(), cats)
+            }
+            Engine::Composition { oracles, .. } => {
+                let cats = oracles.iter().map(|o| (o.k(), o.debias_params())).collect();
+                (1.0, d, cats)
+            }
+        };
+        Shape {
+            d,
+            num_indices,
+            cat_indices,
+            slot_of,
+            scale,
+            cats,
+            sampled_k,
+        }
+    }
+
+    fn new(protocol: Protocol, epsilon: Epsilon, specs: &[AttrSpec]) -> Result<Self> {
+        let d = specs.len();
+        if d == 0 {
+            return Err(LdpError::InvalidParameter {
+                name: "specs",
+                message: "schema must contain at least one attribute".into(),
+            });
+        }
+        let (sampled_k, scale, oracle_kind) = match protocol {
+            Protocol::Sampling { oracle, .. } => {
+                let k = optimal_k(epsilon, d);
+                (k, d as f64 / k as f64, oracle)
+            }
+            Protocol::BestEffort { oracle, .. } => (d, 1.0, oracle),
+        };
+        let per_attr = epsilon.split(sampled_k)?;
+        let mut num_indices = Vec::new();
+        let mut cat_indices = Vec::new();
+        let mut slot_of = vec![None; d];
+        let mut cats = Vec::new();
+        for (j, spec) in specs.iter().enumerate() {
+            match spec {
+                AttrSpec::Numeric => num_indices.push(j),
+                AttrSpec::Categorical { k } => {
+                    slot_of[j] = Some(cat_indices.len());
+                    cat_indices.push(j);
+                    // Built through the same constructor as the client's
+                    // oracle, so the (p, q) pair is identical by
+                    // construction, never by re-derivation.
+                    let oracle = AnyOracle::build(oracle_kind, per_attr, *k)?;
+                    cats.push((*k, oracle.debias_params()));
+                }
+            }
+        }
+        Ok(Shape {
+            d,
+            num_indices,
+            cat_indices,
+            slot_of,
+            scale,
+            cats,
+            sampled_k,
+        })
+    }
+}
+
+/// How a [`ClientEncoder`] produces reports for its protocol family.
+enum Engine {
+    /// Algorithm 4: sample `k` attributes, spend ε/k on each.
+    Sampling(SamplingPerturber),
+    /// Best-effort composition: every attribute at its split budget.
+    Composition {
+        numeric: CompositionNumeric,
+        /// One oracle per categorical slot, at ε/d.
+        oracles: Vec<AnyOracle>,
+    },
+}
+
+enum CompositionNumeric {
+    None,
+    /// Each numeric attribute independently at ε/d.
+    PerAttr(AnyNumeric),
+    /// The whole numeric block jointly at ε·d_num/d.
+    Duchi(DuchiMultidim),
+}
+
+/// Caller-owned scratch buffers for the zero-allocation encoding loop
+/// ([`ClientEncoder::encode_into`] / [`Aggregator::absorb_with`]). Must stay
+/// paired with the encoder that built it.
+pub struct EncoderScratch {
+    inner: ScratchInner,
+}
+
+enum ScratchInner {
+    Sampling {
+        scratch: SparseScratch,
+        /// Numeric-entry report buffer for the fused
+        /// [`Aggregator::absorb_with`] path.
+        fused: SparseReport,
+    },
+    Composition {
+        dense: Vec<f64>,
+        numeric_block: Vec<f64>,
+        noisy: Vec<f64>,
+        duchi: Option<DuchiScratch>,
+        /// Recycled categorical payloads for the fused path.
+        cat_reports: Vec<CategoricalReport>,
+    },
+}
+
+/// The client half of a collection session: turns one user record into one
+/// ε-LDP [`Report`].
+///
+/// Built from public knowledge only — the protocol, the total budget and
+/// the schema — so every client constructs an identical encoder without
+/// coordination. The encoder is `Clone + Send + Sync` (all mechanism state
+/// is unboxed via [`AnyNumeric`]/[`AnyOracle`]) and fully monomorphized
+/// over the caller's rng: driven by an [`ldp_core::rng::RngBlock`] there is
+/// no virtual call anywhere in the per-draw path.
+///
+/// ```
+/// use ldp_analytics::{ClientEncoder, Protocol};
+/// use ldp_core::rng::seeded_rng;
+/// use ldp_core::{AttrSpec, AttrValue, Epsilon, NumericKind, OracleKind};
+///
+/// let encoder = ClientEncoder::new(
+///     Protocol::Sampling { numeric: NumericKind::Hybrid, oracle: OracleKind::Oue },
+///     Epsilon::new(4.0)?,
+///     vec![AttrSpec::Numeric, AttrSpec::Categorical { k: 4 }],
+/// )?;
+/// // One user, one record, one report.
+/// let tuple = [AttrValue::Numeric(0.25), AttrValue::Categorical(3)];
+/// let report = encoder.encode(&tuple, &mut seeded_rng(7))?;
+/// let ldp_analytics::Report::Sampling(sparse) = &report else { unreachable!() };
+/// assert_eq!(sparse.entries.len(), encoder.sampled_k());
+/// # Ok::<(), ldp_core::LdpError>(())
+/// ```
+pub struct ClientEncoder {
+    protocol: Protocol,
+    epsilon: Epsilon,
+    specs: Vec<AttrSpec>,
+    shape: Shape,
+    engine: Engine,
+}
+
+impl ClientEncoder {
+    /// Builds the encoder for a protocol, total budget and public schema.
+    ///
+    /// # Errors
+    /// Rejects empty schemas and invalid categorical domains.
+    pub fn new(protocol: Protocol, epsilon: Epsilon, specs: Vec<AttrSpec>) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(LdpError::InvalidParameter {
+                name: "specs",
+                message: "schema must contain at least one attribute".into(),
+            });
+        }
+        let engine = match protocol {
+            Protocol::Sampling { numeric, oracle } => Engine::Sampling(SamplingPerturber::new(
+                epsilon,
+                specs.clone(),
+                numeric,
+                oracle,
+            )?),
+            Protocol::BestEffort { numeric, oracle } => {
+                let d = specs.len();
+                let per_attr = epsilon.split(d)?;
+                let d_num = specs.iter().filter(|s| s.is_numeric()).count();
+                let numeric = if d_num == 0 {
+                    CompositionNumeric::None
+                } else {
+                    match numeric {
+                        BestEffortNumeric::PerAttribute(kind) => {
+                            CompositionNumeric::PerAttr(AnyNumeric::build(kind, per_attr))
+                        }
+                        BestEffortNumeric::DuchiMultidim => {
+                            let block_eps = epsilon.fraction(d_num as f64 / d as f64)?;
+                            CompositionNumeric::Duchi(DuchiMultidim::new(block_eps, d_num)?)
+                        }
+                    }
+                };
+                let oracles = specs
+                    .iter()
+                    .filter_map(|spec| match spec {
+                        AttrSpec::Numeric => None,
+                        AttrSpec::Categorical { k } => Some(AnyOracle::build(oracle, per_attr, *k)),
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Engine::Composition { numeric, oracles }
+            }
+        };
+        let shape = Shape::from_engine(&specs, &engine);
+        Ok(ClientEncoder {
+            protocol,
+            epsilon,
+            specs,
+            shape,
+            engine,
+        })
+    }
+
+    /// The protocol this encoder implements.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The total per-user privacy budget.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// The public schema.
+    pub fn specs(&self) -> &[AttrSpec] {
+        &self.specs
+    }
+
+    /// Number of attributes `d`.
+    pub fn d(&self) -> usize {
+        self.shape.d
+    }
+
+    /// Attributes carried per report: Equation 12's `k` under sampling,
+    /// `d` under composition.
+    pub fn sampled_k(&self) -> usize {
+        self.shape.sampled_k
+    }
+
+    /// An [`Aggregator`] configured for exactly this encoder's sessions —
+    /// built from the encoder's already-derived shape, so it is cheap
+    /// enough to call once per block or shard.
+    ///
+    /// # Errors
+    /// Infallible today (the encoder already validated the session);
+    /// `Result` keeps the signature aligned with [`Aggregator::new`].
+    pub fn aggregator(&self) -> Result<Aggregator> {
+        Ok(Aggregator {
+            protocol: self.protocol,
+            epsilon: self.epsilon,
+            specs: self.specs.clone(),
+            shape: self.shape.clone(),
+            ordinal: 0,
+            parts: BTreeMap::new(),
+            dense: vec![0.0; self.shape.d],
+        })
+    }
+
+    /// A scratch buffer sized for this encoder, enabling the
+    /// zero-allocation [`ClientEncoder::encode_into`] /
+    /// [`Aggregator::absorb_with`] loops.
+    pub fn scratch(&self) -> EncoderScratch {
+        let inner = match &self.engine {
+            Engine::Sampling(p) => ScratchInner::Sampling {
+                scratch: p.scratch(),
+                fused: SparseReport::with_capacity(p.d(), p.k()),
+            },
+            Engine::Composition { numeric, .. } => ScratchInner::Composition {
+                dense: vec![0.0; self.shape.d],
+                numeric_block: vec![0.0; self.shape.num_indices.len()],
+                noisy: Vec::with_capacity(self.shape.num_indices.len()),
+                duchi: match numeric {
+                    CompositionNumeric::Duchi(md) => Some(md.scratch()),
+                    _ => None,
+                },
+                cat_reports: self
+                    .shape
+                    .cats
+                    .iter()
+                    .map(|_| CategoricalReport::Value(0))
+                    .collect(),
+            },
+        };
+        EncoderScratch { inner }
+    }
+
+    /// An empty report shell of the right variant for this encoder, meant
+    /// to be (re)filled by [`ClientEncoder::encode_into`].
+    pub fn empty_report(&self) -> Report {
+        match &self.engine {
+            Engine::Sampling(p) => Report::Sampling(SparseReport::with_capacity(p.d(), p.k())),
+            Engine::Composition { .. } => Report::Composition(CompositionReport::default()),
+        }
+    }
+
+    /// Encodes one user tuple into a fresh report.
+    ///
+    /// Convenience wrapper over [`ClientEncoder::encode_into`] that
+    /// allocates the report and a transient scratch; simulation loops
+    /// should hold a report + scratch pair and call `encode_into`.
+    ///
+    /// # Errors
+    /// Rejects tuples whose arity, types or values do not match the schema.
+    pub fn encode<R: DrawSource + ?Sized>(
+        &self,
+        tuple: &[AttrValue],
+        rng: &mut R,
+    ) -> Result<Report> {
+        let mut report = self.empty_report();
+        let mut scratch = self.scratch();
+        self.encode_into(tuple, rng, &mut report, &mut scratch)?;
+        Ok(report)
+    }
+
+    /// Zero-allocation streaming form of [`ClientEncoder::encode`]: refills
+    /// `report` in place, recycling its buffers (and the categorical bit
+    /// vectors shuttling through `scratch`) across calls.
+    ///
+    /// Draw-for-draw identical to `encode` under the same rng state, and —
+    /// by the session equivalence the `proptest_session` suite pins —
+    /// `encode_into` + [`Aggregator::absorb`] leaves an aggregator in
+    /// exactly the state [`Aggregator::absorb_with`] produces.
+    ///
+    /// # Errors
+    /// As [`ClientEncoder::encode`].
+    pub fn encode_into<R: DrawSource + ?Sized>(
+        &self,
+        tuple: &[AttrValue],
+        rng: &mut R,
+        report: &mut Report,
+        scratch: &mut EncoderScratch,
+    ) -> Result<()> {
+        match &self.engine {
+            Engine::Sampling(p) => {
+                if !matches!(report, Report::Sampling(_)) {
+                    *report = self.empty_report();
+                }
+                let (Report::Sampling(sparse), ScratchInner::Sampling { scratch, .. }) =
+                    (&mut *report, &mut scratch.inner)
+                else {
+                    return Err(scratch_mismatch());
+                };
+                p.perturb_into(tuple, rng, sparse, scratch)
+            }
+            Engine::Composition { numeric, oracles } => {
+                if !matches!(report, Report::Composition(_)) {
+                    *report = self.empty_report();
+                }
+                let (
+                    Report::Composition(out),
+                    ScratchInner::Composition {
+                        numeric_block,
+                        noisy,
+                        duchi,
+                        ..
+                    },
+                ) = (&mut *report, &mut scratch.inner)
+                else {
+                    return Err(scratch_mismatch());
+                };
+                self.validate(tuple)?;
+                out.numeric.clear();
+                match numeric {
+                    CompositionNumeric::None => {}
+                    CompositionNumeric::PerAttr(mech) => {
+                        for &j in &self.shape.num_indices {
+                            let AttrValue::Numeric(x) = tuple[j] else {
+                                unreachable!("validated above");
+                            };
+                            out.numeric.push(mech.perturb(x, &mut *rng)?);
+                        }
+                    }
+                    CompositionNumeric::Duchi(md) => {
+                        for (slot, &j) in self.shape.num_indices.iter().enumerate() {
+                            let AttrValue::Numeric(x) = tuple[j] else {
+                                unreachable!("validated above");
+                            };
+                            numeric_block[slot] = x;
+                        }
+                        md.perturb_into(
+                            numeric_block,
+                            &mut *rng,
+                            noisy,
+                            duchi.as_mut().expect("built with Duchi state"),
+                        )?;
+                        out.numeric.extend_from_slice(noisy);
+                    }
+                }
+                if out.categorical.len() != self.shape.cat_indices.len() {
+                    out.categorical.clear();
+                    out.categorical
+                        .resize_with(self.shape.cat_indices.len(), || CategoricalReport::Value(0));
+                }
+                for (slot, &j) in self.shape.cat_indices.iter().enumerate() {
+                    let AttrValue::Categorical(v) = tuple[j] else {
+                        unreachable!("validated above");
+                    };
+                    oracles[slot].perturb_into(v, &mut *rng, &mut out.categorical[slot])?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Validates one tuple against the schema.
+    fn validate(&self, tuple: &[AttrValue]) -> Result<()> {
+        if tuple.len() != self.shape.d {
+            return Err(LdpError::DimensionMismatch {
+                expected: self.shape.d,
+                actual: tuple.len(),
+            });
+        }
+        for (i, (value, spec)) in tuple.iter().zip(&self.specs).enumerate() {
+            value.validate(spec, i)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ClientEncoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientEncoder")
+            .field("protocol", &self.protocol)
+            .field("epsilon", &self.epsilon)
+            .field("d", &self.shape.d)
+            .field("sampled_k", &self.shape.sampled_k)
+            .finish()
+    }
+}
+
+fn scratch_mismatch() -> LdpError {
+    LdpError::InvalidParameter {
+        name: "scratch",
+        message: "report/scratch built for a different protocol family".into(),
+    }
+}
+
+/// One mergeable partial aggregate: the accumulators for a contiguous slice
+/// of the report stream.
+#[derive(Debug, Clone)]
+struct Partial {
+    means: MeanAccumulator,
+    freqs: Vec<FrequencyAccumulator>,
+}
+
+impl Partial {
+    fn new(shape: &Shape) -> Self {
+        Partial {
+            means: MeanAccumulator::new(shape.d),
+            freqs: shape
+                .cats
+                .iter()
+                .map(|&(k, params)| FrequencyAccumulator::with_debias(k, shape.scale, params))
+                .collect(),
+        }
+    }
+
+    fn merge(&mut self, other: &Partial) -> Result<()> {
+        self.means.merge(&other.means)?;
+        for (acc, o) in self.freqs.iter_mut().zip(&other.freqs) {
+            acc.merge(o)?;
+        }
+        Ok(())
+    }
+}
+
+/// The server half of a collection session: consumes [`Report`]s
+/// incrementally and yields [`CollectionResult`] snapshots at any point.
+///
+/// Internally an aggregator is a set of partial aggregates keyed by an
+/// *ordinal* — its position in the canonical fold order. Reports absorbed
+/// by this instance land in its own ordinal's partial;
+/// [`Aggregator::merge`] unions the ordinal sets, and
+/// [`Aggregator::snapshot`] folds partials in ascending ordinal order.
+/// Because the fold order depends only on the ordinals — never on the
+/// merge order — partial aggregates can be reduced tree-wise, shard-wise
+/// or across processes in any order, with bit-identical results.
+///
+/// ```
+/// use ldp_analytics::{Aggregator, ClientEncoder, Protocol};
+/// use ldp_core::rng::seeded_rng;
+/// use ldp_core::{AttrSpec, AttrValue, Epsilon, NumericKind, OracleKind};
+///
+/// let protocol = Protocol::Sampling { numeric: NumericKind::Hybrid, oracle: OracleKind::Oue };
+/// let eps = Epsilon::new(4.0)?;
+/// let specs = vec![AttrSpec::Numeric, AttrSpec::Categorical { k: 4 }];
+/// let encoder = ClientEncoder::new(protocol, eps, specs.clone())?;
+/// let mut rng = seeded_rng(7);
+///
+/// // Two shards aggregate disjoint user populations…
+/// let mut shard_a = encoder.aggregator()?.with_ordinal(0);
+/// let mut shard_b = encoder.aggregator()?.with_ordinal(1);
+/// let tuple = [AttrValue::Numeric(0.5), AttrValue::Categorical(2)];
+/// for _ in 0..500 {
+///     shard_a.absorb(&encoder.encode(&tuple, &mut rng)?)?;
+///     shard_b.absorb(&encoder.encode(&tuple, &mut rng)?)?;
+/// }
+/// // …and their merge (in either order) yields one coherent result.
+/// let mut total = encoder.aggregator()?;
+/// total.merge(shard_b)?;
+/// total.merge(shard_a)?;
+/// let result = total.snapshot()?;
+/// assert_eq!(result.n, 1000);
+/// # Ok::<(), ldp_core::LdpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    protocol: Protocol,
+    epsilon: Epsilon,
+    specs: Vec<AttrSpec>,
+    shape: Shape,
+    ordinal: u64,
+    parts: BTreeMap<u64, Partial>,
+    /// Scatter buffer for dense absorbs.
+    dense: Vec<f64>,
+}
+
+impl Aggregator {
+    /// Builds an aggregator from the same public knowledge clients hold.
+    ///
+    /// # Errors
+    /// Rejects empty schemas and invalid categorical domains.
+    pub fn new(protocol: Protocol, epsilon: Epsilon, specs: Vec<AttrSpec>) -> Result<Self> {
+        let shape = Shape::new(protocol, epsilon, &specs)?;
+        let dense = vec![0.0; shape.d];
+        Ok(Aggregator {
+            protocol,
+            epsilon,
+            specs,
+            shape,
+            ordinal: 0,
+            parts: BTreeMap::new(),
+            dense,
+        })
+    }
+
+    /// Sets this aggregator's ordinal — its partial's position in the
+    /// canonical fold order. Shards that will later be merged should use
+    /// distinct ordinals (e.g. their block or shard index); the snapshot is
+    /// then invariant to the order the shards are merged in.
+    #[must_use]
+    pub fn with_ordinal(mut self, ordinal: u64) -> Self {
+        self.ordinal = ordinal;
+        self
+    }
+
+    /// The protocol this aggregator estimates for.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The per-user privacy budget of the absorbed reports.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// The public schema.
+    pub fn specs(&self) -> &[AttrSpec] {
+        &self.specs
+    }
+
+    /// Total users absorbed across all partials.
+    pub fn users(&self) -> usize {
+        self.parts.values().map(|p| p.means.n()).sum()
+    }
+
+    /// Number of partial aggregates currently held.
+    pub fn partials(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Absorbs one report into this aggregator's own partial.
+    ///
+    /// Validates the report against the schema and protocol (arity, entry
+    /// types, domains, sampled-entry count and ordering), so a malformed or
+    /// cross-protocol report is rejected rather than silently biasing the
+    /// estimates.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] / [`LdpError::DimensionMismatch`] /
+    /// [`LdpError::InvalidCategory`] on malformed reports.
+    pub fn absorb(&mut self, report: &Report) -> Result<()> {
+        match report {
+            Report::Sampling(sparse) => {
+                if !matches!(self.protocol, Protocol::Sampling { .. }) {
+                    return Err(report_mismatch());
+                }
+                self.validate_sparse(sparse)?;
+                let shape = &self.shape;
+                let part = self
+                    .parts
+                    .entry(self.ordinal)
+                    .or_insert_with(|| Partial::new(shape));
+                for (j, rep) in &sparse.entries {
+                    if let AttrReport::Categorical(cat) = rep {
+                        let slot = shape.slot_of[*j as usize].expect("validated categorical");
+                        part.freqs[slot].count_report(cat);
+                    }
+                }
+                part.means.add_sparse(sparse)
+            }
+            Report::Composition(dense_rep) => {
+                if !matches!(self.protocol, Protocol::BestEffort { .. }) {
+                    return Err(report_mismatch());
+                }
+                self.validate_composition(dense_rep)?;
+                let shape = &self.shape;
+                // Scatter the numeric draws into a dense tuple so the mean
+                // accumulator sees exactly what the fused engine feeds it.
+                self.dense.iter_mut().for_each(|x| *x = 0.0);
+                for (slot, &j) in shape.num_indices.iter().enumerate() {
+                    self.dense[j] = dense_rep.numeric[slot];
+                }
+                let part = self
+                    .parts
+                    .entry(self.ordinal)
+                    .or_insert_with(|| Partial::new(shape));
+                for (slot, cat) in dense_rep.categorical.iter().enumerate() {
+                    part.freqs[slot].count_report(cat);
+                }
+                part.means.add_dense(&self.dense)
+            }
+        }
+    }
+
+    /// Fused simulation path: encodes `tuple` with `encoder` and absorbs
+    /// the resulting report in one pass, without materializing categorical
+    /// payloads as report entries — each hit streams into the count
+    /// accumulators as the oracle places it (the PR 3 batched engine).
+    ///
+    /// Consumes exactly the rng draws of [`ClientEncoder::encode_into`] and
+    /// leaves the aggregator in exactly the state
+    /// [`Aggregator::absorb`]-ing that report would (pinned by the
+    /// `proptest_session` suite), so simulations can use this path and real
+    /// collections the two-call path interchangeably.
+    ///
+    /// # Errors
+    /// Rejects invalid tuples, and encoders whose protocol, budget or
+    /// schema differ from this aggregator's.
+    pub fn absorb_with<R: DrawSource + ?Sized>(
+        &mut self,
+        encoder: &ClientEncoder,
+        tuple: &[AttrValue],
+        rng: &mut R,
+        scratch: &mut EncoderScratch,
+    ) -> Result<()> {
+        // Full session-identity check, in release builds too: a schema
+        // mismatch would index accumulators out of range or silently bias
+        // estimates. The specs comparison is a linear scan of small Copy
+        // enums — noise next to the per-user perturbation work.
+        if encoder.protocol != self.protocol
+            || encoder.epsilon != self.epsilon
+            || encoder.specs != self.specs
+        {
+            return Err(LdpError::InvalidParameter {
+                name: "encoder",
+                message: "encoder protocol/budget/schema differs from the aggregator's".into(),
+            });
+        }
+        match &encoder.engine {
+            Engine::Sampling(p) => {
+                let ScratchInner::Sampling { scratch, fused } = &mut scratch.inner else {
+                    return Err(scratch_mismatch());
+                };
+                let shape = &self.shape;
+                let part = self
+                    .parts
+                    .entry(self.ordinal)
+                    .or_insert_with(|| Partial::new(shape));
+                // Hits follow their report event, so the slot lookup happens
+                // once per report and each hit is a bare counter increment.
+                let mut slot = 0usize;
+                p.perturb_counting(tuple, rng, fused, scratch, |obs| match obs {
+                    CatObservation::Report { attr } => {
+                        slot = shape.slot_of[attr as usize].expect("categorical index");
+                        part.freqs[slot].note_report();
+                    }
+                    CatObservation::Hit { category, .. } => {
+                        part.freqs[slot].note_hit(category);
+                    }
+                })?;
+                part.means.add_sparse(fused)
+            }
+            Engine::Composition { numeric, oracles } => {
+                let ScratchInner::Composition {
+                    dense,
+                    numeric_block,
+                    noisy,
+                    duchi,
+                    cat_reports,
+                } = &mut scratch.inner
+                else {
+                    return Err(scratch_mismatch());
+                };
+                encoder.validate(tuple)?;
+                let shape = &self.shape;
+                let part = self
+                    .parts
+                    .entry(self.ordinal)
+                    .or_insert_with(|| Partial::new(shape));
+                dense.iter_mut().for_each(|x| *x = 0.0);
+                match numeric {
+                    CompositionNumeric::None => {}
+                    CompositionNumeric::PerAttr(mech) => {
+                        for &j in &shape.num_indices {
+                            let AttrValue::Numeric(x) = tuple[j] else {
+                                unreachable!("validated above");
+                            };
+                            dense[j] = mech.perturb(x, &mut *rng)?;
+                        }
+                    }
+                    CompositionNumeric::Duchi(md) => {
+                        for (slot, &j) in shape.num_indices.iter().enumerate() {
+                            let AttrValue::Numeric(x) = tuple[j] else {
+                                unreachable!("validated above");
+                            };
+                            numeric_block[slot] = x;
+                        }
+                        md.perturb_into(
+                            numeric_block,
+                            &mut *rng,
+                            noisy,
+                            duchi.as_mut().expect("built with Duchi state"),
+                        )?;
+                        for (slot, &j) in shape.num_indices.iter().enumerate() {
+                            dense[j] = noisy[slot];
+                        }
+                    }
+                }
+                for (slot, &j) in shape.cat_indices.iter().enumerate() {
+                    let AttrValue::Categorical(v) = tuple[j] else {
+                        unreachable!("validated above");
+                    };
+                    // Fused perturb-and-count: hits stream into the
+                    // accumulator as the oracle places them.
+                    let acc = &mut part.freqs[slot];
+                    acc.note_report();
+                    oracles[slot].perturb_into_noting(
+                        v,
+                        &mut *rng,
+                        &mut cat_reports[slot],
+                        |c| acc.note_hit(c),
+                    )?;
+                }
+                part.means.add_dense(dense)
+            }
+        }
+    }
+
+    /// Merges another aggregator's partials into this one. Order-invariant:
+    /// partials keep their ordinals, and [`Aggregator::snapshot`] folds by
+    /// ordinal, so `a.merge(b)` and `b.merge(a)` snapshot bit-identically.
+    /// Two partials sharing an ordinal are combined pairwise in merge
+    /// order — give shards distinct ordinals for strict order invariance.
+    ///
+    /// # Errors
+    /// Rejects aggregators with a different protocol, budget or schema
+    /// (merging them would silently bias every estimate).
+    pub fn merge(&mut self, other: Aggregator) -> Result<()> {
+        if other.protocol != self.protocol
+            || other.epsilon != self.epsilon
+            || other.specs != self.specs
+        {
+            return Err(LdpError::InvalidParameter {
+                name: "aggregator",
+                message: "cannot merge aggregators from different sessions".into(),
+            });
+        }
+        for (ordinal, part) in other.parts {
+            match self.parts.entry(ordinal) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(part);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().merge(&part)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The current estimates: folds every partial in ascending ordinal
+    /// order and debiases once. Non-destructive — absorb more reports and
+    /// snapshot again at any point.
+    ///
+    /// # Errors
+    /// [`LdpError::EmptyInput`] before any report arrives.
+    pub fn snapshot(&self) -> Result<CollectionResult> {
+        let shape = &self.shape;
+        let mut means = MeanAccumulator::new(shape.d);
+        let mut freqs: Vec<FrequencyAccumulator> = shape
+            .cats
+            .iter()
+            .map(|&(k, _)| FrequencyAccumulator::new(k, shape.scale))
+            .collect();
+        // BTreeMap iteration is ascending in ordinal: the canonical fold
+        // order that makes the merged f64 sums independent of merge order.
+        for part in self.parts.values() {
+            means.merge(&part.means)?;
+            for (acc, shard_acc) in freqs.iter_mut().zip(&part.freqs) {
+                acc.merge(shard_acc)?;
+            }
+        }
+        let n = means.n();
+        let mean_est = means.estimate()?;
+        let mut frequencies = Vec::with_capacity(shape.cat_indices.len());
+        for (slot, &j) in shape.cat_indices.iter().enumerate() {
+            // Every absorbed user counts toward the population, including
+            // (under sampling) those whose k attributes missed this one.
+            freqs[slot].set_population(n);
+            frequencies.push((j, freqs[slot].estimate()?));
+        }
+        Ok(CollectionResult {
+            n,
+            means: shape
+                .num_indices
+                .iter()
+                .map(|&j| (j, mean_est[j]))
+                .collect(),
+            frequencies,
+        })
+    }
+
+    fn validate_sparse(&self, report: &SparseReport) -> Result<()> {
+        let shape = &self.shape;
+        if report.d != shape.d {
+            return Err(LdpError::DimensionMismatch {
+                expected: shape.d,
+                actual: report.d,
+            });
+        }
+        if report.entries.len() != shape.sampled_k {
+            return Err(LdpError::InvalidParameter {
+                name: "report",
+                message: format!(
+                    "sampling report must carry exactly {} entries, got {}",
+                    shape.sampled_k,
+                    report.entries.len()
+                ),
+            });
+        }
+        let mut prev: Option<u32> = None;
+        for (j, rep) in &report.entries {
+            if *j as usize >= shape.d {
+                return Err(LdpError::InvalidParameter {
+                    name: "report",
+                    message: format!("attribute index {j} out of range {}", shape.d),
+                });
+            }
+            if prev.is_some_and(|p| p >= *j) {
+                return Err(LdpError::InvalidParameter {
+                    name: "report",
+                    message: "report entries must be strictly increasing in attribute".into(),
+                });
+            }
+            prev = Some(*j);
+            validate_entry(rep, &self.specs[*j as usize])?;
+        }
+        Ok(())
+    }
+
+    fn validate_composition(&self, report: &CompositionReport) -> Result<()> {
+        let shape = &self.shape;
+        if report.numeric.len() != shape.num_indices.len()
+            || report.categorical.len() != shape.cat_indices.len()
+        {
+            return Err(LdpError::DimensionMismatch {
+                expected: shape.d,
+                actual: report.numeric.len() + report.categorical.len(),
+            });
+        }
+        for x in &report.numeric {
+            // One NaN would poison the mean sums for every later snapshot;
+            // reject it here like the sparse path does.
+            if !x.is_finite() {
+                return Err(LdpError::InvalidParameter {
+                    name: "report",
+                    message: "numeric entry must be finite".into(),
+                });
+            }
+        }
+        for (slot, cat) in report.categorical.iter().enumerate() {
+            let k = shape.cats[slot].0;
+            validate_entry(
+                &AttrReport::Categorical(cat.clone()),
+                &AttrSpec::Categorical { k },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates one report entry against its attribute spec.
+fn validate_entry(rep: &AttrReport, spec: &AttrSpec) -> Result<()> {
+    match (rep, spec) {
+        (AttrReport::Numeric(x), AttrSpec::Numeric) => {
+            if x.is_finite() {
+                Ok(())
+            } else {
+                Err(LdpError::InvalidParameter {
+                    name: "report",
+                    message: "numeric entry must be finite".into(),
+                })
+            }
+        }
+        (AttrReport::Categorical(CategoricalReport::Value(v)), AttrSpec::Categorical { k }) => {
+            if v < k {
+                Ok(())
+            } else {
+                Err(LdpError::InvalidCategory { value: *v, k: *k })
+            }
+        }
+        (AttrReport::Categorical(CategoricalReport::Bits(bits)), AttrSpec::Categorical { k }) => {
+            if bits.len() != *k {
+                return Err(LdpError::DimensionMismatch {
+                    expected: *k as usize,
+                    actual: bits.len() as usize,
+                });
+            }
+            // A deserialized report can violate BitVec's storage invariants
+            // (stray bits past `len`, wrong word count); the word-level
+            // count walk assumes them, so reject rather than panic or
+            // miscount.
+            if !bits.is_well_formed() {
+                return Err(LdpError::InvalidParameter {
+                    name: "report",
+                    message: "unary report carries bits beyond its domain".into(),
+                });
+            }
+            Ok(())
+        }
+        _ => Err(LdpError::InvalidParameter {
+            name: "report",
+            message: "report entry type disagrees with the schema".into(),
+        }),
+    }
+}
+
+fn report_mismatch() -> LdpError {
+    LdpError::InvalidParameter {
+        name: "report",
+        message: "report variant does not match the aggregator's protocol".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::rng::seeded_rng;
+    use ldp_core::{NumericKind, OracleKind};
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn mixed_specs() -> Vec<AttrSpec> {
+        vec![
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 5 },
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 3 },
+        ]
+    }
+
+    fn mixed_tuple(i: usize) -> Vec<AttrValue> {
+        vec![
+            AttrValue::Numeric(-1.0 + 2.0 * ((i % 7) as f64) / 6.0),
+            AttrValue::Categorical((i % 5) as u32),
+            AttrValue::Numeric(0.25),
+            AttrValue::Categorical((i % 3) as u32),
+        ]
+    }
+
+    const PROTOCOLS: [Protocol; 3] = [
+        Protocol::Sampling {
+            numeric: NumericKind::Hybrid,
+            oracle: OracleKind::Oue,
+        },
+        Protocol::Sampling {
+            numeric: NumericKind::Piecewise,
+            oracle: OracleKind::Grr,
+        },
+        Protocol::BestEffort {
+            numeric: BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+            oracle: OracleKind::Oue,
+        },
+    ];
+
+    #[test]
+    fn encode_absorb_matches_fused_absorb_bit_for_bit() {
+        // The two public paths are the same computation: identical draws,
+        // identical aggregator state, for both protocol families.
+        for protocol in PROTOCOLS {
+            let encoder = ClientEncoder::new(protocol, eps(2.0), mixed_specs()).unwrap();
+            let mut rng_a = seeded_rng(71);
+            let mut rng_b = seeded_rng(71);
+            let mut two_call = encoder.aggregator().unwrap();
+            let mut fused = encoder.aggregator().unwrap();
+            let mut report = encoder.empty_report();
+            let mut scratch_a = encoder.scratch();
+            let mut scratch_b = encoder.scratch();
+            for i in 0..400 {
+                let tuple = mixed_tuple(i);
+                encoder
+                    .encode_into(&tuple, &mut rng_a, &mut report, &mut scratch_a)
+                    .unwrap();
+                two_call.absorb(&report).unwrap();
+                fused
+                    .absorb_with(&encoder, &tuple, &mut rng_b, &mut scratch_b)
+                    .unwrap();
+            }
+            let a = two_call.snapshot().unwrap();
+            let b = fused.snapshot().unwrap();
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.mean_vector(), b.mean_vector(), "{protocol:?}");
+            assert_eq!(a.frequencies, b.frequencies, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn encode_matches_encode_into() {
+        for protocol in PROTOCOLS {
+            let encoder = ClientEncoder::new(protocol, eps(1.5), mixed_specs()).unwrap();
+            let mut rng_a = seeded_rng(5);
+            let mut rng_b = seeded_rng(5);
+            let mut report = encoder.empty_report();
+            let mut scratch = encoder.scratch();
+            for i in 0..200 {
+                let tuple = mixed_tuple(i);
+                let owned = encoder.encode(&tuple, &mut rng_a).unwrap();
+                encoder
+                    .encode_into(&tuple, &mut rng_b, &mut report, &mut scratch)
+                    .unwrap();
+                assert_eq!(owned, report, "{protocol:?} round {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_order_invariant_and_snapshot_is_incremental() {
+        let protocol = PROTOCOLS[0];
+        let encoder = ClientEncoder::new(protocol, eps(4.0), mixed_specs()).unwrap();
+        let mut rng = seeded_rng(17);
+        // Three shards with distinct ordinals.
+        let mut shards: Vec<Aggregator> = (0..3)
+            .map(|o| encoder.aggregator().unwrap().with_ordinal(o))
+            .collect();
+        for i in 0..600 {
+            let report = encoder.encode(&mixed_tuple(i), &mut rng).unwrap();
+            shards[i % 3].absorb(&report).unwrap();
+        }
+        // Snapshot mid-stream is allowed and non-destructive.
+        let early = shards[0].snapshot().unwrap();
+        assert_eq!(early.n, 200);
+
+        let merge_in = |order: &[usize]| {
+            let mut total = encoder.aggregator().unwrap();
+            for &i in order {
+                total.merge(shards[i].clone()).unwrap();
+            }
+            total.snapshot().unwrap()
+        };
+        let a = merge_in(&[0, 1, 2]);
+        let b = merge_in(&[2, 0, 1]);
+        let c = merge_in(&[1, 2, 0]);
+        assert_eq!(a.n, 600);
+        assert_eq!(a.mean_vector(), b.mean_vector());
+        assert_eq!(a.frequencies, b.frequencies);
+        assert_eq!(a.mean_vector(), c.mean_vector());
+        assert_eq!(a.frequencies, c.frequencies);
+    }
+
+    #[test]
+    fn absorb_rejects_malformed_reports() {
+        let sampling = ClientEncoder::new(PROTOCOLS[0], eps(2.0), mixed_specs()).unwrap();
+        let composition = ClientEncoder::new(PROTOCOLS[2], eps(2.0), mixed_specs()).unwrap();
+        let mut rng = seeded_rng(3);
+        let mut agg = sampling.aggregator().unwrap();
+
+        // Cross-protocol reports are rejected.
+        let dense = composition.encode(&mixed_tuple(0), &mut rng).unwrap();
+        assert!(agg.absorb(&dense).is_err());
+        let mut comp_agg = composition.aggregator().unwrap();
+        let sparse = sampling.encode(&mixed_tuple(0), &mut rng).unwrap();
+        assert!(comp_agg.absorb(&sparse).is_err());
+
+        // Malformed sparse reports: wrong d, wrong entry count, unsorted
+        // entries, out-of-range values.
+        let Report::Sampling(good) = sampling.encode(&mixed_tuple(1), &mut rng).unwrap() else {
+            unreachable!();
+        };
+        let mut wrong_d = good.clone();
+        wrong_d.d = 9;
+        assert!(agg.absorb(&Report::Sampling(wrong_d)).is_err());
+        let mut extra = good.clone();
+        extra.entries.extend(good.entries.iter().cloned());
+        assert!(agg.absorb(&Report::Sampling(extra)).is_err());
+        let mut dup = good.clone();
+        if dup.entries.len() >= 2 {
+            dup.entries[1] = dup.entries[0].clone();
+            assert!(agg.absorb(&Report::Sampling(dup)).is_err());
+        }
+
+        // Malformed composition reports: wrong arity, out-of-domain value.
+        let Report::Composition(mut bad) = composition.encode(&mixed_tuple(2), &mut rng).unwrap()
+        else {
+            unreachable!();
+        };
+        bad.categorical[0] = CategoricalReport::Value(99);
+        assert!(comp_agg.absorb(&Report::Composition(bad.clone())).is_err());
+        bad.categorical.pop();
+        assert!(comp_agg.absorb(&Report::Composition(bad)).is_err());
+
+        // Non-finite numeric entries would poison the mean sums forever.
+        let Report::Composition(mut poisoned) =
+            composition.encode(&mixed_tuple(3), &mut rng).unwrap()
+        else {
+            unreachable!();
+        };
+        poisoned.numeric[0] = f64::NAN;
+        assert!(comp_agg.absorb(&Report::Composition(poisoned)).is_err());
+
+        // Cross-session merges are rejected.
+        let other = ClientEncoder::new(PROTOCOLS[0], eps(3.0), mixed_specs())
+            .unwrap()
+            .aggregator()
+            .unwrap();
+        assert!(agg.merge(other).is_err());
+    }
+
+    #[test]
+    fn absorb_with_rejects_cross_session_encoders() {
+        // Same protocol and ε but a different schema: the fused path must
+        // return an error (in release builds too), never index another
+        // session's accumulators.
+        let encoder = ClientEncoder::new(PROTOCOLS[0], eps(2.0), mixed_specs()).unwrap();
+        let bigger = vec![
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 9 },
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 3 },
+        ];
+        let foreign = ClientEncoder::new(PROTOCOLS[0], eps(2.0), bigger.clone()).unwrap();
+        let mut agg = encoder.aggregator().unwrap();
+        let mut rng = seeded_rng(4);
+        let mut scratch = foreign.scratch();
+        let tuple = vec![
+            AttrValue::Numeric(0.0),
+            AttrValue::Categorical(8),
+            AttrValue::Numeric(0.0),
+            AttrValue::Categorical(0),
+        ];
+        assert!(agg
+            .absorb_with(&foreign, &tuple, &mut rng, &mut scratch)
+            .is_err());
+    }
+
+    #[test]
+    fn duchi_composition_round_trips_through_both_paths() {
+        let protocol = Protocol::BestEffort {
+            numeric: BestEffortNumeric::DuchiMultidim,
+            oracle: OracleKind::Grr,
+        };
+        let encoder = ClientEncoder::new(protocol, eps(2.0), mixed_specs()).unwrap();
+        let mut rng_a = seeded_rng(9);
+        let mut rng_b = seeded_rng(9);
+        let mut two_call = encoder.aggregator().unwrap();
+        let mut fused = encoder.aggregator().unwrap();
+        let mut scratch_a = encoder.scratch();
+        let mut scratch_b = encoder.scratch();
+        let mut report = encoder.empty_report();
+        for i in 0..300 {
+            let tuple = mixed_tuple(i);
+            encoder
+                .encode_into(&tuple, &mut rng_a, &mut report, &mut scratch_a)
+                .unwrap();
+            two_call.absorb(&report).unwrap();
+            fused
+                .absorb_with(&encoder, &tuple, &mut rng_b, &mut scratch_b)
+                .unwrap();
+        }
+        let a = two_call.snapshot().unwrap();
+        let b = fused.snapshot().unwrap();
+        assert_eq!(a.mean_vector(), b.mean_vector());
+        assert_eq!(a.frequencies, b.frequencies);
+    }
+
+    #[test]
+    fn empty_aggregator_snapshot_fails() {
+        let encoder = ClientEncoder::new(PROTOCOLS[0], eps(1.0), mixed_specs()).unwrap();
+        let agg = encoder.aggregator().unwrap();
+        assert!(agg.snapshot().is_err());
+        assert_eq!(agg.users(), 0);
+        assert_eq!(agg.partials(), 0);
+    }
+}

@@ -16,11 +16,22 @@
 //!
 //! is an end-to-end, cross-process check of scheduler invariance. CI runs
 //! exactly that pair on every change.
+//!
+//! The binary also exercises the session split: it reproduces every run
+//! through the public `ClientEncoder`/`Aggregator` API with the per-block
+//! partials merged in *reverse* order, asserts the result equals the
+//! pipeline's bit for bit, and prints the session estimates into the same
+//! diffable stream — so the CI diff covers the merged-partials path too.
 
-use ldp_analytics::{BestEffortNumeric, CollectionResult, Collector, Protocol};
+use ldp_analytics::{
+    block_partition, block_rng, Aggregator, BestEffortNumeric, ClientEncoder, CollectionResult,
+    Collector, Protocol, DEFAULT_SHARDS,
+};
 use ldp_bench::Args;
-use ldp_core::{Epsilon, NumericKind, OracleKind};
+use ldp_core::rng::RngBlock;
+use ldp_core::{AttrValue, Epsilon, NumericKind, OracleKind};
 use ldp_data::census::generate_br;
+use ldp_data::Dataset;
 
 /// Fixed workload size: small enough for CI, large enough that every shard
 /// splits across categorical and numeric work.
@@ -38,6 +49,43 @@ fn print_result(label: &str, eps: f64, result: &CollectionResult) {
             .collect();
         println!("  freq[{j}] = {}", bits.join(" "));
     }
+}
+
+/// Reproduces one pipeline run through the public session API, merging the
+/// per-block partial aggregates in reverse block order.
+fn session_run_reversed(
+    protocol: Protocol,
+    eps: Epsilon,
+    dataset: &Dataset,
+    seed: u64,
+) -> CollectionResult {
+    let encoder =
+        ClientEncoder::new(protocol, eps, dataset.schema().attr_specs()).expect("valid schema");
+    let mut partials: Vec<Aggregator> = block_partition(dataset.n(), DEFAULT_SHARDS)
+        .into_iter()
+        .enumerate()
+        .map(|(b, range)| {
+            let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(block_rng(seed, b));
+            let mut agg = encoder
+                .aggregator()
+                .expect("valid schema")
+                .with_ordinal(b as u64);
+            let mut scratch = encoder.scratch();
+            let mut tuple: Vec<AttrValue> = Vec::new();
+            for i in range {
+                dataset.canonical_tuple_into(i, &mut tuple);
+                agg.absorb_with(&encoder, &tuple, &mut rng, &mut scratch)
+                    .expect("valid tuple");
+            }
+            agg
+        })
+        .collect();
+    partials.reverse();
+    let mut total = encoder.aggregator().expect("valid schema");
+    for p in partials {
+        total.merge(p).expect("same session");
+    }
+    total.snapshot().expect("non-empty dataset")
 }
 
 fn main() {
@@ -84,11 +132,28 @@ fn main() {
                     }
                 }
             }
-            print_result(
-                label,
-                eps,
-                reference.as_ref().expect("at least one worker count"),
+            let reference = reference.as_ref().expect("at least one worker count");
+            print_result(label, eps, reference);
+
+            // The session split, with partials merged out of order, must
+            // reproduce the pipeline bit for bit — print it into the same
+            // stream so the cross-process diff also gates this path.
+            let session = session_run_reversed(
+                protocol,
+                Epsilon::new(eps).expect("positive"),
+                &dataset,
+                args.seed,
             );
+            assert_eq!(
+                reference.mean_vector(),
+                session.mean_vector(),
+                "{label} eps={eps}: session split changed the means"
+            );
+            assert_eq!(
+                reference.frequencies, session.frequencies,
+                "{label} eps={eps}: session split changed the frequencies"
+            );
+            print_result(&format!("{label} [session merged-partials]"), eps, &session);
         }
     }
 }

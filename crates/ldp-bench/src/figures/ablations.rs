@@ -92,7 +92,7 @@ pub fn frequency_oracles(args: &Args) -> String {
                 },
                 Epsilon::new(eps).expect("positive"),
             )
-            .with_threads(args.threads);
+            .with_shards(args.threads);
             let mut total = 0.0;
             for run in 0..args.runs {
                 let result = collector

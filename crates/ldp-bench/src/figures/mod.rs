@@ -36,7 +36,7 @@ pub fn averaged_mse(
     eps: f64,
     args: &Args,
 ) -> Result<(Option<f64>, Option<f64>)> {
-    let collector = Collector::new(protocol, Epsilon::new(eps)?).with_threads(args.threads);
+    let collector = Collector::new(protocol, Epsilon::new(eps)?).with_shards(args.threads);
     let mut num = 0.0;
     let mut cat = 0.0;
     let has_num = !dataset.schema().numeric_indices().is_empty();

@@ -392,11 +392,12 @@ fn run_sampling_streaming<R: DrawSource + ?Sized>(
         .collect()
 }
 
-/// Oracles and the ε/d numeric mechanism for the composition baseline. The
-/// oracles are unboxed so the streaming arms can monomorphize; the baseline
-/// arm reaches the trait path through [`AnyOracle::as_dyn`].
+/// Oracles and the ε/d numeric mechanism for the composition baseline. Both
+/// are unboxed ([`ldp_core::AnyNumeric`]/[`AnyOracle`]) so the streaming
+/// arms can monomorphize; the baseline arm reaches the trait path through
+/// the `as_dyn` accessors.
 struct CompositionState {
-    mech: Box<dyn ldp_core::NumericMechanism>,
+    mech: ldp_core::AnyNumeric,
     oracles: Vec<Option<AnyOracle>>,
 }
 
@@ -408,7 +409,7 @@ fn composition_state(
 ) -> CompositionState {
     let per_attr = eps.split(specs.len()).expect("d ≥ 1");
     CompositionState {
-        mech: numeric.build(per_attr),
+        mech: ldp_core::AnyNumeric::build(numeric, per_attr),
         oracles: specs
             .iter()
             .map(|spec| match spec {
@@ -438,7 +439,13 @@ fn run_composition_baseline(state: &CompositionState, w: &Workload, seed: u64) -
         for (j, value) in w.tuple(i).iter().enumerate() {
             match value {
                 AttrValue::Numeric(x) => {
-                    mean_sum += state.mech.perturb(*x, &mut *rng).expect("valid input");
+                    // The historical path drew through trait objects; pin
+                    // that dispatch so the baseline keeps measuring it.
+                    mean_sum += state
+                        .mech
+                        .as_dyn()
+                        .perturb(*x, &mut *rng)
+                        .expect("valid input");
                 }
                 AttrValue::Categorical(v) => {
                     let oracle = state.oracles[j].as_ref().expect("categorical").as_dyn();
@@ -483,7 +490,7 @@ fn run_composition_batched(state: &CompositionState, w: &Workload, seed: u64) ->
         for (j, value) in w.tuple(i).iter().enumerate() {
             match value {
                 AttrValue::Numeric(x) => {
-                    mean_sum += state.mech.perturb(*x, &mut &mut rng).expect("valid input");
+                    mean_sum += state.mech.perturb(*x, &mut rng).expect("valid input");
                 }
                 AttrValue::Categorical(v) => {
                     let oracle = state.oracles[j].as_ref().expect("categorical");
@@ -527,7 +534,7 @@ fn run_composition_streaming<R: DrawSource + ?Sized>(
         for (j, value) in w.tuple(i).iter().enumerate() {
             match value {
                 AttrValue::Numeric(x) => {
-                    mean_sum += state.mech.perturb(*x, &mut &mut *rng).expect("valid input");
+                    mean_sum += state.mech.perturb(*x, &mut *rng).expect("valid input");
                 }
                 AttrValue::Categorical(v) => {
                     let oracle = state.oracles[j].as_ref().expect("categorical");

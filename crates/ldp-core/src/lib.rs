@@ -72,3 +72,4 @@ pub use mechanism::{
     check_unit_interval, BitVec, CategoricalReport, DebiasParams, FrequencyOracle, NumericMechanism,
 };
 pub use multidim::{AttrReport, AttrSpec, AttrValue};
+pub use numeric::AnyNumeric;

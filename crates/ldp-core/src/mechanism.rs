@@ -3,6 +3,7 @@
 use crate::budget::Epsilon;
 use crate::error::{LdpError, Result};
 use rand::RngCore;
+use serde::{Deserialize, Serialize};
 
 /// A one-dimensional ε-LDP mechanism for numeric values in `[-1, 1]`.
 ///
@@ -168,7 +169,7 @@ pub trait FrequencyOracle: Send + Sync {
 }
 
 /// The perturbed message a user sends for one categorical attribute.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CategoricalReport {
     /// A single perturbed category (direct encoding, e.g. GRR).
     Value(u32),
@@ -177,7 +178,7 @@ pub enum CategoricalReport {
 }
 
 /// A compact fixed-length bit vector used by unary-encoding oracles.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BitVec {
     len: u32,
     words: Box<[u64]>,
@@ -278,6 +279,26 @@ impl BitVec {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// True when the backing storage satisfies the type's invariants:
+    /// exactly `⌈len/64⌉` words, with no set bit at or beyond
+    /// [`BitVec::len`]. Vectors built by this crate always are; aggregators
+    /// must check this on externally deserialized reports before trusting
+    /// the word-level walks (`iter_ones`, `count_ones`), which assume it.
+    pub fn is_well_formed(&self) -> bool {
+        if self.words.len() != (self.len as usize).div_ceil(64) {
+            return false;
+        }
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(&last) = self.words.last() {
+                if last >> tail != 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +382,33 @@ mod tests {
         // Count debias = sum of per-report supports: 3 hits out of 10.
         let sum = 3.0 * dp.support_of(true) + 7.0 * dp.support_of(false);
         assert!((dp.debias_count(3, 10) - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bitvec_well_formedness_detects_violated_invariants() {
+        let mut ok = BitVec::zeros(70);
+        ok.set(69, true);
+        assert!(ok.is_well_formed());
+        assert!(BitVec::zeros(0).is_well_formed());
+        assert!(BitVec::zeros(64).is_well_formed());
+        // Stray bit past `len` in the tail word (what a hostile
+        // deserialized report could carry).
+        let stray = BitVec {
+            len: 5,
+            words: vec![u64::MAX].into_boxed_slice(),
+        };
+        assert!(!stray.is_well_formed());
+        // Wrong word count for the length.
+        let short = BitVec {
+            len: 70,
+            words: vec![0].into_boxed_slice(),
+        };
+        assert!(!short.is_well_formed());
+        let long = BitVec {
+            len: 3,
+            words: vec![0, 0].into_boxed_slice(),
+        };
+        assert!(!long.is_well_formed());
     }
 
     #[test]

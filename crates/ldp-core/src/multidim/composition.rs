@@ -2,14 +2,16 @@
 //! composition (the "straightforward solution" of §IV's introduction).
 
 use crate::budget::Epsilon;
+use crate::categorical::AnyOracle;
 use crate::error::{LdpError, Result};
 use crate::kinds::{NumericKind, OracleKind};
-use crate::mechanism::{FrequencyOracle, NumericMechanism};
+use crate::mechanism::FrequencyOracle;
 use crate::multidim::{AttrReport, AttrSpec, AttrValue};
+use crate::numeric::AnyNumeric;
 use rand::RngCore;
 
 /// A dense perturbed tuple: one report per attribute.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct DenseReport {
     /// One report per attribute, in schema order.
     pub entries: Vec<AttrReport>,
@@ -38,11 +40,14 @@ impl DenseReport {
 /// `O(d√(log d)/(ε√n))` for PM under splitting) — this is the baseline the
 /// paper's Algorithm 4 beats, and the configuration used for the Laplace /
 /// SCDF / Staircase / OUE columns of Figure 4.
+#[derive(Clone)]
 pub struct CompositionPerturber {
     epsilon: Epsilon,
     specs: Vec<AttrSpec>,
-    numeric: Option<Box<dyn NumericMechanism>>,
-    oracles: Vec<Option<Box<dyn FrequencyOracle>>>,
+    /// Unboxed ([`AnyNumeric`]/[`AnyOracle`]) so the perturber is clonable
+    /// and the per-attribute dispatch is a match, not a vtable.
+    numeric: Option<AnyNumeric>,
+    oracles: Vec<Option<AnyOracle>>,
 }
 
 impl CompositionPerturber {
@@ -65,12 +70,14 @@ impl CompositionPerturber {
         }
         let per_attr = epsilon.split(d)?;
         let any_numeric = specs.iter().any(AttrSpec::is_numeric);
-        let numeric = any_numeric.then(|| numeric_kind.build(per_attr));
+        let numeric = any_numeric.then(|| AnyNumeric::build(numeric_kind, per_attr));
         let oracles = specs
             .iter()
             .map(|spec| match spec {
                 AttrSpec::Numeric => Ok(None),
-                AttrSpec::Categorical { k } => oracle_kind.build(per_attr, *k).map(Some),
+                AttrSpec::Categorical { k } => {
+                    AnyOracle::build(oracle_kind, per_attr, *k).map(Some)
+                }
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(CompositionPerturber {
@@ -100,14 +107,29 @@ impl CompositionPerturber {
 
     /// The frequency oracle assigned to attribute `j`, if categorical.
     pub fn oracle(&self, j: usize) -> Option<&dyn FrequencyOracle> {
-        self.oracles.get(j).and_then(|o| o.as_deref())
+        self.any_oracle(j).map(AnyOracle::as_dyn)
+    }
+
+    /// The unboxed oracle for attribute `j`, if categorical.
+    pub fn any_oracle(&self, j: usize) -> Option<&AnyOracle> {
+        self.oracles.get(j).and_then(Option::as_ref)
+    }
+
+    /// The shared ε/d numeric mechanism, if the schema has numeric
+    /// attributes.
+    pub fn any_numeric(&self) -> Option<&AnyNumeric> {
+        self.numeric.as_ref()
     }
 
     /// Perturbs one user tuple, touching every attribute.
     ///
     /// # Errors
     /// Rejects tuples that do not match the schema.
-    pub fn perturb(&self, tuple: &[AttrValue], rng: &mut dyn RngCore) -> Result<DenseReport> {
+    pub fn perturb<R: crate::rng::DrawSource + ?Sized>(
+        &self,
+        tuple: &[AttrValue],
+        rng: &mut R,
+    ) -> Result<DenseReport> {
         let d = self.specs.len();
         if tuple.len() != d {
             return Err(LdpError::DimensionMismatch {
@@ -127,13 +149,15 @@ impl CompositionPerturber {
                         .numeric
                         .as_ref()
                         .expect("schema has numeric attributes");
-                    Ok(AttrReport::Numeric(mech.perturb(*x, rng)?))
+                    Ok(AttrReport::Numeric(mech.perturb(*x, &mut *rng)?))
                 }
                 AttrValue::Categorical(v) => {
                     let oracle = self.oracles[j]
                         .as_ref()
                         .expect("schema marks attribute categorical");
-                    Ok(AttrReport::Categorical(oracle.perturb(*v, rng)?))
+                    let mut out = crate::mechanism::CategoricalReport::Value(0);
+                    oracle.perturb_into(*v, &mut *rng, &mut out)?;
+                    Ok(AttrReport::Categorical(out))
                 }
             })
             .collect::<Result<Vec<_>>>()?;

@@ -50,8 +50,11 @@ pub enum AttrValue {
 }
 
 impl AttrValue {
-    /// Checks the value against its spec.
-    pub(crate) fn validate(&self, spec: &AttrSpec, index: usize) -> Result<()> {
+    /// Checks the value against its spec (`index` only labels the error).
+    ///
+    /// # Errors
+    /// Out-of-domain values and type mismatches.
+    pub fn validate(&self, spec: &AttrSpec, index: usize) -> Result<()> {
         match (self, spec) {
             (AttrValue::Numeric(x), AttrSpec::Numeric) => crate::mechanism::check_unit_interval(*x),
             (AttrValue::Categorical(v), AttrSpec::Categorical { k }) => {
@@ -70,7 +73,7 @@ impl AttrValue {
 }
 
 /// The perturbed message for one sampled attribute.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AttrReport {
     /// A perturbed numeric value, already scaled by `d/k` as in line 6 of
     /// Algorithm 4.

@@ -6,6 +6,7 @@ use crate::error::{LdpError, Result};
 use crate::kinds::{NumericKind, OracleKind};
 use crate::mechanism::{CategoricalReport, FrequencyOracle, NumericMechanism};
 use crate::multidim::{AttrReport, AttrSpec, AttrValue};
+use crate::numeric::AnyNumeric;
 use crate::rng::sample_distinct_into;
 use rand::RngCore;
 
@@ -24,7 +25,7 @@ pub fn optimal_k(epsilon: Epsilon, d: usize) -> usize {
 /// Exactly `k` of the `d` attributes carry a report; numeric entries are
 /// already scaled by `d/k` (line 6 of Algorithm 4), so the aggregator's mean
 /// estimator is a plain average with zeros for missing entries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SparseReport {
     /// Total number of attributes in the schema.
     pub d: usize,
@@ -105,11 +106,16 @@ pub enum CatObservation {
 /// assert_eq!(report.entries.len(), perturber.k()); // k sampled attributes
 /// # Ok::<(), ldp_core::LdpError>(())
 /// ```
+#[derive(Clone)]
 pub struct SamplingPerturber {
     epsilon: Epsilon,
     specs: Vec<AttrSpec>,
     k: usize,
-    numeric: Option<Box<dyn NumericMechanism>>,
+    /// The shared ε/k numeric mechanism (None for all-categorical schemas).
+    /// Stored unboxed ([`AnyNumeric`]) so the per-draw path is fully
+    /// monomorphized — no vtable between the sampling loop and the
+    /// generator, matching the oracles below.
+    numeric: Option<AnyNumeric>,
     /// One oracle per attribute slot (None for numeric slots), all at ε/k.
     /// Stored unboxed ([`AnyOracle`]) so the generic `perturb_into` path
     /// dispatches with one match instead of a vtable, and the sampling loop
@@ -164,7 +170,7 @@ impl SamplingPerturber {
         }
         let per_attr = epsilon.split(k)?;
         let any_numeric = specs.iter().any(AttrSpec::is_numeric);
-        let numeric = any_numeric.then(|| numeric_kind.build(per_attr));
+        let numeric = any_numeric.then(|| AnyNumeric::build(numeric_kind, per_attr));
         let oracles = specs
             .iter()
             .map(|spec| match spec {
@@ -296,15 +302,13 @@ impl SamplingPerturber {
             let entry = match tuple[j as usize] {
                 AttrValue::Numeric(x) => {
                     // Lines 5–6 of Algorithm 4: perturb with budget ε/k and
-                    // scale by d/k. The 1-D mechanisms stay behind their
-                    // object-safe trait; `&mut &mut R` is `Sized` and
-                    // implements `RngCore`, so it coerces to the trait
-                    // object even when `R` itself is unsized.
+                    // scale by d/k, through the unboxed [`AnyNumeric`] so
+                    // the draw monomorphizes over the caller's rng.
                     let mech = self
                         .numeric
                         .as_ref()
                         .expect("schema has numeric attributes");
-                    AttrReport::Numeric(self.scale * mech.perturb(x, &mut &mut *rng)?)
+                    AttrReport::Numeric(self.scale * mech.perturb(x, &mut *rng)?)
                 }
                 AttrValue::Categorical(v) => {
                     let oracle = self.oracles[j as usize]
@@ -382,7 +386,7 @@ impl SamplingPerturber {
                         .numeric
                         .as_ref()
                         .expect("schema has numeric attributes");
-                    let noisy = self.scale * mech.perturb(x, &mut &mut *rng)?;
+                    let noisy = self.scale * mech.perturb(x, &mut *rng)?;
                     report.entries.push((j, AttrReport::Numeric(noisy)));
                 }
                 AttrValue::Categorical(v) => {
@@ -426,10 +430,17 @@ impl SamplingPerturber {
         self.oracles.get(j).and_then(Option::as_ref)
     }
 
-    /// The shared ε/k numeric mechanism, if the schema has numeric
-    /// attributes (exposed so benches can drive the raw client hot path).
+    /// The shared ε/k numeric mechanism as a trait object, if the schema
+    /// has numeric attributes (exposed so benches can drive the raw client
+    /// hot path through dyn dispatch).
     pub fn numeric_mechanism(&self) -> Option<&dyn NumericMechanism> {
-        self.numeric.as_deref()
+        self.numeric.as_ref().map(AnyNumeric::as_dyn)
+    }
+
+    /// The unboxed ε/k numeric mechanism, if the schema has numeric
+    /// attributes — the handle monomorphized client loops use.
+    pub fn any_numeric(&self) -> Option<&AnyNumeric> {
+        self.numeric.as_ref()
     }
 }
 

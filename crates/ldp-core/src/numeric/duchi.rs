@@ -42,6 +42,20 @@ impl Duchi1d {
     pub fn head_probability(&self, t: f64) -> f64 {
         self.slope * t + 0.5
     }
+
+    /// Monomorphic form of [`NumericMechanism::perturb`]: generic over the
+    /// rng, draw-for-draw identical to the trait path.
+    ///
+    /// # Errors
+    /// As [`NumericMechanism::perturb`].
+    pub fn perturb_any<R: RngCore + ?Sized>(&self, input: f64, rng: &mut R) -> Result<f64> {
+        check_unit_interval(input)?;
+        if bernoulli(rng, self.head_probability(input)) {
+            Ok(self.magnitude)
+        } else {
+            Ok(-self.magnitude)
+        }
+    }
 }
 
 impl NumericMechanism for Duchi1d {
@@ -54,12 +68,7 @@ impl NumericMechanism for Duchi1d {
     }
 
     fn perturb(&self, input: f64, rng: &mut dyn RngCore) -> Result<f64> {
-        check_unit_interval(input)?;
-        if bernoulli(rng, self.head_probability(input)) {
-            Ok(self.magnitude)
-        } else {
-            Ok(-self.magnitude)
-        }
+        self.perturb_any(input, rng)
     }
 
     fn variance(&self, input: f64) -> f64 {

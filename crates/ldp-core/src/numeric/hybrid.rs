@@ -80,6 +80,23 @@ impl Hybrid {
     pub fn duchi(&self) -> &Duchi1d {
         &self.duchi
     }
+
+    /// Monomorphic form of [`NumericMechanism::perturb`]: generic over the
+    /// rng, draw-for-draw identical to the trait path.
+    ///
+    /// # Errors
+    /// As [`NumericMechanism::perturb`].
+    pub fn perturb_any<R: RngCore + ?Sized>(&self, input: f64, rng: &mut R) -> Result<f64> {
+        check_unit_interval(input)?;
+        // Mixing two ε-LDP mechanisms with an input-independent coin is
+        // ε-LDP: the output density is the α-convex combination of two
+        // densities that each satisfy the e^ε ratio bound.
+        if bernoulli(rng, self.alpha) {
+            self.pm.perturb_any(input, rng)
+        } else {
+            self.duchi.perturb_any(input, rng)
+        }
+    }
 }
 
 impl NumericMechanism for Hybrid {
@@ -92,15 +109,7 @@ impl NumericMechanism for Hybrid {
     }
 
     fn perturb(&self, input: f64, rng: &mut dyn RngCore) -> Result<f64> {
-        check_unit_interval(input)?;
-        // Mixing two ε-LDP mechanisms with an input-independent coin is
-        // ε-LDP: the output density is the α-convex combination of two
-        // densities that each satisfy the e^ε ratio bound.
-        if bernoulli(rng, self.alpha) {
-            self.pm.perturb(input, rng)
-        } else {
-            self.duchi.perturb(input, rng)
-        }
+        self.perturb_any(input, rng)
     }
 
     fn variance(&self, input: f64) -> f64 {

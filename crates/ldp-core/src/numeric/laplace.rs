@@ -32,7 +32,7 @@ impl Laplace {
     }
 
     /// Draws one Laplace(0, λ) noise value by inverse-CDF sampling.
-    fn sample_noise(&self, rng: &mut dyn RngCore) -> f64 {
+    fn sample_noise<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         // u ∈ [-0.5, 0.5); splitting on the sign gives the two exponential
         // tails. `1 - 2|u|` is in (0, 1], so ln is finite.
         let u: f64 = rng.random::<f64>() - 0.5;
@@ -42,6 +42,17 @@ impl Laplace {
         } else {
             -magnitude
         }
+    }
+
+    /// Monomorphic form of [`NumericMechanism::perturb`]: generic over the
+    /// rng, so concrete generators (e.g. [`crate::rng::RngBlock`]) inline
+    /// every draw. Draw-for-draw identical to the trait path.
+    ///
+    /// # Errors
+    /// As [`NumericMechanism::perturb`].
+    pub fn perturb_any<R: RngCore + ?Sized>(&self, input: f64, rng: &mut R) -> Result<f64> {
+        check_unit_interval(input)?;
+        Ok(input + self.sample_noise(rng))
     }
 }
 
@@ -55,8 +66,7 @@ impl NumericMechanism for Laplace {
     }
 
     fn perturb(&self, input: f64, rng: &mut dyn RngCore) -> Result<f64> {
-        check_unit_interval(input)?;
-        Ok(input + self.sample_noise(rng))
+        self.perturb_any(input, rng)
     }
 
     fn variance(&self, _input: f64) -> f64 {

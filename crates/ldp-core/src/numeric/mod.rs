@@ -21,3 +21,165 @@ pub use laplace::Laplace;
 pub use piecewise::Piecewise;
 pub use scdf::Scdf;
 pub use staircase::Staircase;
+
+use crate::budget::Epsilon;
+use crate::error::Result;
+use crate::kinds::NumericKind;
+use crate::mechanism::NumericMechanism;
+use rand::RngCore;
+
+/// Enum dispatch over the concrete 1-D numeric mechanisms — the numeric
+/// counterpart of [`crate::AnyOracle`].
+///
+/// The [`NumericMechanism`] trait stays object-safe for the experiment
+/// harness (boxed mechanisms, `&mut dyn RngCore`), but a boxed mechanism
+/// forces a virtual call per draw — the last piece of dyn dispatch the
+/// batched-RNG hot path had left. `AnyNumeric` is the concrete, clonable
+/// alternative the client-side perturbers hold: one predictable match per
+/// value, and a [`AnyNumeric::perturb`] generic over the rng so the whole
+/// numeric draw inlines when driven by an [`crate::rng::RngBlock`].
+///
+/// ```
+/// use ldp_core::{numeric::AnyNumeric, Epsilon, NumericKind, rng::seeded_rng};
+/// let hm = AnyNumeric::build(NumericKind::Hybrid, Epsilon::new(1.0)?);
+/// let noisy = hm.perturb(0.25, &mut seeded_rng(7))?;
+/// assert!(noisy.abs() <= hm.output_bound().unwrap());
+/// # Ok::<(), ldp_core::LdpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub enum AnyNumeric {
+    /// Laplace mechanism with scale 2/ε.
+    Laplace(Laplace),
+    /// Soria-Comas & Domingo-Ferrer stepped noise.
+    Scdf(Scdf),
+    /// Geng et al.'s staircase noise.
+    Staircase(Staircase),
+    /// Duchi et al.'s binary mechanism (Algorithm 1).
+    Duchi(Duchi1d),
+    /// The paper's Piecewise Mechanism (Algorithm 2).
+    Piecewise(Piecewise),
+    /// The paper's Hybrid Mechanism (§III-C).
+    Hybrid(Hybrid),
+}
+
+impl AnyNumeric {
+    /// Instantiates the mechanism selected by `kind` for budget `ε` — the
+    /// unboxed counterpart of [`NumericKind::build`].
+    pub fn build(kind: NumericKind, epsilon: Epsilon) -> Self {
+        match kind {
+            NumericKind::Laplace => AnyNumeric::Laplace(Laplace::new(epsilon)),
+            NumericKind::Scdf => AnyNumeric::Scdf(Scdf::new(epsilon)),
+            NumericKind::Staircase => AnyNumeric::Staircase(Staircase::new(epsilon)),
+            NumericKind::Duchi => AnyNumeric::Duchi(Duchi1d::new(epsilon)),
+            NumericKind::Piecewise => AnyNumeric::Piecewise(Piecewise::new(epsilon)),
+            NumericKind::Hybrid => AnyNumeric::Hybrid(Hybrid::new(epsilon)),
+        }
+    }
+
+    /// Borrows the mechanism as a trait object, for the object-safe half of
+    /// the API (harness tables, diagnostics, variance plots).
+    pub fn as_dyn(&self) -> &dyn NumericMechanism {
+        match self {
+            AnyNumeric::Laplace(m) => m,
+            AnyNumeric::Scdf(m) => m,
+            AnyNumeric::Staircase(m) => m,
+            AnyNumeric::Duchi(m) => m,
+            AnyNumeric::Piecewise(m) => m,
+            AnyNumeric::Hybrid(m) => m,
+        }
+    }
+
+    /// Monomorphized perturbation: one match, then the concrete mechanism's
+    /// generic sampler. Draw-for-draw identical to the trait's `perturb`
+    /// under the same seed — swapping a boxed mechanism for `AnyNumeric`
+    /// never changes an estimate.
+    ///
+    /// # Errors
+    /// As [`NumericMechanism::perturb`].
+    #[inline]
+    pub fn perturb<R: RngCore + ?Sized>(&self, input: f64, rng: &mut R) -> Result<f64> {
+        match self {
+            AnyNumeric::Laplace(m) => m.perturb_any(input, rng),
+            AnyNumeric::Scdf(m) => m.perturb_any(input, rng),
+            AnyNumeric::Staircase(m) => m.perturb_any(input, rng),
+            AnyNumeric::Duchi(m) => m.perturb_any(input, rng),
+            AnyNumeric::Piecewise(m) => m.perturb_any(input, rng),
+            AnyNumeric::Hybrid(m) => m.perturb_any(input, rng),
+        }
+    }
+
+    /// The privacy budget this mechanism was constructed with.
+    #[inline]
+    pub fn epsilon(&self) -> Epsilon {
+        self.as_dyn().epsilon()
+    }
+
+    /// Short stable name ("PM", "HM", "Duchi", …).
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.as_dyn().name()
+    }
+
+    /// Closed-form output variance `Var[t* | t]` for the given input.
+    #[inline]
+    pub fn variance(&self, input: f64) -> f64 {
+        self.as_dyn().variance(input)
+    }
+
+    /// `max_{t ∈ [-1,1]} Var[t* | t]`.
+    #[inline]
+    pub fn worst_case_variance(&self) -> f64 {
+        self.as_dyn().worst_case_variance()
+    }
+
+    /// The symmetric output bound `b` with `|t*| ≤ b`, if bounded.
+    #[inline]
+    pub fn output_bound(&self) -> Option<f64> {
+        self.as_dyn().output_bound()
+    }
+}
+
+#[cfg(test)]
+mod any_tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn any_numeric_matches_boxed_mechanisms_bit_for_bit() {
+        // The enum is the same computation as the boxed trait object: same
+        // draws, same outputs, for every kind and a spread of inputs.
+        let eps = Epsilon::new(1.3).unwrap();
+        for kind in NumericKind::ALL {
+            let boxed = kind.build(eps);
+            let unboxed = AnyNumeric::build(kind, eps);
+            assert_eq!(unboxed.name(), boxed.name());
+            assert_eq!(unboxed.epsilon(), boxed.epsilon());
+            assert_eq!(unboxed.output_bound(), boxed.output_bound());
+            assert_eq!(
+                unboxed.worst_case_variance().to_bits(),
+                boxed.worst_case_variance().to_bits()
+            );
+            let mut rng_a = seeded_rng(2024);
+            let mut rng_b = seeded_rng(2024);
+            for round in 0..500 {
+                let t = -1.0 + 2.0 * (round % 101) as f64 / 100.0;
+                let a = boxed.perturb(t, &mut rng_a).unwrap();
+                let b = unboxed.perturb(t, &mut rng_b).unwrap();
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} round {round}");
+                assert_eq!(
+                    unboxed.variance(t).to_bits(),
+                    boxed.variance(t).to_bits(),
+                    "{kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn any_numeric_rejects_out_of_domain() {
+        let m = AnyNumeric::build(NumericKind::Piecewise, Epsilon::new(1.0).unwrap());
+        let mut rng = seeded_rng(3);
+        assert!(m.perturb(1.5, &mut rng).is_err());
+        assert!(m.perturb(f64::NAN, &mut rng).is_err());
+    }
+}

@@ -89,18 +89,13 @@ impl Piecewise {
             self.p / self.epsilon.exp()
         }
     }
-}
 
-impl NumericMechanism for Piecewise {
-    fn epsilon(&self) -> Epsilon {
-        self.epsilon
-    }
-
-    fn name(&self) -> &'static str {
-        "PM"
-    }
-
-    fn perturb(&self, input: f64, rng: &mut dyn RngCore) -> Result<f64> {
+    /// Monomorphic form of [`NumericMechanism::perturb`]: generic over the
+    /// rng, draw-for-draw identical to the trait path.
+    ///
+    /// # Errors
+    /// As [`NumericMechanism::perturb`].
+    pub fn perturb_any<R: RngCore + ?Sized>(&self, input: f64, rng: &mut R) -> Result<f64> {
         check_unit_interval(input)?;
         let l = self.left(input);
         let r = self.right(input);
@@ -119,6 +114,20 @@ impl NumericMechanism for Piecewise {
                 Ok(r + (u - left_len))
             }
         }
+    }
+}
+
+impl NumericMechanism for Piecewise {
+    fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    fn name(&self) -> &'static str {
+        "PM"
+    }
+
+    fn perturb(&self, input: f64, rng: &mut dyn RngCore) -> Result<f64> {
+        self.perturb_any(input, rng)
     }
 
     fn variance(&self, input: f64) -> f64 {

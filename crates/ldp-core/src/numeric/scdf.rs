@@ -49,6 +49,16 @@ impl Scdf {
     pub fn noise_pdf(&self, x: f64) -> f64 {
         self.noise.pdf(x)
     }
+
+    /// Monomorphic form of [`NumericMechanism::perturb`]: generic over the
+    /// rng, draw-for-draw identical to the trait path.
+    ///
+    /// # Errors
+    /// As [`NumericMechanism::perturb`].
+    pub fn perturb_any<R: RngCore + ?Sized>(&self, input: f64, rng: &mut R) -> Result<f64> {
+        check_unit_interval(input)?;
+        Ok(input + self.noise.sample(rng))
+    }
 }
 
 impl NumericMechanism for Scdf {
@@ -61,8 +71,7 @@ impl NumericMechanism for Scdf {
     }
 
     fn perturb(&self, input: f64, rng: &mut dyn RngCore) -> Result<f64> {
-        check_unit_interval(input)?;
-        Ok(input + self.noise.sample(rng))
+        self.perturb_any(input, rng)
     }
 
     fn variance(&self, _input: f64) -> f64 {

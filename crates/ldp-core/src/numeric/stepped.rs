@@ -52,7 +52,7 @@ impl SteppedNoise {
     }
 
     /// Draws one noise value by inverse-transform sampling over the pieces.
-    pub(crate) fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+    pub(crate) fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.random::<f64>();
         if u < self.center_mass {
             return uniform(rng, -self.m, self.m);

@@ -264,7 +264,10 @@ impl LdpSgd {
         enum Perturber {
             Sampling(SamplingPerturber),
             Duchi(ldp_core::multidim::DuchiMultidim),
-            Laplace(Box<dyn ldp_core::NumericMechanism>),
+            // Unboxed (`AnyNumeric`): the per-coordinate Laplace draw below
+            // monomorphizes over the trainer's rng instead of paying a
+            // virtual call per gradient coordinate.
+            Laplace(ldp_core::AnyNumeric),
         }
         let perturber = match self.mechanism {
             GradientMechanism::Sampling(kind) => Perturber::Sampling(SamplingPerturber::new(
@@ -276,9 +279,10 @@ impl LdpSgd {
             GradientMechanism::DuchiMultidim => {
                 Perturber::Duchi(ldp_core::multidim::DuchiMultidim::new(self.epsilon, d)?)
             }
-            GradientMechanism::LaplaceSplit => {
-                Perturber::Laplace(NumericKind::Laplace.build(self.epsilon.split(d)?))
-            }
+            GradientMechanism::LaplaceSplit => Perturber::Laplace(ldp_core::AnyNumeric::build(
+                NumericKind::Laplace,
+                self.epsilon.split(d)?,
+            )),
         };
 
         let mut beta = vec![0.0; d];

@@ -227,7 +227,7 @@ fn sharding_does_not_distort_estimates() {
         },
         eps(e_val),
     )
-    .with_threads(1);
+    .with_shards(1);
     let multi = Collector::new(
         Protocol::Sampling {
             numeric: NumericKind::Piecewise,
@@ -235,7 +235,7 @@ fn sharding_does_not_distort_estimates() {
         },
         eps(e_val),
     )
-    .with_threads(8);
+    .with_shards(8);
     // 16 runs × 4 attributes = 64 squared-error cells per collector, enough
     // for the chi-square band's lower edge to be strictly positive (at 16
     // cells the spread exceeds 1 and the lower bound degenerates to 0).
