@@ -7,13 +7,23 @@ Two kinds of fields, two kinds of gates:
   entry) are deterministic — fixed seeds, fixed checksum population, a
   bit-exact batched-RNG layer — so they must match EXACTLY. Any drift means
   an estimate changed and fails the job.
-* speed fields (``fast_users_per_sec`` / ``batched_users_per_sec``) are
-  measured on shared CI runners, so the gate is deliberately generous: the
-  job only fails when a matched cell drops below ``--min-ratio`` (default
-  0.2, i.e. a 5x regression) of the committed number. The committed JSON —
-  regenerated on a quiet machine whenever the hot path changes — remains
-  the authoritative trajectory; this gate just catches catastrophic
-  regressions before they merge.
+* speed fields (``<arm>_users_per_sec``) are measured on shared CI runners,
+  so the gate is deliberately generous: the job only fails when a matched
+  cell drops below ``--min-ratio`` (default 0.2, i.e. a 5x regression) of
+  the committed number. The committed JSON — regenerated on a quiet machine
+  whenever the hot path changes — remains the authoritative trajectory;
+  this gate just catches catastrophic regressions before they merge.
+
+Which speed fields are gated is driven by the ``arms`` list each JSON
+declares (e.g. ``["baseline", "fast", "batched", "wordhist"]``): every arm
+present in BOTH files — except the deliberately slow ``baseline`` arm — is
+compared, so adding an engine generation to the bench needs no change
+here. Files predating the ``arms`` field fall back to the historical
+``fast``/``batched`` pair.
+
+On failure the full per-cell delta table (every matched cell x every gated
+arm, measured/committed ratio) is printed so a regression can be localized
+from the CI log alone.
 
 Platform caveat for the exact gate: the draw streams are platform-fixed,
 but a few oracle/mechanism parameters pass through libm transcendentals
@@ -32,6 +42,12 @@ import argparse
 import json
 import sys
 
+# Speed fields assumed when a JSON predates the explicit ``arms`` list.
+LEGACY_ARMS = ["baseline", "fast", "batched"]
+
+# Deliberately-slow reference arms that are recorded but not speed-gated.
+UNGATED_ARMS = {"baseline"}
+
 
 def cell_key(cell):
     return (
@@ -41,6 +57,16 @@ def cell_key(cell):
         int(cell["k"]),
         int(cell["sampled_k"]),
     )
+
+
+def gated_fields(committed, measured):
+    """``<arm>_users_per_sec`` for every arm both reports declare."""
+    shared = [
+        arm
+        for arm in committed.get("arms", LEGACY_ARMS)
+        if arm in measured.get("arms", LEGACY_ARMS) and arm not in UNGATED_ARMS
+    ]
+    return [f"{arm}_users_per_sec" for arm in shared]
 
 
 def main():
@@ -60,9 +86,11 @@ def main():
     with open(args.measured) as f:
         measured = json.load(f)
 
+    fields = gated_fields(committed, measured)
     committed_cells = {cell_key(c): c for c in committed["cells"]}
     failures = []
     matched = 0
+    delta_rows = []
 
     for cell in measured["cells"]:
         key = cell_key(cell)
@@ -81,12 +109,11 @@ def main():
             )
 
         # Speed: generous. Shared runners wobble; only a collapse fails.
-        for field in ("fast_users_per_sec", "batched_users_per_sec"):
-            if field not in ref:
-                continue  # committed JSON predates the field
+        for field in fields:
+            if field not in ref or field not in cell:
+                continue  # one side predates the arm
             ratio = cell[field] / ref[field]
-            marker = "OK" if ratio >= args.min_ratio else "FAIL"
-            print(f"{marker} {label} {field}: {cell[field]:.0f} vs {ref[field]:.0f} (x{ratio:.2f})")
+            delta_rows.append((label, field, cell[field], ref[field], ratio))
             if ratio < args.min_ratio:
                 failures.append(f"{label}: {field} regressed to x{ratio:.2f} of committed")
 
@@ -107,8 +134,18 @@ def main():
         if a != b:
             failures.append(f"worker_sweep estimate_checksum drifted ({a} -> {b})")
 
+    print(f"gated arms: {', '.join(fields) if fields else '(none)'}")
+    for label, field, got, ref, ratio in delta_rows:
+        marker = "OK" if ratio >= args.min_ratio else "FAIL"
+        print(f"{marker} {label} {field}: {got:.0f} vs {ref:.0f} (x{ratio:.2f})")
+
     print(f"\n{matched} cells matched against the committed grid")
     if failures:
+        print("\nper-cell delta table (measured vs committed):")
+        width = max((len(r[0]) for r in delta_rows), default=0)
+        for label, field, got, ref, ratio in delta_rows:
+            arm = field.removesuffix("_users_per_sec")
+            print(f"  {label:<{width}}  {arm:>9}: {got:>12.0f} / {ref:>12.0f}  x{ratio:.3f}")
         print("\nFAILURES:")
         for f in failures:
             print(f"  - {f}")

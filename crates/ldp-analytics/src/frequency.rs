@@ -3,26 +3,37 @@
 //! Every [`FrequencyOracle`] exposes a debiased per-report `support`, but
 //! that support is *affine* in the report's raw hit bit (see
 //! [`ldp_core::DebiasParams`]), so the accumulator never evaluates it per
-//! report: it counts raw hits per category — O(popcount) per unary report,
-//! walking set bits word-at-a-time — and debiases once at estimation time
-//! with `(c − n·q)/(p − q)`. The estimator is `scale/n · Σ support` where
-//! `scale = 1` for dense protocols and `d/k` for Algorithm 4 (§IV-C: only a
-//! `k/d` fraction of users report any given attribute, and the scaling
-//! restores unbiasedness).
+//! report: it counts raw hits per category and debiases once at estimation
+//! time with `(c − n·q)/(p − q)`. Unary reports are absorbed *by backing
+//! word* into a bit-sliced [`WordHistogram`] plane — O(words) carry-save
+//! adds per report, not O(popcount) scattered increments — with the
+//! per-category scatter deferred to (amortized-free) plane flushes; direct
+//! reports are a single increment. The estimator is `scale/n · Σ support`
+//! where `scale = 1` for dense protocols and `d/k` for Algorithm 4 (§IV-C:
+//! only a `k/d` fraction of users report any given attribute, and the
+//! scaling restores unbiasedness).
 
+use crate::wordhist::WordHistogram;
 use ldp_core::{CategoricalReport, DebiasParams, FrequencyOracle, LdpError, Result};
 
 /// Streaming accumulator for the value frequencies of one categorical
 /// attribute.
 ///
-/// Internally count-based: absorbing a report costs O(set bits) integer
-/// increments instead of the O(k) virtual-dispatch support loop a naive
-/// aggregator pays, which is what makes large-domain OUE aggregation cheap.
+/// Internally count-based: direct hits are single integer increments, and
+/// unary reports land whole-word in a [`WordHistogram`] plane, so absorbing
+/// a report costs O(words) word operations instead of the O(k)
+/// virtual-dispatch support loop a naive aggregator pays — which is what
+/// makes large-domain OUE aggregation cheap. All counts are exact `u64`s,
+/// so the engine swap never moves an estimate by a bit.
 #[derive(Debug, Clone)]
 pub struct FrequencyAccumulator {
-    /// Raw hit counts per category (set bits of unary reports, indicator
-    /// hits of direct reports).
+    /// Raw direct hit counts per category (indicator hits of direct
+    /// reports, plus anything streamed through
+    /// [`FrequencyAccumulator::note_hit`]). Unary counts live in `hist`;
+    /// [`FrequencyAccumulator::counts`] sums the two.
     counts: Vec<u64>,
+    /// Word-level plane for unary reports, created on first use.
+    hist: Option<WordHistogram>,
     /// Number of reports absorbed (users who actually reported this
     /// attribute).
     reports: usize,
@@ -42,6 +53,7 @@ impl FrequencyAccumulator {
     pub fn new(k: u32, scale: f64) -> Self {
         FrequencyAccumulator {
             counts: vec![0; k as usize],
+            hist: None,
             reports: 0,
             population: None,
             scale,
@@ -59,6 +71,7 @@ impl FrequencyAccumulator {
     pub fn with_debias(k: u32, scale: f64, debias: DebiasParams) -> Self {
         FrequencyAccumulator {
             counts: vec![0; k as usize],
+            hist: None,
             reports: 0,
             population: None,
             scale,
@@ -94,14 +107,42 @@ impl FrequencyAccumulator {
         self.counts[v as usize] += 1;
     }
 
+    /// Word-level fused-engine path: records one whole unary report by its
+    /// backing 64-bit words (exactly [`ldp_core::BitVec::words`] of a
+    /// well-formed report of this domain size). The hits are absorbed as a carry-save
+    /// column add into the [`WordHistogram`] plane — O(words) word
+    /// operations, no per-category scatter — and count exactly like one
+    /// [`FrequencyAccumulator::note_hit`] per set bit. Pair with
+    /// [`FrequencyAccumulator::note_report`], as with `note_hit`.
+    ///
+    /// # Panics
+    /// Panics (debug builds) on a word count not matching the domain.
+    #[inline]
+    pub fn note_words(&mut self, words: &[u64]) {
+        debug_assert!(
+            self.debias.is_some(),
+            "fused counting needs with_debias(); the (p, q) pair cannot be recovered later"
+        );
+        self.hist_mut().add_words(words);
+    }
+
+    /// The lazily-created word plane (most accumulators only ever see
+    /// direct reports and never pay for one).
+    #[inline]
+    fn hist_mut(&mut self) -> &mut WordHistogram {
+        let k = self.counts.len() as u32;
+        self.hist.get_or_insert_with(|| WordHistogram::new(k))
+    }
+
     /// Absorbs one already-materialized report using the debias parameters
     /// declared at construction ([`FrequencyAccumulator::with_debias`]) —
     /// the aggregator-side path of the session API, where no oracle object
-    /// travels with the wire report. Exactly
+    /// travels with the wire report. Counts exactly like
     /// [`FrequencyAccumulator::note_report`] plus one
     /// [`FrequencyAccumulator::note_hit`] per set bit (unary) or reported
-    /// value (direct), so it leaves the accumulator in the same state as
-    /// the fused engine streaming the same report.
+    /// value (direct) — but unary reports are absorbed whole-word through
+    /// the [`WordHistogram`] plane ([`FrequencyAccumulator::note_words`])
+    /// rather than bit by bit, leaving identical counts either way.
     ///
     /// # Panics
     /// Panics if a unary report's length differs from the domain or a
@@ -116,9 +157,7 @@ impl FrequencyAccumulator {
         match report {
             CategoricalReport::Bits(bits) => {
                 assert_eq!(bits.len(), self.k(), "report/accumulator domain mismatch");
-                for v in bits.iter_ones() {
-                    self.counts[v as usize] += 1;
-                }
+                self.hist_mut().add_words(bits.words());
             }
             CategoricalReport::Value(x) => {
                 self.counts[*x as usize] += 1;
@@ -137,9 +176,15 @@ impl FrequencyAccumulator {
         self.reports
     }
 
-    /// Raw per-category hit counts absorbed so far.
-    pub fn counts(&self) -> &[u64] {
-        &self.counts
+    /// Raw per-category hit counts absorbed so far: direct hits plus the
+    /// word plane's flushed and pending unary counts. Exact integers —
+    /// identical to what a per-set-bit walk would have counted.
+    pub fn counts(&self) -> Vec<u64> {
+        let mut out = self.counts.clone();
+        if let Some(hist) = &self.hist {
+            hist.add_to(&mut out);
+        }
+        out
     }
 
     /// Absorbs one report. The oracle only contributes its
@@ -164,11 +209,10 @@ impl FrequencyAccumulator {
         }
         match report {
             CategoricalReport::Bits(bits) => {
-                // Word-at-a-time set-bit walk: O(words + popcount) per
-                // report, the aggregation half of the streaming engine.
-                for v in bits.iter_ones() {
-                    self.counts[v as usize] += 1;
-                }
+                debug_assert_eq!(bits.len(), self.k(), "report/accumulator domain mismatch");
+                // Whole-word carry-save add into the bit-sliced plane:
+                // O(words) per report, scatter deferred to plane flushes.
+                self.hist_mut().add_words(bits.words());
             }
             CategoricalReport::Value(x) => {
                 self.counts[*x as usize] += 1;
@@ -189,10 +233,10 @@ impl FrequencyAccumulator {
     ///
     /// # Errors
     /// [`LdpError::DimensionMismatch`] on differing domain sizes,
-    /// [`LdpError::InvalidParameter`] when the two sides disagree on the
-    /// protocol scale or absorbed reports from oracles with different
-    /// debiasing parameters — either mixture would silently bias the merged
-    /// estimates.
+    /// [`LdpError::DebiasMismatch`] when the two sides absorbed reports
+    /// from oracles with different debiasing parameters, and
+    /// [`LdpError::InvalidParameter`] when they disagree on the protocol
+    /// scale — either mixture would silently bias the merged estimates.
     pub fn merge(&mut self, other: &FrequencyAccumulator) -> Result<()> {
         if other.counts.len() != self.counts.len() {
             return Err(LdpError::DimensionMismatch {
@@ -211,19 +255,22 @@ impl FrequencyAccumulator {
         }
         match (self.debias, other.debias) {
             (Some(a), Some(b)) if a != b => {
-                return Err(LdpError::InvalidParameter {
-                    name: "debias",
-                    message: format!(
-                        "cannot merge accumulators debiased with (p={}, q={}) and (p={}, q={})",
-                        a.p, a.q, b.p, b.q
-                    ),
+                return Err(LdpError::DebiasMismatch {
+                    expected: a,
+                    actual: b,
                 });
             }
             (None, Some(b)) => self.debias = Some(b),
             _ => {}
         }
+        // Exact integer folds, so merge order can never move an estimate:
+        // the other side's direct counts and word plane (flushed + pending)
+        // land in this side's direct counts.
         for (s, o) in self.counts.iter_mut().zip(&other.counts) {
             *s += o;
+        }
+        if let Some(hist) = &other.hist {
+            hist.add_to(&mut self.counts);
         }
         self.reports += other.reports;
         Ok(())
@@ -246,9 +293,9 @@ impl FrequencyAccumulator {
             return Ok(vec![0.0; self.counts.len()]);
         };
         Ok(self
-            .counts
-            .iter()
-            .map(|&c| self.scale * debias.debias_count(c, self.reports) / n as f64)
+            .counts()
+            .into_iter()
+            .map(|c| self.scale * debias.debias_count(c, self.reports) / n as f64)
             .collect())
     }
 
@@ -429,7 +476,11 @@ mod tests {
         let mut b = FrequencyAccumulator::new(k, 1.0);
         a.add(&o1, &o1.perturb(0, &mut rng).unwrap());
         b.add(&o2, &o2.perturb(1, &mut rng).unwrap());
-        assert!(a.merge(&b).is_err(), "different ε ⇒ different (p, q)");
+        // Typed rejection: callers can match on the mismatch specifically.
+        assert!(
+            matches!(a.merge(&b), Err(LdpError::DebiasMismatch { .. })),
+            "different ε ⇒ different (p, q)"
+        );
         // Mismatched protocol scales are the same silent-bias class.
         let scaled = FrequencyAccumulator::new(k, 3.0);
         assert!(a.merge(&scaled).is_err(), "different scales must not merge");
@@ -438,6 +489,41 @@ mod tests {
         c.merge(&a).unwrap();
         assert_eq!(c.reports(), 1);
         assert_eq!(c.counts(), a.counts());
+    }
+
+    #[test]
+    fn word_plane_counts_match_per_bit_walk_exactly() {
+        // Unary reports absorbed through the WordHistogram plane must count
+        // exactly like the old per-set-bit scatter, including with pending
+        // (un-flushed) planes at read and merge time.
+        let eps = Epsilon::new(1.0).unwrap();
+        let k = 70u32; // straddles a word boundary
+        let oracle = Oue::new(eps, k).unwrap();
+        let mut rng = seeded_rng(606);
+        let mut acc = FrequencyAccumulator::with_debias(k, 1.0, oracle.debias_params());
+        let mut fused = FrequencyAccumulator::with_debias(k, 1.0, oracle.debias_params());
+        let mut reference = vec![0u64; k as usize];
+        for i in 0..500 {
+            let rep = oracle.perturb(i % k, &mut rng).unwrap();
+            let CategoricalReport::Bits(bits) = &rep else {
+                unreachable!("OUE is unary");
+            };
+            for v in bits.iter_ones() {
+                reference[v as usize] += 1;
+            }
+            acc.count_report(&rep);
+            fused.note_report();
+            fused.note_words(bits.words());
+        }
+        assert_eq!(acc.counts(), reference);
+        assert_eq!(fused.counts(), reference);
+        assert_eq!(acc.estimate().unwrap(), fused.estimate().unwrap());
+        // Merging folds the other side's pending planes exactly.
+        let mut merged = FrequencyAccumulator::with_debias(k, 1.0, oracle.debias_params());
+        merged.merge(&acc).unwrap();
+        merged.merge(&fused).unwrap();
+        let doubled: Vec<u64> = reference.iter().map(|c| 2 * c).collect();
+        assert_eq!(merged.counts(), doubled);
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //!   reports, with mergeable accumulators for sharded simulation.
 //! * [`frequency`] — debiased frequency estimation through any
 //!   [`ldp_core::FrequencyOracle`], including the `d/k` sampling correction.
+//! * [`wordhist`] — the word-level aggregation plane beneath the frequency
+//!   accumulator: bit-sliced per-category counters absorbing whole unary
+//!   reports by 64-bit words, with the per-category scatter deferred to
+//!   amortized plane flushes.
 //! * [`session`] — the two-sided collection API: [`ClientEncoder`] turns
 //!   one user record into a serde-able [`Report`]; [`Aggregator`] consumes
 //!   reports incrementally, merges partial aggregates from other shards,
@@ -26,6 +30,7 @@ pub mod mean;
 pub mod metrics;
 pub mod pipeline;
 pub mod session;
+pub mod wordhist;
 
 pub use frequency::FrequencyAccumulator;
 pub use mean::MeanAccumulator;
@@ -34,3 +39,4 @@ pub use pipeline::{
     Collector, Protocol, BLOCK_USERS, DEFAULT_SHARDS,
 };
 pub use session::{Aggregator, ClientEncoder, CompositionReport, EncoderScratch, Report};
+pub use wordhist::WordHistogram;

@@ -31,10 +31,14 @@
 //! [`ldp_core::rng::RngBlock`] (one monomorphized batched refill instead of
 //! a virtual call per draw) and drives the session API's fused
 //! [`Aggregator::absorb_with`] engine with caller-owned scratch — fully
-//! monomorphized over the batched rng, streaming each categorical hit into
-//! the count-based [`crate::FrequencyAccumulator`] as it is placed — so a
-//! report costs O(set bits) total, with no second walk over any bit vector
-//! and no O(k) support loop.
+//! monomorphized over the batched rng, with finished unary reports
+//! absorbed whole 64-bit words at a time into the count-based
+//! [`crate::FrequencyAccumulator`]'s bit-sliced [`crate::WordHistogram`]
+//! plane (O(words) carry-save adds per report, per-category scatter
+//! deferred to amortized flushes) and GRR direct reports going straight
+//! from the sampled ordinal to a counter increment — so a report never
+//! pays a per-set-bit scatter, a second walk over any bit vector, or an
+//! O(k) support loop.
 //!
 //! [`Collector::run`] itself is a thin driver over the public
 //! [`ClientEncoder`]/[`Aggregator`] session API: one encoder shared by all

@@ -34,19 +34,21 @@
 //!
 //! A real deployment materializes every report. A simulation of millions of
 //! users should not: [`Aggregator::absorb_with`] runs the client encoder and
-//! the absorb in one fused pass (categorical hits stream into the count
-//! accumulators as the oracle places them — the PR 3 engine), consuming the
-//! same rng draws and leaving the aggregator in the same state as
-//! [`ClientEncoder::encode_into`] followed by [`Aggregator::absorb`].
-//! `Collector::run` is a thin block-parallel driver over exactly these
-//! calls.
+//! the absorb in one fused pass — finished unary reports are absorbed whole
+//! 64-bit words at a time into the accumulators' bit-sliced
+//! [`crate::WordHistogram`] planes, and GRR direct reports go straight from
+//! the sampled ordinal to a counter increment with no report object in
+//! between — consuming the same rng draws and leaving the aggregator in the
+//! same state as [`ClientEncoder::encode_into`] followed by
+//! [`Aggregator::absorb`]. `Collector::run` is a thin block-parallel driver
+//! over exactly these calls.
 
 use crate::frequency::FrequencyAccumulator;
 use crate::mean::MeanAccumulator;
 use crate::pipeline::{BestEffortNumeric, CollectionResult, Protocol};
 use ldp_core::multidim::{
-    optimal_k, CatObservation, DuchiMultidim, DuchiScratch, SamplingPerturber, SparseReport,
-    SparseScratch,
+    optimal_k, wire, CatObservation, CatReportView, DuchiMultidim, DuchiScratch, SamplingPerturber,
+    SparseReport, SparseScratch,
 };
 use ldp_core::rng::DrawSource;
 use ldp_core::{
@@ -86,6 +88,117 @@ pub struct CompositionReport {
     pub categorical: Vec<CategoricalReport>,
 }
 
+impl CompositionReport {
+    /// Encodes the report into the canonical bit-level wire format, the
+    /// composition counterpart of
+    /// [`wire::WireFormat::encode_sparse`]: 64 bits
+    /// per numeric draw, then per categorical attribute either the unary
+    /// report's `k` bits (word-at-a-time, vector bit 0 first) or the direct
+    /// report's `⌈log₂ k⌉`-bit value. Schema order is implied and every
+    /// attribute is present, so no indices and no header go on the wire —
+    /// the encoded size is exactly
+    /// [`wire::composition_report_bits`] rounded up
+    /// to bytes.
+    ///
+    /// # Panics
+    /// Panics if the report's shape or entry types disagree with the schema
+    /// (reports produced by a [`ClientEncoder`] on the same schema always
+    /// agree).
+    pub fn encode_wire(&self, specs: &[AttrSpec]) -> Vec<u8> {
+        let d_num = specs.iter().filter(|s| s.is_numeric()).count();
+        assert_eq!(self.numeric.len(), d_num, "schema mismatch");
+        assert_eq!(
+            self.categorical.len(),
+            specs.len() - d_num,
+            "schema mismatch"
+        );
+        let mut w = wire::BitWriter::new();
+        for x in &self.numeric {
+            w.write_bits(x.to_bits(), 64);
+        }
+        let mut cats = self.categorical.iter();
+        for spec in specs {
+            let AttrSpec::Categorical { k } = spec else {
+                continue;
+            };
+            match cats.next().expect("counted above") {
+                CategoricalReport::Value(v) => {
+                    w.write_bits(u64::from(*v), wire::index_bits(*k as usize));
+                }
+                CategoricalReport::Bits(bits) => {
+                    assert_eq!(bits.len(), *k, "bit-vector length mismatch");
+                    // Same word-at-a-time layout as the sparse codec: the
+                    // stream wants vector bit 0 first, `write_bits` emits
+                    // high bit first, so each word goes out reversed.
+                    let mut remaining = *k;
+                    for &word in bits.words() {
+                        let width = remaining.min(64);
+                        w.write_bits(word.reverse_bits() >> (64 - width), width as usize);
+                        remaining -= width;
+                    }
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a composition report. As with
+    /// [`wire::WireFormat::decode_sparse`], the
+    /// protocol fixes whether categorical payloads are unary bit vectors
+    /// (`unary = true`, OUE/SUE) or `⌈log₂ k⌉`-bit direct values (GRR), so
+    /// it is not encoded per report.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] on truncated buffers and
+    /// [`LdpError::InvalidCategory`] on out-of-range direct values.
+    pub fn decode_wire(specs: &[AttrSpec], bytes: &[u8], unary: bool) -> Result<CompositionReport> {
+        let mut r = wire::BitReader::new(bytes);
+        let d_num = specs.iter().filter(|s| s.is_numeric()).count();
+        let mut numeric = Vec::with_capacity(d_num);
+        for _ in 0..d_num {
+            numeric.push(f64::from_bits(r.read_bits(64)?));
+        }
+        let mut categorical = Vec::with_capacity(specs.len() - d_num);
+        for spec in specs {
+            let AttrSpec::Categorical { k } = spec else {
+                continue;
+            };
+            categorical.push(if unary {
+                let mut words = vec![0u64; (*k as usize).div_ceil(64)];
+                let mut base = 0u32;
+                for word in &mut words {
+                    let width = (*k - base).min(64);
+                    let chunk = r.read_bits(width as usize)?;
+                    *word = chunk.reverse_bits() >> (64 - width);
+                    base += width;
+                }
+                let bits = ldp_core::BitVec::from_words(*k, words)
+                    .expect("masked reads are well-formed by construction");
+                CategoricalReport::Bits(bits)
+            } else {
+                let v = r.read_bits(wire::index_bits(*k as usize))? as u32;
+                if v >= *k {
+                    return Err(LdpError::InvalidCategory { value: v, k: *k });
+                }
+                CategoricalReport::Value(v)
+            });
+        }
+        Ok(CompositionReport {
+            numeric,
+            categorical,
+        })
+    }
+}
+
+/// Expected set bits per unary report above which the fused engines absorb
+/// whole-word through the [`crate::WordHistogram`] plane instead of noting
+/// hits as they are placed. Both engines count identically (exact
+/// integers), so this is purely a routing choice: the word plane's
+/// per-report cost is flat in density, so a handful of expected hits is
+/// cheaper to stream one at a time — the same trade
+/// `ldp_analytics::wordhist`'s sparse-scatter shortcut makes per report.
+const WORD_LEVEL_MIN_HITS: f64 = 8.0;
+
 /// The shared public shape of a session: everything both sides derive from
 /// `(protocol, ε, schema)` without exchanging messages.
 #[derive(Debug, Clone)]
@@ -100,9 +213,34 @@ struct Shape {
     scale: f64,
     /// Per categorical slot: domain size and the oracle's `(p, q)` pair.
     cats: Vec<(u32, DebiasParams)>,
+    /// Per categorical slot: absorb unary reports whole-word (dense
+    /// oracles) or hit-by-hit (sparse ones) — see [`WORD_LEVEL_MIN_HITS`].
+    word_level: Vec<bool>,
+    /// Any slot word-level ⇒ the sampling engine runs word-wise.
+    any_word_level: bool,
     /// Entries per sampling report (`k` of Equation 12); `d` for
     /// composition.
     sampled_k: usize,
+}
+
+/// Expected set bits of one unary report from a `(k, (p, q))` oracle:
+/// `p + (k−1)·q`, independent of the true value.
+fn expected_hits(k: u32, debias: DebiasParams) -> f64 {
+    debias.p + f64::from(k - 1) * debias.q
+}
+
+/// Per-slot engine routing: direct (GRR) oracles always take the
+/// word-level engine — their fast path is the ordinal kernel, with no bit
+/// vector in sight, so the density cutoff is meaningless for them — while
+/// unary oracles take it only when dense enough
+/// ([`WORD_LEVEL_MIN_HITS`]).
+fn word_level_routing(cats: &[(u32, DebiasParams)], direct: &[bool]) -> Vec<bool> {
+    cats.iter()
+        .zip(direct)
+        .map(|(&(k, debias), &is_direct)| {
+            is_direct || expected_hits(k, debias) >= WORD_LEVEL_MIN_HITS
+        })
+        .collect()
 }
 
 impl Shape {
@@ -123,28 +261,42 @@ impl Shape {
                 }
             }
         }
-        let (scale, sampled_k, cats) = match engine {
-            Engine::Sampling(p) => {
-                let cats = cat_indices
-                    .iter()
-                    .map(|&j| {
-                        let o = p.any_oracle(j).expect("categorical slot");
-                        (o.k(), o.debias_params())
-                    })
-                    .collect();
-                (p.scale(), p.k(), cats)
-            }
-            Engine::Composition { oracles, .. } => {
-                let cats = oracles.iter().map(|o| (o.k(), o.debias_params())).collect();
-                (1.0, d, cats)
-            }
-        };
+        let (scale, sampled_k, cats, direct): (f64, usize, Vec<(u32, DebiasParams)>, Vec<bool>) =
+            match engine {
+                Engine::Sampling(p) => {
+                    let cats = cat_indices
+                        .iter()
+                        .map(|&j| {
+                            let o = p.any_oracle(j).expect("categorical slot");
+                            (o.k(), o.debias_params())
+                        })
+                        .collect();
+                    let direct = cat_indices
+                        .iter()
+                        .map(|&j| {
+                            p.any_oracle(j)
+                                .expect("categorical slot")
+                                .as_grr()
+                                .is_some()
+                        })
+                        .collect();
+                    (p.scale(), p.k(), cats, direct)
+                }
+                Engine::Composition { oracles, .. } => {
+                    let cats = oracles.iter().map(|o| (o.k(), o.debias_params())).collect();
+                    let direct = oracles.iter().map(|o| o.as_grr().is_some()).collect();
+                    (1.0, d, cats, direct)
+                }
+            };
+        let word_level = word_level_routing(&cats, &direct);
         Shape {
             d,
             num_indices,
             cat_indices,
             slot_of,
             scale,
+            any_word_level: word_level.iter().any(|&b| b),
+            word_level,
             cats,
             sampled_k,
         }
@@ -184,12 +336,16 @@ impl Shape {
                 }
             }
         }
+        let direct = vec![matches!(oracle_kind, ldp_core::OracleKind::Grr); cats.len()];
+        let word_level = word_level_routing(&cats, &direct);
         Ok(Shape {
             d,
             num_indices,
             cat_indices,
             slot_of,
             scale,
+            any_word_level: word_level.iter().any(|&b| b),
+            word_level,
             cats,
             sampled_k,
         })
@@ -745,8 +901,11 @@ impl Aggregator {
 
     /// Fused simulation path: encodes `tuple` with `encoder` and absorbs
     /// the resulting report in one pass, without materializing categorical
-    /// payloads as report entries — each hit streams into the count
-    /// accumulators as the oracle places it (the PR 3 batched engine).
+    /// payloads as report entries. Unary reports are absorbed *by backing
+    /// word* into the accumulators' bit-sliced
+    /// [`crate::WordHistogram`] planes, and GRR reports skip report
+    /// objects entirely — the sampled ordinal goes straight to a counter
+    /// increment (the word-level successor of the PR 3 per-hit engine).
     ///
     /// Consumes exactly the rng draws of [`ClientEncoder::encode_into`] and
     /// leaves the aggregator in exactly the state
@@ -787,18 +946,43 @@ impl Aggregator {
                     .parts
                     .entry(self.ordinal)
                     .or_insert_with(|| Partial::new(shape));
-                // Hits follow their report event, so the slot lookup happens
-                // once per report and each hit is a bare counter increment.
-                let mut slot = 0usize;
-                p.perturb_counting(tuple, rng, fused, scratch, |obs| match obs {
-                    CatObservation::Report { attr } => {
-                        slot = shape.slot_of[attr as usize].expect("categorical index");
-                        part.freqs[slot].note_report();
-                    }
-                    CatObservation::Hit { category, .. } => {
-                        part.freqs[slot].note_hit(category);
-                    }
-                })?;
+                if shape.any_word_level {
+                    // Word-level fused engine: each sampled categorical
+                    // attribute arrives as one complete view — the
+                    // finished unary report's backing words (absorbed
+                    // whole-word into the accumulator's bit-sliced plane)
+                    // or GRR's bare ordinal (one counter increment, no
+                    // report object).
+                    p.perturb_wordwise(tuple, rng, fused, scratch, |view| match view {
+                        CatReportView::Unary { attr, words } => {
+                            let slot = shape.slot_of[attr as usize].expect("categorical index");
+                            let acc = &mut part.freqs[slot];
+                            acc.note_report();
+                            acc.note_words(words);
+                        }
+                        CatReportView::Direct { attr, category } => {
+                            let slot = shape.slot_of[attr as usize].expect("categorical index");
+                            let acc = &mut part.freqs[slot];
+                            acc.note_report();
+                            acc.note_hit(category);
+                        }
+                    })?;
+                } else {
+                    // Sparse-report regime (every oracle expects only a
+                    // handful of set bits): streaming each hit as it is
+                    // placed beats re-reading the finished vector. Same
+                    // draws, same counts — routing only.
+                    let mut slot = 0usize;
+                    p.perturb_counting(tuple, rng, fused, scratch, |obs| match obs {
+                        CatObservation::Report { attr } => {
+                            slot = shape.slot_of[attr as usize].expect("categorical index");
+                            part.freqs[slot].note_report();
+                        }
+                        CatObservation::Hit { category, .. } => {
+                            part.freqs[slot].note_hit(category);
+                        }
+                    })?;
+                }
                 part.means.add_sparse(fused)
             }
             Engine::Composition { numeric, oracles } => {
@@ -851,16 +1035,29 @@ impl Aggregator {
                     let AttrValue::Categorical(v) = tuple[j] else {
                         unreachable!("validated above");
                     };
-                    // Fused perturb-and-count: hits stream into the
-                    // accumulator as the oracle places them.
+                    // Fused perturb-and-count: GRR reports go
+                    // ordinal-direct (no report object at all); unary
+                    // reports are absorbed by backing word when dense, or
+                    // hit-by-hit as they are placed when sparse (identical
+                    // counts either way — routing only).
                     let acc = &mut part.freqs[slot];
                     acc.note_report();
-                    oracles[slot].perturb_into_noting(
-                        v,
-                        &mut *rng,
-                        &mut cat_reports[slot],
-                        |c| acc.note_hit(c),
-                    )?;
+                    if let Some(grr) = oracles[slot].as_grr() {
+                        acc.note_hit(grr.sample(v, &mut *rng)?);
+                    } else if shape.word_level[slot] {
+                        oracles[slot].perturb_into(v, &mut *rng, &mut cat_reports[slot])?;
+                        let CategoricalReport::Bits(bits) = &cat_reports[slot] else {
+                            unreachable!("unary oracles produce bit reports");
+                        };
+                        acc.note_words(bits.words());
+                    } else {
+                        oracles[slot].perturb_into_noting(
+                            v,
+                            &mut *rng,
+                            &mut cat_reports[slot],
+                            |c| acc.note_hit(c),
+                        )?;
+                    }
                 }
                 part.means.add_dense(dense)
             }
@@ -1303,6 +1500,37 @@ mod tests {
         let b = fused.snapshot().unwrap();
         assert_eq!(a.mean_vector(), b.mean_vector());
         assert_eq!(a.frequencies, b.frequencies);
+    }
+
+    #[test]
+    fn composition_wire_codec_round_trips_both_payload_kinds() {
+        use ldp_core::multidim::wire;
+        for oracle in [OracleKind::Oue, OracleKind::Grr] {
+            let unary = oracle != OracleKind::Grr;
+            let protocol = Protocol::BestEffort {
+                numeric: BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+                oracle,
+            };
+            let encoder = ClientEncoder::new(protocol, eps(2.0), mixed_specs()).unwrap();
+            let mut rng = seeded_rng(23);
+            for i in 0..100 {
+                let Report::Composition(report) =
+                    encoder.encode(&mixed_tuple(i), &mut rng).unwrap()
+                else {
+                    unreachable!("composition protocol");
+                };
+                let bytes = report.encode_wire(encoder.specs());
+                // The encoded size is the canonical accounting, exactly.
+                assert_eq!(
+                    bytes.len(),
+                    wire::composition_report_bits(encoder.specs(), unary).div_ceil(8)
+                );
+                let back = CompositionReport::decode_wire(encoder.specs(), &bytes, unary).unwrap();
+                assert_eq!(back, report, "{oracle:?} round {i}");
+            }
+        }
+        // Truncated buffers are rejected, not misread.
+        assert!(CompositionReport::decode_wire(&mixed_specs(), &[0u8; 2], true).is_err());
     }
 
     #[test]

@@ -239,3 +239,58 @@ fn tree_reduction_matches_flat_merge() {
         "tree reduction",
     );
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The `Report::Composition` wire codec round-trips genuine encoder
+    /// output — unary and direct payloads, word-straddling domains,
+    /// numeric-only and categorical-only schemas alike — and its encoded
+    /// size is exactly the canonical `composition_report_bits` accounting.
+    #[test]
+    fn composition_wire_codec_round_trips(
+        seed in 0u64..1_000_000,
+        eps in 0.4f64..8.0,
+        d_num in 0usize..3,
+        doms in prop::collection::vec(2u32..200, 0..4),
+        grr in prop::bool::ANY,
+    ) {
+        use ldp_analytics::{CompositionReport, Report};
+        use ldp_core::multidim::wire;
+        use ldp_core::AttrSpec;
+        prop_assume!(d_num + doms.len() > 0);
+        let mut specs: Vec<AttrSpec> = (0..d_num).map(|_| AttrSpec::Numeric).collect();
+        specs.extend(doms.iter().map(|&k| AttrSpec::Categorical { k }));
+        let oracle = if grr { OracleKind::Grr } else { OracleKind::Oue };
+        let encoder = ClientEncoder::new(
+            Protocol::BestEffort {
+                numeric: BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+                oracle,
+            },
+            Epsilon::new(eps).unwrap(),
+            specs.clone(),
+        )
+        .unwrap();
+        let mut rng = seeded_rng(seed);
+        let tuple: Vec<AttrValue> = specs
+            .iter()
+            .map(|s| match s {
+                AttrSpec::Numeric => AttrValue::Numeric(0.4),
+                AttrSpec::Categorical { k } => AttrValue::Categorical(k - 1),
+            })
+            .collect();
+        for _ in 0..4 {
+            let Report::Composition(report) = encoder.encode(&tuple, &mut rng).unwrap() else {
+                unreachable!("composition protocol");
+            };
+            let bytes = report.encode_wire(&specs);
+            prop_assert_eq!(
+                bytes.len(),
+                wire::composition_report_bits(&specs, !grr).div_ceil(8),
+                "encoded size must equal the canonical accounting"
+            );
+            let back = CompositionReport::decode_wire(&specs, &bytes, !grr).unwrap();
+            prop_assert_eq!(&back, &report, "codec round trip diverged");
+        }
+    }
+}

@@ -107,6 +107,15 @@ fn main() {
                 oracle: OracleKind::Grr,
             },
         ),
+        // Covers the unary word-histogram absorb path under composition
+        // (the Duchi+GRR case above covers the direct-report fast path).
+        (
+            "BestEffort(Laplace+OUE)",
+            Protocol::BestEffort {
+                numeric: BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+                oracle: OracleKind::Oue,
+            },
+        ),
     ] {
         for eps in [1.0f64, 4.0] {
             let collector = Collector::new(protocol, Epsilon::new(eps).expect("positive"));

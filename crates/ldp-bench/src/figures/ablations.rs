@@ -111,6 +111,7 @@ pub fn frequency_oracles(args: &Args) -> String {
 /// on the BR schema — the concern §VII raises against k-sized-vector
 /// protocols, quantified for ours.
 pub fn communication(args: &Args) -> String {
+    use ldp_analytics::{BestEffortNumeric, ClientEncoder, Report};
     use ldp_core::multidim::{wire, CompositionPerturber, DuchiMultidim, SamplingPerturber};
     use ldp_core::rng::seeded_rng;
     use ldp_core::AttrValue;
@@ -123,6 +124,7 @@ pub fn communication(args: &Args) -> String {
             "eps",
             "Algorithm 4 (HM+OUE)",
             "Composition (Laplace+OUE)",
+            "Composition codec B/user",
             "Duchi MD (numeric block)",
         ],
     );
@@ -134,12 +136,23 @@ pub fn communication(args: &Args) -> String {
         let composition =
             CompositionPerturber::new(e, specs.clone(), NumericKind::Laplace, OracleKind::Oue)
                 .expect("valid schema");
+        // The actual Report::Composition wire codec, for the bytes-per-user
+        // column — encoded sizes, not just accounting.
+        let encoder = ClientEncoder::new(
+            Protocol::BestEffort {
+                numeric: BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+                oracle: OracleKind::Oue,
+            },
+            e,
+            specs.clone(),
+        )
+        .expect("valid schema");
         let d_num = schema.numeric_indices().len();
         let duchi = DuchiMultidim::new(e, d_num).expect("d ≥ 1");
 
         let mut rng = seeded_rng(args.seed);
         let mut tuple: Vec<AttrValue> = Vec::new();
-        let (mut s_bits, mut c_bits) = (0usize, 0usize);
+        let (mut s_bits, mut c_bits, mut codec_bytes) = (0usize, 0usize, 0usize);
         for i in 0..ds.n() {
             ds.canonical_tuple_into(i, &mut tuple);
             // Schema-aware accounting: direct categorical reports are
@@ -151,12 +164,25 @@ pub fn communication(args: &Args) -> String {
             c_bits += wire::dense_report_bits(
                 &composition.perturb(&tuple, &mut rng).expect("valid tuple"),
             );
+            let Report::Composition(report) =
+                encoder.encode(&tuple, &mut rng).expect("valid tuple")
+            else {
+                unreachable!("composition protocol");
+            };
+            let bytes = report.encode_wire(&specs);
+            debug_assert_eq!(
+                bytes.len(),
+                wire::composition_report_bits(&specs, true).div_ceil(8),
+                "codec size must match the canonical accounting"
+            );
+            codec_bytes += bytes.len();
         }
         let duchi_bits = wire::duchi_md_report_bits(duchi.d());
         table.row(vec![
             format!("{eps}"),
             format!("{:.1}", s_bits as f64 / ds.n() as f64),
             format!("{:.1}", c_bits as f64 / ds.n() as f64),
+            format!("{:.1}", codec_bytes as f64 / ds.n() as f64),
             format!("{duchi_bits}"),
         ]);
     }

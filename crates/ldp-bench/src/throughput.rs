@@ -2,7 +2,7 @@
 //!
 //! The estimation benches answer "how accurate"; this bench anchors the
 //! perf trajectory by answering "how fast". For every cell of a
-//! protocol × ε × d × k grid it simulates the per-user hot loop three
+//! protocol × ε × d × k grid it simulates the per-user hot loop four
 //! times:
 //!
 //! * **baseline** — the pre-optimization path: an allocating
@@ -14,16 +14,23 @@
 //!   sampling, recycled bit vectors), a precomputed attribute→slot table,
 //!   and count-based aggregation, drawing through `&mut dyn RngCore` (one
 //!   virtual call per draw);
-//! * **batched** — this PR's engine: the streaming loop monomorphized over
+//! * **batched** — the PR 3 engine: the streaming loop monomorphized over
 //!   an [`RngBlock`] (one batched refill amortizes the generator's state
 //!   update, placement draws arrive as buffer slices, no dyn dispatch
 //!   anywhere in the per-draw path) with *fused* perturb-and-count
 //!   aggregation — categorical hits stream into the count accumulators as
-//!   they are placed, so a report is never walked twice.
+//!   they are placed, so a report is never walked twice;
+//! * **wordhist** — the word-level engine: the batched loop with unary
+//!   reports absorbed whole 64-bit words at a time into the bit-sliced
+//!   [`ldp_analytics::WordHistogram`] plane (O(words) carry-save adds,
+//!   per-category scatter deferred to amortized flushes), and GRR direct
+//!   reports going coin→ordinal→counter with no report object at all.
 //!
 //! All arms run the same workload single-threaded (users/sec per core) and
 //! all numbers land in the JSON report, so every speedup is recorded
-//! against the in-tree baseline rather than a lost git revision.
+//! against the in-tree baseline rather than a lost git revision. A kernel
+//! section additionally times the scatter-vs-word-plane aggregation in
+//! isolation over pre-generated reports.
 //!
 //! Two accuracy guards ride along. Each cell carries an
 //! `estimate_checksum` — an FNV-1a fold over the bit patterns of the
@@ -39,7 +46,7 @@
 use crate::cli::Args;
 use crate::table::{fixed, Table};
 use ldp_analytics::{Collector, FrequencyAccumulator, MeanAccumulator, Protocol};
-use ldp_core::multidim::{SamplingPerturber, SparseReport};
+use ldp_core::multidim::{CatReportView, SamplingPerturber, SparseReport};
 use ldp_core::rng::{sample_distinct, seeded_rng, DrawSource, RngBlock};
 use ldp_core::{
     AnyOracle, AttrReport, AttrSpec, AttrValue, CategoricalReport, Epsilon, NumericKind, OracleKind,
@@ -77,11 +84,19 @@ pub struct ThroughputCell {
     /// Users/sec of the batched engine: monomorphized over [`RngBlock`]
     /// with fused perturb-and-count aggregation.
     pub batched_users_per_sec: f64,
+    /// Users/sec of the word-histogram engine: the batched loop with unary
+    /// reports absorbed whole-word into the bit-sliced
+    /// [`ldp_analytics::WordHistogram`] plane and GRR reports going
+    /// ordinal-direct into the counts (no report object at all).
+    pub wordhist_users_per_sec: f64,
     /// `fast / baseline`.
     pub speedup: f64,
     /// `batched / fast` — the win attributable to the batched-RNG fused
     /// engine over the scalar streaming engine.
     pub batched_speedup: f64,
+    /// `wordhist / batched` — the win attributable to word-level absorption
+    /// (and the GRR direct-report fast path) over the per-hit fused engine.
+    pub wordhist_speedup: f64,
     /// FNV-1a fold of the frequency-estimate bit patterns from a fixed
     /// [`CHECKSUM_USERS`]-user run; the scalar and batched arms are asserted
     /// bit-identical before this is recorded, and CI fails if it drifts from
@@ -114,6 +129,24 @@ pub struct WorkerSweep {
     pub cells: Vec<WorkerSweepCell>,
 }
 
+/// One isolated-kernel microbench case: absorbing pre-generated unary
+/// reports, scattered per set bit vs whole-word into a
+/// [`ldp_analytics::WordHistogram`].
+#[derive(Debug, Clone)]
+pub struct KernelCell {
+    /// Domain size (bits per report).
+    pub k: u32,
+    /// Reports absorbed per timed pass.
+    pub reports: usize,
+    /// Reports/sec of the per-set-bit `iter_ones` scatter.
+    pub scatter_reports_per_sec: f64,
+    /// Reports/sec of the `WordHistogram::add_words` carry-save kernel
+    /// (including its amortized flushes).
+    pub wordhist_reports_per_sec: f64,
+    /// `wordhist / scatter`.
+    pub speedup: f64,
+}
+
 /// The full grid result.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -123,9 +156,16 @@ pub struct ThroughputReport {
     pub seed: u64,
     /// All measured cells.
     pub cells: Vec<ThroughputCell>,
+    /// Isolated aggregation-kernel microbenches (scatter vs word plane).
+    pub kernels: Vec<KernelCell>,
     /// The `--workers` pipeline sweep.
     pub worker_sweep: WorkerSweep,
 }
+
+/// The engine arms each grid cell times, in `<arm>_users_per_sec` field
+/// order. Recorded in the JSON so `ci/compare_bench.py` gates whatever arms
+/// both sides carry instead of a hardcoded field list.
+pub const ARMS: [&str; 4] = ["baseline", "fast", "batched", "wordhist"];
 
 /// Which collection protocol a cell measures.
 #[derive(Debug, Clone, Copy)]
@@ -202,16 +242,16 @@ fn time_users_per_sec(users: usize, mut work: impl FnMut()) -> f64 {
     users as f64 / secs
 }
 
-/// Times the three arms of one cell interleaved, best-of-3 each: one
-/// untimed warmup per arm, then three rounds of baseline→fast→batched.
+/// Times the arms of one cell interleaved, best-of-3 each: one untimed
+/// warmup per arm, then three rounds cycling through every arm in order.
 /// Interleaving means slow thermal / frequency drift hits all arms alike
 /// instead of systematically penalizing whichever arm runs last, and
 /// best-of discards one-sided scheduling noise.
-fn time_arms(users: usize, mut arms: [&mut dyn FnMut(); 3]) -> [f64; 3] {
+fn time_arms<const N: usize>(users: usize, mut arms: [&mut dyn FnMut(); N]) -> [f64; N] {
     for arm in arms.iter_mut() {
         arm();
     }
-    let mut best = [f64::MAX; 3];
+    let mut best = [f64::MAX; N];
     for _ in 0..3 {
         for (i, arm) in arms.iter_mut().enumerate() {
             let start = Instant::now();
@@ -336,6 +376,67 @@ fn run_sampling_batched(p: &SamplingPerturber, w: &Workload, seed: u64) -> Vec<V
                 }
                 CatObservation::Hit { category, .. } => {
                     freqs[slot].note_hit(category);
+                }
+            },
+        )
+        .expect("valid tuple");
+        means.add_sparse(&report).expect("matching dimensions");
+    }
+    freqs
+        .iter_mut()
+        .map(|f| {
+            f.set_population(w.users);
+            f.estimate().expect("population set")
+        })
+        .collect()
+}
+
+/// The word-histogram engine for Algorithm 4: the batched loop with
+/// categorical aggregation done at word level. Each sampled categorical
+/// attribute is observed once as a [`CatReportView`] — a finished unary
+/// report absorbed whole-word into the accumulator's bit-sliced
+/// [`ldp_analytics::WordHistogram`] plane (O(words) carry-save adds, no
+/// per-set-bit scatter), or a GRR ordinal going straight to one counter
+/// increment with no report object materialized. Bit-identical output to
+/// [`run_sampling_fast`] under the same seed (asserted per cell before the
+/// checksum is recorded): the draws are untouched and the counts are exact
+/// integers either way.
+fn run_sampling_wordhist(p: &SamplingPerturber, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(seeded_rng(seed));
+    let d = w.d;
+    let cat_indices: Vec<usize> = (0..d).filter(|&j| !w.specs[j].is_numeric()).collect();
+    let mut slot_of: Vec<Option<usize>> = vec![None; d];
+    for (slot, &j) in cat_indices.iter().enumerate() {
+        slot_of[j] = Some(slot);
+    }
+    let mut means = MeanAccumulator::new(d);
+    let mut freqs: Vec<FrequencyAccumulator> = cat_indices
+        .iter()
+        .map(|&j| {
+            let oracle = p.oracle(j).expect("categorical");
+            FrequencyAccumulator::with_debias(oracle.k(), p.scale(), oracle.debias_params())
+        })
+        .collect();
+    let mut report = SparseReport::with_capacity(d, p.k());
+    let mut scratch = p.scratch();
+    for i in 0..w.users {
+        p.perturb_wordwise(
+            w.tuple(i),
+            &mut rng,
+            &mut report,
+            &mut scratch,
+            |view| match view {
+                CatReportView::Unary { attr, words } => {
+                    let slot = slot_of[attr as usize].expect("categorical index");
+                    let acc = &mut freqs[slot];
+                    acc.note_report();
+                    acc.note_words(words);
+                }
+                CatReportView::Direct { attr, category } => {
+                    let slot = slot_of[attr as usize].expect("categorical index");
+                    let acc = &mut freqs[slot];
+                    acc.note_report();
+                    acc.note_hit(category);
                 }
             },
         )
@@ -513,6 +614,63 @@ fn run_composition_batched(state: &CompositionState, w: &Workload, seed: u64) ->
         .collect()
 }
 
+/// The word-histogram composition engine, the same routing the session's
+/// fused `Aggregator::absorb_with` runs in production (each copy is pinned
+/// bit-identical to the same scalar reference, so they cannot silently
+/// diverge in behavior — only in speed): for GRR,
+/// the direct-report fast path — [`ldp_core::categorical::Grr::sample`]'s
+/// precomputed coin + magic-multiply lie draw straight into a counter
+/// increment, with no report object anywhere — and for unary oracles the
+/// finished bit vector absorbed whole-word into the accumulator's plane.
+/// Bit-identical output to [`run_composition_fast`] under the same seed
+/// (asserted per cell); the library form of this kernel is
+/// [`ldp_core::multidim::CompositionPerturber::perturb_wordwise`], pinned equivalent by
+/// `ldp-core`'s tests.
+fn run_composition_wordhist(state: &CompositionState, w: &Workload, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(seeded_rng(seed));
+    let mut freqs: Vec<FrequencyAccumulator> = state
+        .oracles
+        .iter()
+        .flatten()
+        .map(|o| FrequencyAccumulator::with_debias(o.k(), 1.0, o.debias_params()))
+        .collect();
+    let mut cat_reports: Vec<CategoricalReport> =
+        freqs.iter().map(|_| CategoricalReport::Value(0)).collect();
+    let mut mean_sum = 0.0f64;
+    for i in 0..w.users {
+        let mut slot = 0usize;
+        for (j, value) in w.tuple(i).iter().enumerate() {
+            match value {
+                AttrValue::Numeric(x) => {
+                    mean_sum += state.mech.perturb(*x, &mut rng).expect("valid input");
+                }
+                AttrValue::Categorical(v) => {
+                    let oracle = state.oracles[j].as_ref().expect("categorical");
+                    let acc = &mut freqs[slot];
+                    acc.note_report();
+                    if let Some(grr) = oracle.as_grr() {
+                        acc.note_hit(grr.sample(*v, &mut rng).expect("valid category"));
+                    } else {
+                        oracle
+                            .perturb_into(*v, &mut rng, &mut cat_reports[slot])
+                            .expect("valid category");
+                        let CategoricalReport::Bits(bits) = &cat_reports[slot] else {
+                            unreachable!("unary oracles produce bit reports");
+                        };
+                        acc.note_words(bits.words());
+                    }
+                    slot += 1;
+                }
+            }
+        }
+    }
+    std::hint::black_box(mean_sum);
+    freqs
+        .iter()
+        .map(|f| f.estimate().expect("reports absorbed"))
+        .collect()
+}
+
 /// Shared streaming composition engine: `perturb_into` report reuse +
 /// count-based aggregation, generic over the rng.
 fn run_composition_streaming<R: DrawSource + ?Sized>(
@@ -642,6 +800,9 @@ fn run_with_sweep_users(args: &Args, sweep_users: usize) -> ThroughputReport {
         BenchProtocol::Sampling(NumericKind::Hybrid, OracleKind::Sue),
         BenchProtocol::Sampling(NumericKind::Hybrid, OracleKind::Grr),
         BenchProtocol::Composition(NumericKind::Laplace, OracleKind::Oue),
+        // The GRR composition rows exist for the direct-report fast path:
+        // every categorical attribute is a fused coin→ordinal→count kernel.
+        BenchProtocol::Composition(NumericKind::Laplace, OracleKind::Grr),
     ];
     let epsilons: &[f64] = if args.quick { &[1.0] } else { &[1.0, 4.0] };
     let dims: &[usize] = if args.quick { &[8] } else { &[8, 32] };
@@ -660,6 +821,7 @@ fn run_with_sweep_users(args: &Args, sweep_users: usize) -> ThroughputReport {
             }
         }
     }
+    let kernels = run_kernels(args);
     // Pipeline sweep at a fixed, mode-independent size so its checksums are
     // comparable between a CI smoke run and the committed default-mode JSON.
     let worker_sweep = run_worker_sweep(&args.worker_sweep(), sweep_users, args.seed);
@@ -673,6 +835,7 @@ fn run_with_sweep_users(args: &Args, sweep_users: usize) -> ThroughputReport {
         },
         seed: args.seed,
         cells,
+        kernels,
         worker_sweep,
     }
 }
@@ -691,7 +854,7 @@ fn run_cell(
                 .expect("valid schema");
             let users = users_for_cell(args, p.k(), k_dom);
             let w = Workload::generate(users, d, k_dom, args.seed ^ 0xBE1C);
-            let [baseline, fast, batched] = time_arms(
+            let [baseline, fast, batched, wordhist] = time_arms(
                 users,
                 [
                     &mut || {
@@ -703,20 +866,27 @@ fn run_cell(
                     &mut || {
                         std::hint::black_box(run_sampling_batched(&p, &w, args.seed));
                     },
+                    &mut || {
+                        std::hint::black_box(run_sampling_wordhist(&p, &w, args.seed));
+                    },
                 ],
             );
-            // Accuracy fields: a fixed-size run, with the scalar and batched
-            // arms required to agree bit for bit before the checksum lands
-            // in the JSON.
+            // Accuracy fields: a fixed-size run, with every optimized arm
+            // required to agree with the scalar arm bit for bit before the
+            // checksum lands in the JSON.
             let wc = Workload::generate(CHECKSUM_USERS, d, k_dom, args.seed ^ 0xBE1C);
             let scalar_est = run_sampling_fast(&p, &wc, args.seed);
-            let batched_est = run_sampling_batched(&p, &wc, args.seed);
-            assert_eq!(
-                checksum_estimates(&scalar_est),
-                checksum_estimates(&batched_est),
-                "scalar and batched arms diverged ({}, eps={eps}, d={d}, k={k_dom})",
-                protocol.label()
-            );
+            for (arm, est) in [
+                ("batched", run_sampling_batched(&p, &wc, args.seed)),
+                ("wordhist", run_sampling_wordhist(&p, &wc, args.seed)),
+            ] {
+                assert_eq!(
+                    checksum_estimates(&scalar_est),
+                    checksum_estimates(&est),
+                    "scalar and {arm} arms diverged ({}, eps={eps}, d={d}, k={k_dom})",
+                    protocol.label()
+                );
+            }
             ThroughputCell {
                 protocol: protocol.label(),
                 eps,
@@ -727,8 +897,10 @@ fn run_cell(
                 baseline_users_per_sec: baseline,
                 fast_users_per_sec: fast,
                 batched_users_per_sec: batched,
+                wordhist_users_per_sec: wordhist,
                 speedup: fast / baseline,
                 batched_speedup: batched / fast,
+                wordhist_speedup: wordhist / batched,
                 estimate_checksum: checksum_estimates(&scalar_est),
             }
         }
@@ -736,7 +908,7 @@ fn run_cell(
             let state = composition_state(e, &mixed_specs(d, k_dom), numeric, oracle);
             let users = users_for_cell(args, d, k_dom);
             let w = Workload::generate(users, d, k_dom, args.seed ^ 0xBE1C);
-            let [baseline, fast, batched] = time_arms(
+            let [baseline, fast, batched, wordhist] = time_arms(
                 users,
                 [
                     &mut || {
@@ -748,17 +920,24 @@ fn run_cell(
                     &mut || {
                         std::hint::black_box(run_composition_batched(&state, &w, args.seed));
                     },
+                    &mut || {
+                        std::hint::black_box(run_composition_wordhist(&state, &w, args.seed));
+                    },
                 ],
             );
             let wc = Workload::generate(CHECKSUM_USERS, d, k_dom, args.seed ^ 0xBE1C);
             let scalar_est = run_composition_fast(&state, &wc, args.seed);
-            let batched_est = run_composition_batched(&state, &wc, args.seed);
-            assert_eq!(
-                checksum_estimates(&scalar_est),
-                checksum_estimates(&batched_est),
-                "scalar and batched arms diverged ({}, eps={eps}, d={d}, k={k_dom})",
-                protocol.label()
-            );
+            for (arm, est) in [
+                ("batched", run_composition_batched(&state, &wc, args.seed)),
+                ("wordhist", run_composition_wordhist(&state, &wc, args.seed)),
+            ] {
+                assert_eq!(
+                    checksum_estimates(&scalar_est),
+                    checksum_estimates(&est),
+                    "scalar and {arm} arms diverged ({}, eps={eps}, d={d}, k={k_dom})",
+                    protocol.label()
+                );
+            }
             ThroughputCell {
                 protocol: protocol.label(),
                 eps,
@@ -769,12 +948,77 @@ fn run_cell(
                 baseline_users_per_sec: baseline,
                 fast_users_per_sec: fast,
                 batched_users_per_sec: batched,
+                wordhist_users_per_sec: wordhist,
                 speedup: fast / baseline,
                 batched_speedup: batched / fast,
+                wordhist_speedup: wordhist / batched,
                 estimate_checksum: checksum_estimates(&scalar_est),
             }
         }
     }
+}
+
+/// Runs the isolated aggregation-kernel microbenches: absorb a fixed set
+/// of pre-generated unary reports (built through the `BitVec` word API)
+/// into per-category counts, per-set-bit scatter vs
+/// [`ldp_analytics::WordHistogram::add_words`], asserting the two count
+/// vectors identical before recording the rates.
+fn run_kernels(args: &Args) -> Vec<KernelCell> {
+    use ldp_analytics::WordHistogram;
+    use ldp_core::BitVec;
+    [64u32, 256, 300]
+        .into_iter()
+        .map(|k| {
+            let words = (k as usize).div_ceil(64);
+            let reports = (if args.quick { 4_000_000 } else { 16_000_000 }) / words;
+            let mut rng = seeded_rng(args.seed ^ u64::from(k));
+            let vectors: Vec<BitVec> = (0..reports)
+                .map(|_| {
+                    let mut ws: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+                    let tail = k % 64;
+                    if tail != 0 {
+                        ws[words - 1] &= (1u64 << tail) - 1;
+                    }
+                    BitVec::from_words(k, ws).expect("masked to well-formed")
+                })
+                .collect();
+            let mut scatter_counts = vec![0u64; k as usize];
+            let mut hist = WordHistogram::new(k);
+            let [scatter, wordhist] = time_arms(
+                reports,
+                [
+                    &mut || {
+                        let mut counts = vec![0u64; k as usize];
+                        for bits in &vectors {
+                            for v in bits.iter_ones() {
+                                counts[v as usize] += 1;
+                            }
+                        }
+                        scatter_counts = counts;
+                    },
+                    &mut || {
+                        let mut h = WordHistogram::new(k);
+                        for bits in &vectors {
+                            h.add_words(bits.words());
+                        }
+                        hist = h;
+                    },
+                ],
+            );
+            assert_eq!(
+                hist.counts(),
+                scatter_counts,
+                "k={k}: kernel counts diverged"
+            );
+            KernelCell {
+                k,
+                reports,
+                scatter_reports_per_sec: scatter,
+                wordhist_reports_per_sec: wordhist,
+                speedup: wordhist / scatter,
+            }
+        })
+        .collect()
 }
 
 impl ThroughputReport {
@@ -794,8 +1038,10 @@ impl ThroughputReport {
                 "baseline u/s",
                 "fast u/s",
                 "batched u/s",
+                "wordhist u/s",
                 "speedup",
                 "batched×",
+                "wordhist×",
             ],
         );
         for c in &self.cells {
@@ -808,11 +1054,28 @@ impl ThroughputReport {
                 format!("{:.0}", c.baseline_users_per_sec),
                 format!("{:.0}", c.fast_users_per_sec),
                 format!("{:.0}", c.batched_users_per_sec),
+                format!("{:.0}", c.wordhist_users_per_sec),
                 fixed(c.speedup),
                 fixed(c.batched_speedup),
+                fixed(c.wordhist_speedup),
             ]);
         }
         let mut out = table.render();
+        let mut kernels = Table::new(
+            "Aggregation kernel in isolation: absorbing pre-generated unary reports, reports/sec",
+            &["k", "reports", "scatter r/s", "wordhist r/s", "wordhist×"],
+        );
+        for c in &self.kernels {
+            kernels.row(vec![
+                c.k.to_string(),
+                c.reports.to_string(),
+                format!("{:.0}", c.scatter_reports_per_sec),
+                format!("{:.0}", c.wordhist_reports_per_sec),
+                fixed(c.speedup),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&kernels.render());
         let mut sweep = Table::new(
             &format!(
                 "Worker sweep: {} pipeline, eps = {}, n = {} (work-stealing runner)",
@@ -842,13 +1105,16 @@ impl ThroughputReport {
         out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"checksum_users\": {CHECKSUM_USERS},\n"));
+        let arms: Vec<String> = ARMS.iter().map(|a| format!("\"{a}\"")).collect();
+        out.push_str(&format!("  \"arms\": [{}],\n", arms.join(", ")));
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"protocol\": \"{}\", \"eps\": {}, \"d\": {}, \"k\": {}, \
                  \"sampled_k\": {}, \"users\": {}, \"baseline_users_per_sec\": {:.1}, \
                  \"fast_users_per_sec\": {:.1}, \"batched_users_per_sec\": {:.1}, \
-                 \"speedup\": {:.3}, \"batched_speedup\": {:.3}, \
+                 \"wordhist_users_per_sec\": {:.1}, \
+                 \"speedup\": {:.3}, \"batched_speedup\": {:.3}, \"wordhist_speedup\": {:.3}, \
                  \"estimate_checksum\": \"0x{:016x}\"}}{}\n",
                 c.protocol,
                 c.eps,
@@ -859,10 +1125,26 @@ impl ThroughputReport {
                 c.baseline_users_per_sec,
                 c.fast_users_per_sec,
                 c.batched_users_per_sec,
+                c.wordhist_users_per_sec,
                 c.speedup,
                 c.batched_speedup,
+                c.wordhist_speedup,
                 c.estimate_checksum,
                 if i + 1 == self.cells.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"kernels\": [\n");
+        for (i, c) in self.kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"k\": {}, \"reports\": {}, \"scatter_reports_per_sec\": {:.1}, \
+                 \"wordhist_reports_per_sec\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                c.k,
+                c.reports,
+                c.scatter_reports_per_sec,
+                c.wordhist_reports_per_sec,
+                c.speedup,
+                if i + 1 == self.kernels.len() { "" } else { "," }
             ));
         }
         out.push_str("  ],\n");
@@ -960,6 +1242,44 @@ mod tests {
     }
 
     #[test]
+    fn wordhist_arm_is_bit_identical_to_scalar_arm() {
+        // Same contract for the word-level engine, across all three oracle
+        // kinds (unary word absorption AND the GRR direct fast path) and
+        // both protocol families.
+        let e = Epsilon::new(1.0).unwrap();
+        let (d, k_dom, users) = (6usize, 70u32, 5_000usize);
+        let w = Workload::generate(users, d, k_dom, 405);
+        for oracle in [OracleKind::Oue, OracleKind::Sue, OracleKind::Grr] {
+            let p =
+                SamplingPerturber::new(e, w.specs.clone(), NumericKind::Hybrid, oracle).unwrap();
+            let scalar = run_sampling_fast(&p, &w, 13);
+            let wordhist = run_sampling_wordhist(&p, &w, 13);
+            assert_eq!(scalar, wordhist, "{oracle:?}");
+            let state = composition_state(e, &w.specs, NumericKind::Laplace, oracle);
+            let scalar = run_composition_fast(&state, &w, 14);
+            let wordhist = run_composition_wordhist(&state, &w, 14);
+            assert_eq!(scalar, wordhist, "{oracle:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_bench_counts_agree_and_serialize() {
+        let cells = run_kernels(&Args {
+            users: 1_000,
+            quick: true,
+            ..Args::default()
+        });
+        assert_eq!(cells.len(), 3);
+        for c in &cells {
+            assert!(c.scatter_reports_per_sec.is_finite() && c.scatter_reports_per_sec > 0.0);
+            assert!(c.wordhist_reports_per_sec.is_finite() && c.wordhist_reports_per_sec > 0.0);
+            assert!(c.speedup.is_finite() && c.speedup > 0.0);
+        }
+        // Includes a non-word-multiple domain.
+        assert!(cells.iter().any(|c| c.k % 64 != 0));
+    }
+
+    #[test]
     fn checksum_is_order_and_bit_sensitive() {
         let a = vec![vec![0.5, -1.25], vec![3.0]];
         let mut b = a.clone();
@@ -990,9 +1310,14 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"throughput\""));
         assert!(json.contains("Sampling(HM+OUE)"));
+        assert!(json.contains("Composition(Laplace+GRR)"));
+        assert!(json.contains("\"arms\": [\"baseline\", \"fast\", \"batched\", \"wordhist\"]"));
         assert!(json.contains("baseline_users_per_sec"));
         assert!(json.contains("fast_users_per_sec"));
         assert!(json.contains("batched_users_per_sec"));
+        assert!(json.contains("wordhist_users_per_sec"));
+        assert!(json.contains("\"kernels\""));
+        assert!(json.contains("scatter_reports_per_sec"));
         assert!(json.contains("estimate_checksum"));
         assert!(json.contains("worker_sweep"));
         // Rates are positive and finite in every cell.
@@ -1000,11 +1325,14 @@ mod tests {
             assert!(c.baseline_users_per_sec.is_finite() && c.baseline_users_per_sec > 0.0);
             assert!(c.fast_users_per_sec.is_finite() && c.fast_users_per_sec > 0.0);
             assert!(c.batched_users_per_sec.is_finite() && c.batched_users_per_sec > 0.0);
+            assert!(c.wordhist_users_per_sec.is_finite() && c.wordhist_users_per_sec > 0.0);
             assert!(c.speedup.is_finite() && c.speedup > 0.0);
             assert!(c.batched_speedup.is_finite() && c.batched_speedup > 0.0);
+            assert!(c.wordhist_speedup.is_finite() && c.wordhist_speedup > 0.0);
         }
         let table = report.render();
         assert!(table.contains("users/sec"));
+        assert!(table.contains("Aggregation kernel"));
         assert!(table.contains("Worker sweep"));
     }
 }

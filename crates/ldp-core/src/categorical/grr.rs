@@ -3,8 +3,9 @@
 use crate::budget::Epsilon;
 use crate::categorical::{check_category, check_domain_size};
 use crate::error::Result;
+use crate::math::ConstMod;
 use crate::mechanism::{CategoricalReport, DebiasParams, FrequencyOracle};
-use crate::rng::bernoulli;
+use crate::rng::{bernoulli, bernoulli_from_threshold, bernoulli_threshold};
 use rand::{Rng, RngCore};
 
 /// k-ary randomized response: report the true category with probability
@@ -21,6 +22,13 @@ pub struct Grr {
     k: u32,
     p: f64,
     q: f64,
+    /// `⌈p·2⁵³⌉` — decides the truth coin from one raw word, exactly like
+    /// the f64 compare ([`bernoulli_threshold`]).
+    p_threshold: u64,
+    /// Precomputed `% (k−1)` for the lie draw — same consumed word, same
+    /// remainder as the hardware division, ~5× cheaper
+    /// ([`ConstMod`]).
+    lie_mod: ConstMod,
 }
 
 impl Grr {
@@ -32,11 +40,16 @@ impl Grr {
         check_domain_size(k)?;
         let e = epsilon.exp();
         let denom = e + k as f64 - 1.0;
+        // p ∈ (0, 1) strictly: e > 0 and k ≥ 2, so the threshold form is
+        // always valid.
+        let p = e / denom;
         Ok(Grr {
             epsilon,
             k,
-            p: e / denom,
+            p,
             q: 1.0 / denom,
+            p_threshold: bernoulli_threshold(p),
+            lie_mod: ConstMod::new(u64::from(k - 1)),
         })
     }
 
@@ -50,11 +63,51 @@ impl Grr {
         self.q
     }
 
+    /// The direct-report fast path: perturbs `value` and returns the
+    /// reported category *ordinal* without materializing a
+    /// [`CategoricalReport`] at all. This is the kernel the fused
+    /// perturb-and-count engines run for GRR — one Bernoulli coin, then
+    /// (only on a lie) one range draw, then a bare counter increment on the
+    /// aggregator side.
+    ///
+    /// Draw-for-draw **and value-for-value** identical to
+    /// [`FrequencyOracle::perturb`]: it consumes the same raw words and
+    /// reports the same category, but through the precomputed forms — the
+    /// baked-in integer coin threshold instead of a float compare, and the
+    /// [`ConstMod`] magic-multiply remainder instead of a hardware 64-bit
+    /// division for the uniform lie. Both precomputations are exact (not
+    /// approximations), so swapping engines can never move an estimate;
+    /// [`Grr::fill_into`] keeps the plain-arithmetic form as the reference
+    /// this kernel is pinned against.
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::perturb`].
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, value: u32, rng: &mut R) -> Result<u32> {
+        check_category(value, self.k)?;
+        Ok(if bernoulli_from_threshold(rng, self.p_threshold) {
+            value
+        } else {
+            // Same word, same remainder as `rng.random_range(0..k-1)`.
+            let r = self.lie_mod.rem(rng.next_u64()) as u32;
+            if r >= value {
+                r + 1
+            } else {
+                r
+            }
+        })
+    }
+
     /// Generic form of [`FrequencyOracle::perturb_into`], monomorphized over
     /// the concrete rng. Draw-for-draw identical to
     /// [`FrequencyOracle::perturb`] (one Bernoulli coin, then — only on a
     /// lie — one range draw), so the trait and generic paths consume the
     /// same stream.
+    ///
+    /// Deliberately kept in the plain-arithmetic form (f64 coin compare,
+    /// hardware-division range draw): it is the distribution reference the
+    /// precomputed [`Grr::sample`] kernel is pinned against, and the engine
+    /// the throughput bench's pre-wordhist arms keep measuring.
     ///
     /// # Errors
     /// As [`FrequencyOracle::perturb`].
@@ -205,6 +258,20 @@ mod tests {
         let var = vals.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         let expect = o.support_variance(1.0);
         assert!((var - expect).abs() / expect < 0.05, "{var} vs {expect}");
+    }
+
+    #[test]
+    fn sample_is_draw_identical_to_fill_into() {
+        let o = oracle(1.0, 9);
+        let mut rng_a = seeded_rng(94);
+        let mut rng_b = seeded_rng(94);
+        let mut out = CategoricalReport::Value(0);
+        for i in 0..5_000u32 {
+            let direct = o.sample(i % 9, &mut rng_a).unwrap();
+            o.fill_into(i % 9, &mut rng_b, &mut out).unwrap();
+            assert_eq!(out, CategoricalReport::Value(direct), "round {i}");
+        }
+        assert!(o.sample(9, &mut rng_a).is_err());
     }
 
     #[test]

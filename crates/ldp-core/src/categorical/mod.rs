@@ -65,6 +65,20 @@ impl AnyOracle {
         }
     }
 
+    /// The unboxed GRR oracle when this is the direct-encoding variant,
+    /// `None` for the unary encodings. Fused perturb-and-count engines
+    /// branch on this once per report: a direct report needs no bit vector
+    /// (or report object) at all — [`Grr::sample`] hands back the category
+    /// ordinal straight into a counter increment — while unary reports go
+    /// through the bit-vector path and are absorbed word-at-a-time.
+    #[inline]
+    pub fn as_grr(&self) -> Option<&Grr> {
+        match self {
+            AnyOracle::Grr(o) => Some(o),
+            _ => None,
+        }
+    }
+
     /// Domain size `k`.
     #[inline]
     pub fn k(&self) -> u32 {

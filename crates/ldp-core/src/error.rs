@@ -45,6 +45,17 @@ pub enum LdpError {
         /// Human-readable explanation.
         message: String,
     },
+    /// Two aggregation states (or an oracle and an aggregation state)
+    /// disagree on the affine debiasing pair `(p, q)` — e.g. reports
+    /// produced at different ε fed into one accumulator, or a merge of
+    /// accumulators from different sessions. Combining them would silently
+    /// bias every estimate, so it is rejected with both pairs attached.
+    DebiasMismatch {
+        /// The `(p, q)` pair already absorbed.
+        expected: crate::mechanism::DebiasParams,
+        /// The offending `(p, q)` pair.
+        actual: crate::mechanism::DebiasParams,
+    },
     /// An aggregation was attempted over zero reports.
     EmptyInput(&'static str),
 }
@@ -73,6 +84,13 @@ impl fmt::Display for LdpError {
             }
             LdpError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
+            }
+            LdpError::DebiasMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "cannot combine aggregates debiased with (p={}, q={}) and (p={}, q={})",
+                    expected.p, expected.q, actual.p, actual.q
+                )
             }
             LdpError::EmptyInput(what) => write!(f, "cannot aggregate zero {what}"),
         }
@@ -118,6 +136,13 @@ mod tests {
 
         let e = LdpError::EmptyInput("reports");
         assert!(e.to_string().contains("reports"));
+
+        let e = LdpError::DebiasMismatch {
+            expected: crate::mechanism::DebiasParams { p: 0.5, q: 0.25 },
+            actual: crate::mechanism::DebiasParams { p: 0.5, q: 0.125 },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0.25") && msg.contains("0.125"), "{msg}");
     }
 
     #[test]

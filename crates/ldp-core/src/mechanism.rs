@@ -191,6 +191,34 @@ impl BitVec {
         BitVec { len, words }
     }
 
+    /// Builds a bit vector directly from its backing words (least
+    /// significant bit of `words[0]` is bit 0) — the word-level counterpart
+    /// of [`BitVec::zeros`] + [`BitVec::set`], used by word-oriented codecs
+    /// and benches that produce whole words at a time.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] when the storage would violate the
+    /// type's invariants: a word count other than `⌈len/64⌉`, or a set bit
+    /// at or beyond `len` (the word-level walks assume both).
+    pub fn from_words(len: u32, words: Vec<u64>) -> Result<Self> {
+        let candidate = BitVec {
+            len,
+            words: words.into_boxed_slice(),
+        };
+        if candidate.is_well_formed() {
+            Ok(candidate)
+        } else {
+            Err(LdpError::InvalidParameter {
+                name: "words",
+                message: format!(
+                    "{} backing words with bits beyond {} violate the BitVec invariants",
+                    candidate.words.len(),
+                    len
+                ),
+            })
+        }
+    }
+
     /// Number of bits.
     #[inline]
     pub fn len(&self) -> u32 {
@@ -409,6 +437,21 @@ mod tests {
             words: vec![0, 0].into_boxed_slice(),
         };
         assert!(!long.is_well_formed());
+    }
+
+    #[test]
+    fn bitvec_from_words_round_trips_and_validates() {
+        let mut reference = BitVec::zeros(70);
+        for i in [0u32, 63, 64, 69] {
+            reference.set(i, true);
+        }
+        let rebuilt = BitVec::from_words(70, reference.words().to_vec()).unwrap();
+        assert_eq!(rebuilt, reference);
+        // Wrong word count and stray tail bits are rejected, not trusted.
+        assert!(BitVec::from_words(70, vec![0]).is_err());
+        assert!(BitVec::from_words(5, vec![u64::MAX]).is_err());
+        assert!(BitVec::from_words(64, vec![u64::MAX]).is_ok());
+        assert!(BitVec::from_words(0, vec![]).is_ok());
     }
 
     #[test]

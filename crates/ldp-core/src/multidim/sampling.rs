@@ -5,7 +5,7 @@ use crate::categorical::AnyOracle;
 use crate::error::{LdpError, Result};
 use crate::kinds::{NumericKind, OracleKind};
 use crate::mechanism::{CategoricalReport, FrequencyOracle, NumericMechanism};
-use crate::multidim::{AttrReport, AttrSpec, AttrValue};
+use crate::multidim::{AttrReport, AttrSpec, AttrValue, CatReportView};
 use crate::numeric::AnyNumeric;
 use crate::rng::sample_distinct_into;
 use rand::RngCore;
@@ -409,6 +409,90 @@ impl SamplingPerturber {
         Ok(())
     }
 
+    /// Word-level fused engine: like
+    /// [`SamplingPerturber::perturb_counting`], but instead of streaming
+    /// unary hits one set bit at a time, each sampled categorical attribute
+    /// is observed exactly once as a [`crate::multidim::CatReportView`] —
+    /// the finished bit vector's backing words for OUE/SUE (absorbed
+    /// word-at-a-time into a
+    /// bit-sliced histogram by the aggregator), or the bare category
+    /// ordinal for GRR (sampled by [`crate::categorical::Grr::sample`],
+    /// with no report object materialized at all).
+    ///
+    /// Numeric sub-reports land in `report` exactly as `perturb_into`
+    /// leaves them; categorical payloads stay in `scratch` and never cycle
+    /// through the report. Draw-for-draw identical to
+    /// [`SamplingPerturber::perturb_into`] (observation carries no
+    /// randomness), so all three engines produce bit-identical aggregates
+    /// under the same seed — pinned by tests and the per-cell bench
+    /// asserts.
+    ///
+    /// # Errors
+    /// As [`SamplingPerturber::perturb`].
+    #[inline]
+    pub fn perturb_wordwise<R: crate::rng::DrawSource + ?Sized, F: FnMut(CatReportView)>(
+        &self,
+        tuple: &[AttrValue],
+        rng: &mut R,
+        report: &mut SparseReport,
+        scratch: &mut SparseScratch,
+        mut on_cat: F,
+    ) -> Result<()> {
+        let d = self.specs.len();
+        if tuple.len() != d {
+            return Err(LdpError::DimensionMismatch {
+                expected: d,
+                actual: tuple.len(),
+            });
+        }
+        debug_assert_eq!(scratch.pool.len(), d, "scratch built for another schema");
+        for (i, (value, spec)) in tuple.iter().zip(&self.specs).enumerate() {
+            value.validate(spec, i)?;
+        }
+        for (j, rep) in report.entries.drain(..) {
+            if let AttrReport::Categorical(cat) = rep {
+                scratch.pool[j as usize] = Some(cat);
+            }
+        }
+        sample_distinct_into(&mut *rng, d, self.k, &mut scratch.sampled);
+        for &j in &scratch.sampled {
+            match tuple[j as usize] {
+                AttrValue::Numeric(x) => {
+                    let mech = self
+                        .numeric
+                        .as_ref()
+                        .expect("schema has numeric attributes");
+                    let noisy = self.scale * mech.perturb(x, &mut *rng)?;
+                    report.entries.push((j, AttrReport::Numeric(noisy)));
+                }
+                AttrValue::Categorical(v) => {
+                    let oracle = self.oracles[j as usize]
+                        .as_ref()
+                        .expect("schema marks this attribute categorical");
+                    if let Some(grr) = oracle.as_grr() {
+                        // Direct-report fast path: ordinal straight to the
+                        // observer, nothing materialized.
+                        let category = grr.sample(v, &mut *rng)?;
+                        on_cat(CatReportView::Direct { attr: j, category });
+                    } else {
+                        // Out of line: see `composition::absorb_unary`.
+                        super::composition::absorb_unary(
+                            oracle,
+                            v,
+                            &mut *rng,
+                            &mut scratch.pool[j as usize],
+                            j,
+                            &mut on_cat,
+                        )?;
+                    }
+                }
+            }
+        }
+        report.d = d;
+        report.k = self.k;
+        Ok(())
+    }
+
     /// Convenience for numeric-only schemas: perturbs `t ∈ [-1,1]^d` and
     /// densifies, exactly matching Algorithm 4's output tuple.
     ///
@@ -722,6 +806,84 @@ mod tests {
                         AttrReport::Numeric(x) => (*j, *x),
                         AttrReport::Categorical(_) => {
                             panic!("fused report must not carry categorical entries")
+                        }
+                    })
+                    .collect();
+                assert_eq!(numeric_a, numeric_b, "{oracle:?} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_wordwise_views_exactly_the_report_payloads() {
+        // The word-level engine must be the same computation as
+        // perturb_into: identical draw stream, numeric entries identical,
+        // and each observed view exactly the report payload perturb_into
+        // would have produced — backing words for unary oracles, the
+        // reported ordinal for GRR.
+        use crate::mechanism::CategoricalReport;
+        let specs = vec![
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 70 },
+            AttrSpec::Categorical { k: 5 },
+            AttrSpec::Numeric,
+        ];
+        let tuple = vec![
+            AttrValue::Numeric(0.2),
+            AttrValue::Categorical(64),
+            AttrValue::Categorical(1),
+            AttrValue::Numeric(-0.7),
+        ];
+        for oracle in [OracleKind::Oue, OracleKind::Sue, OracleKind::Grr] {
+            let p = SamplingPerturber::with_k(
+                Epsilon::new(2.5).unwrap(),
+                specs.clone(),
+                NumericKind::Hybrid,
+                oracle,
+                3,
+            )
+            .unwrap();
+            let mut rng_a = seeded_rng(910);
+            let mut rng_b = seeded_rng(910);
+            let mut report_a = SparseReport::with_capacity(p.d(), p.k());
+            let mut report_b = SparseReport::with_capacity(p.d(), p.k());
+            let mut scratch_a = p.scratch();
+            let mut scratch_b = p.scratch();
+            for round in 0..300 {
+                p.perturb_into(&tuple, &mut rng_a, &mut report_a, &mut scratch_a)
+                    .unwrap();
+                // (attr, payload words | ordinal) observed by the engine.
+                let mut observed: Vec<(u32, Vec<u64>)> = Vec::new();
+                p.perturb_wordwise(&tuple, &mut rng_b, &mut report_b, &mut scratch_b, |view| {
+                    observed.push(match view {
+                        CatReportView::Unary { attr, words } => (attr, words.to_vec()),
+                        CatReportView::Direct { attr, category } => {
+                            (attr, vec![u64::from(category)])
+                        }
+                    })
+                })
+                .unwrap();
+                let mut expected: Vec<(u32, Vec<u64>)> = Vec::new();
+                let mut numeric_a: Vec<(u32, f64)> = Vec::new();
+                for (j, rep) in &report_a.entries {
+                    match rep {
+                        AttrReport::Numeric(x) => numeric_a.push((*j, *x)),
+                        AttrReport::Categorical(CategoricalReport::Bits(bits)) => {
+                            expected.push((*j, bits.words().to_vec()));
+                        }
+                        AttrReport::Categorical(CategoricalReport::Value(x)) => {
+                            expected.push((*j, vec![u64::from(*x)]));
+                        }
+                    }
+                }
+                assert_eq!(observed, expected, "{oracle:?} round {round}");
+                let numeric_b: Vec<(u32, f64)> = report_b
+                    .entries
+                    .iter()
+                    .map(|(j, rep)| match rep {
+                        AttrReport::Numeric(x) => (*j, *x),
+                        AttrReport::Categorical(_) => {
+                            panic!("word-level report must not carry categorical entries")
                         }
                     })
                     .collect();

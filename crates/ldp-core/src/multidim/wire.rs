@@ -108,6 +108,28 @@ pub fn dense_report_bits(report: &DenseReport) -> usize {
     report.entries.iter().map(attr_report_bits).sum()
 }
 
+/// Wire size of one composition report under the canonical encoding, from
+/// the schema alone: 64 bits per numeric attribute, plus `k` bits (unary
+/// oracles) or `⌈log₂ k⌉` bits (direct/GRR reports) per categorical
+/// attribute. No indices and no header — the schema order is implied and
+/// every attribute is present, so the size is a schema constant. This is
+/// exactly what the `Report::Composition` codec in `ldp-analytics` emits.
+pub fn composition_report_bits(specs: &[crate::multidim::AttrSpec], unary: bool) -> usize {
+    specs
+        .iter()
+        .map(|spec| match spec {
+            crate::multidim::AttrSpec::Numeric => F64_BITS,
+            crate::multidim::AttrSpec::Categorical { k } => {
+                if unary {
+                    *k as usize
+                } else {
+                    index_bits(*k as usize)
+                }
+            }
+        })
+        .sum()
+}
+
 /// Wire size of a Duchi et al. multidimensional report: one sign bit per
 /// coordinate (`B` is public knowledge).
 pub fn duchi_md_report_bits(d: usize) -> usize {
@@ -246,7 +268,12 @@ impl WireFormat {
 /// byte append *per bit*, which made `encode_sparse` the slowest loop in
 /// the codec. The emitted byte stream is identical (pinned by the
 /// `word_writer_matches_naive_bit_writer` proptest).
-struct BitWriter {
+///
+/// Public so report codecs outside this crate (e.g. the
+/// `Report::Composition` codec in `ldp-analytics`) share the exact wire
+/// primitive instead of re-deriving the bit layout.
+#[derive(Debug, Default)]
+pub struct BitWriter {
     buf: Vec<u8>,
     /// Pending bits, first-written bit at position 63.
     acc: u64,
@@ -255,7 +282,8 @@ struct BitWriter {
 }
 
 impl BitWriter {
-    fn new() -> Self {
+    /// An empty writer.
+    pub fn new() -> Self {
         BitWriter {
             buf: Vec::new(),
             acc: 0,
@@ -264,7 +292,7 @@ impl BitWriter {
     }
 
     /// Appends the low `width` bits of `value`, most-significant first.
-    fn write_bits(&mut self, value: u64, width: usize) {
+    pub fn write_bits(&mut self, value: u64, width: usize) {
         debug_assert!(width <= 64);
         if width == 0 {
             return;
@@ -300,7 +328,9 @@ impl BitWriter {
         self.used = 0;
     }
 
-    fn finish(mut self) -> Vec<u8> {
+    /// Flushes the pending bits (zero-padded to a byte boundary) and
+    /// returns the finished buffer.
+    pub fn finish(mut self) -> Vec<u8> {
         let bytes = self.used.div_ceil(8);
         self.buf.extend_from_slice(&self.acc.to_be_bytes()[..bytes]);
         self.buf
@@ -308,17 +338,24 @@ impl BitWriter {
 }
 
 /// Reader matching [`BitWriter`]'s layout (byte-at-a-time, not bit-at-a-time).
-struct BitReader<'a> {
+#[derive(Debug)]
+pub struct BitReader<'a> {
     buf: &'a [u8],
     bit: usize,
 }
 
 impl<'a> BitReader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         BitReader { buf, bit: 0 }
     }
 
-    fn read_bits(&mut self, width: usize) -> crate::Result<u64> {
+    /// Reads the next `width` bits, most-significant first.
+    ///
+    /// # Errors
+    /// [`crate::LdpError::InvalidParameter`] when fewer than `width` bits
+    /// remain.
+    pub fn read_bits(&mut self, width: usize) -> crate::Result<u64> {
         debug_assert!(width <= 64);
         if self.bit + width > self.buf.len() * 8 {
             return Err(crate::LdpError::InvalidParameter {
@@ -534,6 +571,19 @@ mod tests {
     #[test]
     fn duchi_is_one_bit_per_dimension() {
         assert_eq!(duchi_md_report_bits(94), 94);
+    }
+
+    #[test]
+    fn composition_sizes_are_schema_constants() {
+        use crate::multidim::AttrSpec;
+        let specs = vec![
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 27 },
+            AttrSpec::Categorical { k: 5 },
+        ];
+        // Unary payloads are k bits; direct payloads ⌈log₂ k⌉.
+        assert_eq!(composition_report_bits(&specs, true), 64 + 27 + 5);
+        assert_eq!(composition_report_bits(&specs, false), 64 + 5 + 3);
     }
 
     #[test]

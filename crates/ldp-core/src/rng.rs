@@ -210,6 +210,30 @@ pub fn bernoulli<R: RngCore + ?Sized>(rng: &mut R, p: f64) -> bool {
     rng.random::<f64>() < p
 }
 
+/// The integer threshold making [`bernoulli_from_threshold`] decide
+/// **exactly** like [`bernoulli`] on the same consumed word, for
+/// `p ∈ (0, 1)`.
+///
+/// `bernoulli` compares the 53-bit draw `x = next_u64() >> 11` (exact as
+/// f64) against `p` after scaling by `2⁻⁵³`; both the draw and the
+/// power-of-two product `p·2⁵³` are exact f64 values, so for integer `x`:
+/// `x·2⁻⁵³ < p  ⟺  x < ⌈p·2⁵³⌉`. Precomputing the ceiling turns the
+/// per-draw int→float convert + float compare into one integer compare —
+/// the hot-path form mechanisms with a fixed `p` (e.g. the GRR fast
+/// kernel) bake in at construction.
+pub fn bernoulli_threshold(p: f64) -> u64 {
+    debug_assert!(p > 0.0 && p < 1.0, "threshold form needs p in (0, 1)");
+    (p * (1u64 << 53) as f64).ceil() as u64
+}
+
+/// Decides a Bernoulli trial from one raw generator word and a
+/// precomputed [`bernoulli_threshold`], consuming exactly the draw
+/// [`bernoulli`] would and returning exactly its answer (pinned by tests).
+#[inline]
+pub fn bernoulli_from_threshold<R: RngCore + ?Sized>(rng: &mut R, threshold: u64) -> bool {
+    (rng.next_u64() >> 11) < threshold
+}
+
 /// Uniform draw from `[lo, hi)`. Requires `lo < hi` (checked in debug).
 #[inline]
 pub fn uniform<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
@@ -400,6 +424,25 @@ mod tests {
         assert!(bernoulli(&mut rng, 1.0));
         assert!(!bernoulli(&mut rng, -0.5));
         assert!(bernoulli(&mut rng, 1.5));
+    }
+
+    #[test]
+    fn bernoulli_threshold_form_is_decision_identical() {
+        // Same consumed word, same answer, across probabilities with and
+        // without exact 53-bit representations — the equivalence the GRR
+        // fast kernel's baked-in threshold relies on.
+        for p in [1e-12, 0.1, 0.25, 1.0 / 3.0, 0.5, 0.7308951, 1.0 - 1e-12] {
+            let t = bernoulli_threshold(p);
+            let mut a = seeded_rng(9_000 + (p * 1e7) as u64);
+            let mut b = a.clone();
+            for i in 0..50_000 {
+                assert_eq!(
+                    bernoulli(&mut a, p),
+                    bernoulli_from_threshold(&mut b, t),
+                    "p={p} trial {i}"
+                );
+            }
+        }
     }
 
     #[test]
