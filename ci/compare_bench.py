@@ -4,26 +4,37 @@
 Two kinds of fields, two kinds of gates:
 
 * accuracy fields (``estimate_checksum`` per grid cell and per worker-sweep
-  entry) are deterministic — fixed seeds, fixed checksum population, a
-  bit-exact batched-RNG layer — so they must match EXACTLY. Any drift means
-  an estimate changed and fails the job.
-* speed fields (``<arm>_users_per_sec``) are measured on shared CI runners,
-  so the gate is deliberately generous: the job only fails when a matched
-  cell drops below ``--min-ratio`` (default 0.2, i.e. a 5x regression) of
-  the committed number. The committed JSON — regenerated on a quiet machine
-  whenever the hot path changes — remains the authoritative trajectory;
-  this gate just catches catastrophic regressions before they merge.
+  entry, ``total_bytes`` per wire cell) are deterministic — fixed seeds,
+  fixed populations, a bit-exact batched-RNG layer, an exact-length wire
+  codec — so they must match EXACTLY. Any drift means an estimate or a wire
+  byte changed and fails the job.
+* speed fields (``<arm>_users_per_sec`` per grid cell,
+  ``<arm>_reports_per_sec`` per wire cell) are measured on shared CI
+  runners, so the gate is deliberately generous: the job only fails when a
+  matched cell drops below ``--min-ratio`` (default 0.2, i.e. a 5x
+  regression) of the committed number. The committed JSON — regenerated on
+  a quiet machine whenever the hot path changes — remains the authoritative
+  trajectory; this gate just catches catastrophic regressions before they
+  merge.
 
-Which speed fields are gated is driven by the ``arms`` list each JSON
-declares (e.g. ``["baseline", "fast", "batched", "wordhist"]``): every arm
-present in BOTH files — except the deliberately slow ``baseline`` arm — is
-compared, so adding an engine generation to the bench needs no change
-here. Files predating the ``arms`` field fall back to the historical
-``fast``/``batched`` pair.
+Which speed fields are gated is driven by the ``arms`` lists each JSON
+declares (top-level for the grid, ``wire.arms`` for the wire section):
+every arm the committed JSON declares — except the deliberately slow
+``baseline`` arm — MUST be present in the measured JSON, and is compared.
+A committed arm (or a whole committed section, like ``wire``) that the
+measured JSON lacks is a hard failure with its own message — a candidate
+that silently stops reporting an arm must not pass the gate by omission.
+Measured-side extras are fine: adding an engine generation to the bench
+needs no change here. Files predating the ``arms`` field fall back to the
+historical ``fast``/``batched`` pair.
 
 On failure the full per-cell delta table (every matched cell x every gated
 arm, measured/committed ratio) is printed so a regression can be localized
 from the CI log alone.
+
+``--self-test`` runs the gate's own unit checks against synthetic reports
+(missing arms fail, byte drift fails, healthy pairs pass) and exits
+non-zero on any violation; CI runs it before trusting the real comparison.
 
 Platform caveat for the exact gate: the draw streams are platform-fixed,
 but a few oracle/mechanism parameters pass through libm transcendentals
@@ -33,9 +44,10 @@ the committed BENCH_throughput.json on the CI platform family
 checksum drift on a perf-only refresh made from another platform means
 exactly this, not a real estimate change.
 
-Cells are matched on (protocol, eps, d, k, sampled_k); a quick-mode run
-covers a subset of the committed default-mode grid, and unmatched committed
-cells are fine. Zero matched cells fails (the grids no longer line up).
+Cells are matched on (protocol, eps, d, k, sampled_k) — (protocol, eps, d,
+k) for wire cells; a quick-mode run covers a subset of the committed
+default-mode grid, and unmatched committed cells are fine. Zero matched
+cells fails (the grids no longer line up).
 """
 
 import argparse
@@ -59,38 +71,56 @@ def cell_key(cell):
     )
 
 
-def gated_fields(committed, measured):
-    """``<arm>_users_per_sec`` for every arm both reports declare."""
+def wire_cell_key(cell):
+    return (cell["protocol"], float(cell["eps"]), int(cell["d"]), int(cell["k"]))
+
+
+def gated_fields(committed, measured, suffix, failures, section=""):
+    """``<arm>_<suffix>`` for the committed arms, hard-failing on any
+    committed arm the measured JSON no longer declares."""
+    committed_arms = committed.get("arms", LEGACY_ARMS)
+    measured_arms = measured.get("arms", LEGACY_ARMS)
+    where = f"{section} " if section else ""
+    missing = [
+        arm
+        for arm in committed_arms
+        if arm not in UNGATED_ARMS and arm not in measured_arms
+    ]
+    if missing:
+        failures.append(
+            f"measured JSON dropped committed {where}arm(s): {', '.join(missing)} "
+            f"— every committed arm must be present in the candidate"
+        )
     shared = [
         arm
-        for arm in committed.get("arms", LEGACY_ARMS)
-        if arm in measured.get("arms", LEGACY_ARMS) and arm not in UNGATED_ARMS
+        for arm in committed_arms
+        if arm in measured_arms and arm not in UNGATED_ARMS
     ]
-    return [f"{arm}_users_per_sec" for arm in shared]
+    return [f"{arm}_{suffix}" for arm in shared]
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--committed", required=True, help="committed BENCH_throughput.json")
-    parser.add_argument("--measured", required=True, help="freshly measured JSON")
-    parser.add_argument(
-        "--min-ratio",
-        type=float,
-        default=0.2,
-        help="fail when measured/committed users-per-sec drops below this",
-    )
-    args = parser.parse_args()
+def gate_speed(label, field, cell, ref, min_ratio, failures, delta_rows):
+    """One tolerant speed comparison; a declared-but-absent field fails."""
+    for side, report in (("measured", cell), ("committed", ref)):
+        if field not in report:
+            failures.append(
+                f"{label}: {side} cell is missing declared speed field {field}"
+            )
+            return
+    ratio = cell[field] / ref[field]
+    delta_rows.append((label, field, cell[field], ref[field], ratio))
+    if ratio < min_ratio:
+        failures.append(f"{label}: {field} regressed to x{ratio:.2f} of committed")
 
-    with open(args.committed) as f:
-        committed = json.load(f)
-    with open(args.measured) as f:
-        measured = json.load(f)
 
-    fields = gated_fields(committed, measured)
-    committed_cells = {cell_key(c): c for c in committed["cells"]}
+def compare(committed, measured, min_ratio):
+    """Full gate. Returns (failures, delta_rows, matched_cell_count)."""
     failures = []
-    matched = 0
     delta_rows = []
+
+    fields = gated_fields(committed, measured, "users_per_sec", failures)
+    committed_cells = {cell_key(c): c for c in committed["cells"]}
+    matched = 0
 
     for cell in measured["cells"]:
         key = cell_key(cell)
@@ -110,15 +140,49 @@ def main():
 
         # Speed: generous. Shared runners wobble; only a collapse fails.
         for field in fields:
-            if field not in ref or field not in cell:
-                continue  # one side predates the arm
-            ratio = cell[field] / ref[field]
-            delta_rows.append((label, field, cell[field], ref[field], ratio))
-            if ratio < args.min_ratio:
-                failures.append(f"{label}: {field} regressed to x{ratio:.2f} of committed")
+            gate_speed(label, field, cell, ref, min_ratio, failures, delta_rows)
 
     if matched == 0:
         failures.append("no measured cell matched any committed cell — grid keys drifted")
+
+    # Wire codec section: canonical Submit-report bytes. total_bytes is
+    # deterministic (fixed seed, fixed report count, exact-length codec), so
+    # it gates exactly; the encode/decode rates gate tolerantly like any arm.
+    wire_ref = committed.get("wire")
+    wire_got = measured.get("wire")
+    if wire_ref is not None:
+        if wire_got is None:
+            failures.append(
+                "committed JSON declares a wire section but the measured JSON "
+                "has none — the candidate must keep reporting it"
+            )
+        else:
+            wire_fields = gated_fields(
+                wire_ref, wire_got, "reports_per_sec", failures, section="wire"
+            )
+            ref_cells = {wire_cell_key(c): c for c in wire_ref["cells"]}
+            wire_matched = 0
+            for cell in wire_got["cells"]:
+                ref = ref_cells.get(wire_cell_key(cell))
+                if ref is None:
+                    continue
+                wire_matched += 1
+                label = "wire {} eps={} d={} k={}".format(*wire_cell_key(cell))
+                for exact in ("reports", "total_bytes"):
+                    if cell[exact] != ref[exact]:
+                        failures.append(
+                            f"{label}: {exact} drifted "
+                            f"({ref[exact]} -> {cell[exact]}) — the wire codec "
+                            f"changed the canonical byte image"
+                        )
+                for field in wire_fields:
+                    gate_speed(
+                        label, field, cell, ref, min_ratio, failures, delta_rows
+                    )
+            if wire_matched == 0:
+                failures.append(
+                    "no measured wire cell matched any committed wire cell"
+                )
 
     # Worker sweep: same fixed users/seed in every mode, so checksums are
     # exact too, and all entries within one file must agree with each other.
@@ -134,7 +198,170 @@ def main():
         if a != b:
             failures.append(f"worker_sweep estimate_checksum drifted ({a} -> {b})")
 
-    print(f"gated arms: {', '.join(fields) if fields else '(none)'}")
+    return failures, delta_rows, matched
+
+
+def self_test():
+    """Unit checks for the gate itself, on synthetic reports. Returns the
+    number of violated expectations (0 = pass)."""
+
+    def grid_cell(**over):
+        cell = {
+            "protocol": "Sampling(HM+OUE)",
+            "eps": 1.0,
+            "d": 8,
+            "k": 16,
+            "sampled_k": 3,
+            "estimate_checksum": "0xabc",
+            "baseline_users_per_sec": 10.0,
+            "fast_users_per_sec": 100.0,
+            "batched_users_per_sec": 200.0,
+        }
+        cell.update(over)
+        return cell
+
+    def wire_cell(**over):
+        cell = {
+            "protocol": "Sampling(HM+OUE)",
+            "eps": 1.0,
+            "d": 8,
+            "k": 16,
+            "reports": 20000,
+            "total_bytes": 123456,
+            "encode_reports_per_sec": 1000.0,
+            "decode_reports_per_sec": 2000.0,
+        }
+        cell.update(over)
+        return cell
+
+    def report(**over):
+        rep = {
+            "arms": ["baseline", "fast", "batched"],
+            "cells": [grid_cell()],
+            "wire": {"arms": ["encode", "decode"], "cells": [wire_cell()]},
+            "worker_sweep": {"cells": [{"estimate_checksum": "0xfff"}]},
+        }
+        rep.update(over)
+        return rep
+
+    cases = []
+
+    def expect(name, want_failure_containing, committed, measured):
+        failures, _, _ = compare(committed, measured, min_ratio=0.2)
+        if want_failure_containing is None:
+            ok = not failures
+            detail = f"unexpected failures: {failures}" if not ok else ""
+        else:
+            ok = any(want_failure_containing in f for f in failures)
+            detail = (
+                f"no failure containing {want_failure_containing!r} in {failures}"
+                if not ok
+                else ""
+            )
+        cases.append((name, ok, detail))
+
+    expect("identical reports pass", None, report(), report())
+    expect(
+        "dropped grid arm fails",
+        "dropped committed arm(s): batched",
+        report(),
+        report(arms=["baseline", "fast"]),
+    )
+    expect(
+        "dropped wire arm fails",
+        "dropped committed wire arm(s): decode",
+        report(),
+        report(wire={"arms": ["encode"], "cells": [wire_cell()]}),
+    )
+    expect(
+        "missing wire section fails",
+        "measured JSON has none",
+        report(),
+        {k: v for k, v in report().items() if k != "wire"},
+    )
+    expect(
+        "wire byte drift fails",
+        "total_bytes drifted",
+        report(),
+        report(wire={"arms": ["encode", "decode"], "cells": [wire_cell(total_bytes=123457)]}),
+    )
+    expect(
+        "checksum drift fails",
+        "estimate_checksum drifted",
+        report(),
+        report(cells=[grid_cell(estimate_checksum="0xdef")]),
+    )
+    expect(
+        "speed collapse fails",
+        "regressed to",
+        report(),
+        report(cells=[grid_cell(fast_users_per_sec=1.0)]),
+    )
+    expect(
+        "baseline arm stays ungated",
+        None,
+        report(),
+        report(cells=[grid_cell(baseline_users_per_sec=0.0001)]),
+    )
+    expect(
+        "declared-but-absent speed field fails",
+        "missing declared speed field",
+        report(),
+        report(cells=[{k: v for k, v in grid_cell().items() if k != "fast_users_per_sec"}]),
+    )
+    expect(
+        "measured-side extra arm is fine",
+        None,
+        report(),
+        report(arms=["baseline", "fast", "batched", "turbo"]),
+    )
+    expect(
+        "grid mismatch fails",
+        "no measured cell matched",
+        report(),
+        report(cells=[grid_cell(d=99)]),
+    )
+
+    bad = 0
+    for name, ok, detail in cases:
+        print(f"{'ok' if ok else 'FAIL'} {name}{': ' + detail if detail else ''}")
+        if not ok:
+            bad += 1
+    print(f"\nself-test: {len(cases) - bad}/{len(cases)} checks passed")
+    return bad
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--committed", help="committed BENCH_throughput.json")
+    parser.add_argument("--measured", help="freshly measured JSON")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.2,
+        help="fail when measured/committed users-per-sec drops below this",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the gate's own unit checks on synthetic reports and exit",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(1 if self_test() else 0)
+    if not args.committed or not args.measured:
+        parser.error("--committed and --measured are required unless --self-test")
+
+    with open(args.committed) as f:
+        committed = json.load(f)
+    with open(args.measured) as f:
+        measured = json.load(f)
+
+    failures, delta_rows, matched = compare(committed, measured, args.min_ratio)
+
+    gated = sorted({field for _, field, _, _, _ in delta_rows})
+    print(f"gated speed fields seen: {', '.join(gated) if gated else '(none)'}")
     for label, field, got, ref, ratio in delta_rows:
         marker = "OK" if ratio >= args.min_ratio else "FAIL"
         print(f"{marker} {label} {field}: {got:.0f} vs {ref:.0f} (x{ratio:.2f})")
@@ -144,7 +371,7 @@ def main():
         print("\nper-cell delta table (measured vs committed):")
         width = max((len(r[0]) for r in delta_rows), default=0)
         for label, field, got, ref, ratio in delta_rows:
-            arm = field.removesuffix("_users_per_sec")
+            arm = field.removesuffix("_users_per_sec").removesuffix("_reports_per_sec")
             print(f"  {label:<{width}}  {arm:>9}: {got:>12.0f} / {ref:>12.0f}  x{ratio:.3f}")
         print("\nFAILURES:")
         for f in failures:

@@ -1,0 +1,269 @@
+//! Per-epoch privacy-budget ledger: at most one report per user per epoch.
+//!
+//! Under the paper's model every user spends their whole budget ε on a
+//! single report per collection round. A client that submits twice — by
+//! bug, retry, or malice — would have its two reports averaged into the
+//! estimate as if they were independent users, and its *actual* privacy
+//! loss would be 2ε while the server still advertises ε. Arcolezi et al.
+//! (2022) demonstrate exactly this failure mode in deployed collectors;
+//! the `ldp-audit` exemplar guards it with a hash-keyed seen-set, which is
+//! the design reproduced here.
+//!
+//! The ledger never stores raw user ids. Each id is folded through a keyed
+//! xxhash-style finalizer first, so a ledger dump reveals membership only
+//! to someone who already holds both the key and the id — and two shards
+//! given the same key admit/reject identically, which is what makes the
+//! ledger [`merge`](BudgetLedger::merge) well-defined.
+
+use ldp_core::{LdpError, Result};
+use std::collections::{BTreeMap, HashSet};
+
+/// Keyed finalizer over a user id: xxhash-style avalanche multiply-shifts.
+///
+/// Not a cryptographic MAC — it is a collision-resistant-in-practice mixer
+/// that keeps raw ids out of ledger state and makes set membership
+/// key-dependent. The constants are the XXH64 primes.
+fn keyed_user_hash(key: u64, user: u64) -> u64 {
+    let mut x = user ^ key.rotate_left(32) ^ 0x9E37_79B1_85EB_CA87;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0x1656_67B1_9E37_79F9);
+    x ^= x >> 32;
+    x
+}
+
+/// Admission record for one epoch.
+#[derive(Debug, Clone, Default)]
+struct EpochLedger {
+    /// Keyed hashes of every user admitted this epoch.
+    seen: HashSet<u64>,
+    /// Reports rejected because their user had already spent this epoch's
+    /// budget.
+    rejected: u64,
+}
+
+/// Tracks which users have spent their per-epoch privacy budget.
+///
+/// One ledger per service shard; shards constructed with the same key can
+/// be [merged](BudgetLedger::merge) and behave exactly like one ledger that
+/// saw the union of their streams.
+///
+/// ```
+/// use ldp_analytics::ledger::BudgetLedger;
+///
+/// let mut ledger = BudgetLedger::with_key(42);
+/// assert!(ledger.admit(7, 0).is_ok());   // first report: budget spent
+/// assert!(ledger.admit(7, 0).is_err());  // second report, same epoch: rejected
+/// assert!(ledger.admit(7, 1).is_ok());   // new epoch: fresh budget
+/// assert_eq!(ledger.rejected(0), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    key: u64,
+    epochs: BTreeMap<u64, EpochLedger>,
+}
+
+impl BudgetLedger {
+    /// Create a ledger whose user-id hashing is keyed by `key`.
+    ///
+    /// Every shard of one logical service must use the same key, otherwise
+    /// [`merge`](Self::merge) refuses to combine them (the seen-sets would
+    /// be incomparable).
+    pub fn with_key(key: u64) -> Self {
+        BudgetLedger {
+            key,
+            epochs: BTreeMap::new(),
+        }
+    }
+
+    /// The hashing key this ledger was built with.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Try to spend `user`'s budget for `epoch`.
+    ///
+    /// The first call for a given (user, epoch) succeeds; every later one
+    /// returns [`LdpError::DuplicateReport`] (carrying the keyed hash, not
+    /// the raw id) and bumps the epoch's rejection counter.
+    pub fn admit(&mut self, user: u64, epoch: u64) -> Result<()> {
+        let hashed = keyed_user_hash(self.key, user);
+        let entry = self.epochs.entry(epoch).or_default();
+        if entry.seen.insert(hashed) {
+            Ok(())
+        } else {
+            entry.rejected += 1;
+            Err(LdpError::DuplicateReport {
+                user: hashed,
+                epoch,
+            })
+        }
+    }
+
+    /// Number of distinct users admitted in `epoch`.
+    pub fn admitted(&self, epoch: u64) -> u64 {
+        self.epochs.get(&epoch).map_or(0, |e| e.seen.len() as u64)
+    }
+
+    /// Number of duplicate reports rejected in `epoch`.
+    pub fn rejected(&self, epoch: u64) -> u64 {
+        self.epochs.get(&epoch).map_or(0, |e| e.rejected)
+    }
+
+    /// Total duplicate rejections across all epochs.
+    pub fn total_rejected(&self) -> u64 {
+        self.epochs.values().map(|e| e.rejected).sum()
+    }
+
+    /// Epochs this ledger has seen at least one report (or rejection) for.
+    pub fn epochs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.epochs.keys().copied()
+    }
+
+    /// Fold another shard's ledger into this one.
+    ///
+    /// A user admitted by both shards was double-reported across the wire
+    /// boundary; the merge admits them once and counts the overlap as a
+    /// rejection, so the merged ledger is indistinguishable from one ledger
+    /// that had processed both streams serially. Rejections already counted
+    /// by either side carry over. Mismatched keys are a configuration error
+    /// and are refused.
+    pub fn merge(&mut self, other: BudgetLedger) -> Result<()> {
+        if self.key != other.key {
+            return Err(LdpError::InvalidParameter {
+                name: "ledger_key",
+                message: format!(
+                    "cannot merge ledgers keyed {:#x} and {:#x}",
+                    self.key, other.key
+                ),
+            });
+        }
+        for (epoch, theirs) in other.epochs {
+            let ours = self.epochs.entry(epoch).or_default();
+            ours.rejected += theirs.rejected;
+            for hashed in theirs.seen {
+                if !ours.seen.insert(hashed) {
+                    ours.rejected += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_report_admitted_second_rejected_and_counted() {
+        let mut ledger = BudgetLedger::with_key(1);
+        ledger.admit(99, 0).unwrap();
+        let err = ledger.admit(99, 0).unwrap_err();
+        assert!(matches!(err, LdpError::DuplicateReport { epoch: 0, .. }));
+        assert_eq!(ledger.admitted(0), 1);
+        assert_eq!(ledger.rejected(0), 1);
+    }
+
+    #[test]
+    fn same_user_fresh_epoch_is_admitted() {
+        let mut ledger = BudgetLedger::with_key(1);
+        ledger.admit(99, 0).unwrap();
+        ledger.admit(99, 1).unwrap();
+        assert_eq!(ledger.admitted(0), 1);
+        assert_eq!(ledger.admitted(1), 1);
+        assert_eq!(ledger.total_rejected(), 0);
+    }
+
+    #[test]
+    fn duplicate_error_carries_the_hash_not_the_id() {
+        let mut ledger = BudgetLedger::with_key(7);
+        ledger.admit(1234, 5).unwrap();
+        match ledger.admit(1234, 5).unwrap_err() {
+            LdpError::DuplicateReport { user, epoch } => {
+                assert_eq!(epoch, 5);
+                assert_ne!(user, 1234, "raw id must not appear in the error");
+                assert_eq!(user, keyed_user_hash(7, 1234));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_keys_hash_users_differently() {
+        assert_ne!(keyed_user_hash(1, 42), keyed_user_hash(2, 42));
+        assert_ne!(keyed_user_hash(1, 42), keyed_user_hash(1, 43));
+    }
+
+    #[test]
+    fn merge_does_not_double_admit() {
+        let mut a = BudgetLedger::with_key(3);
+        let mut b = BudgetLedger::with_key(3);
+        // Users 0..10 on shard A, 5..15 on shard B: 5 users double-reported.
+        for u in 0..10 {
+            a.admit(u, 0).unwrap();
+        }
+        for u in 5..15 {
+            b.admit(u, 0).unwrap();
+        }
+        a.merge(b).unwrap();
+        assert_eq!(a.admitted(0), 15);
+        assert_eq!(a.rejected(0), 5);
+        // The merged ledger still rejects everyone it has seen.
+        for u in 0..15 {
+            assert!(a.admit(u, 0).is_err(), "user {u} re-admitted after merge");
+        }
+        assert_eq!(a.rejected(0), 20);
+    }
+
+    #[test]
+    fn merge_carries_over_prior_rejections() {
+        let mut a = BudgetLedger::with_key(3);
+        let mut b = BudgetLedger::with_key(3);
+        a.admit(1, 0).unwrap();
+        let _ = a.admit(1, 0);
+        b.admit(2, 0).unwrap();
+        let _ = b.admit(2, 0);
+        a.merge(b).unwrap();
+        assert_eq!(a.admitted(0), 2);
+        assert_eq!(a.rejected(0), 2);
+    }
+
+    #[test]
+    fn merge_refuses_mismatched_keys() {
+        let mut a = BudgetLedger::with_key(1);
+        let b = BudgetLedger::with_key(2);
+        assert!(matches!(
+            a.merge(b),
+            Err(LdpError::InvalidParameter {
+                name: "ledger_key",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn merge_equals_serial_processing() {
+        // Partition one interleaved stream across two shards; the merged
+        // ledger must match a single ledger that saw the whole stream.
+        let stream: Vec<(u64, u64)> = (0..200).map(|i| ((i * 7) % 60, i / 100)).collect();
+        let mut single = BudgetLedger::with_key(9);
+        for &(u, e) in &stream {
+            let _ = single.admit(u, e);
+        }
+
+        let mut left = BudgetLedger::with_key(9);
+        let mut right = BudgetLedger::with_key(9);
+        for (i, &(u, e)) in stream.iter().enumerate() {
+            let shard = if i % 2 == 0 { &mut left } else { &mut right };
+            let _ = shard.admit(u, e);
+        }
+        left.merge(right).unwrap();
+
+        for epoch in 0..2 {
+            assert_eq!(left.admitted(epoch), single.admitted(epoch));
+            assert_eq!(left.rejected(epoch), single.rejected(epoch));
+        }
+    }
+}

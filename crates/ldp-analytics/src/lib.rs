@@ -14,6 +14,14 @@
 //!   one user record into a serde-able [`Report`]; [`Aggregator`] consumes
 //!   reports incrementally, merges partial aggregates from other shards,
 //!   and yields [`CollectionResult`] snapshots at any point.
+//! * [`service`] — the wire boundary: a long-running [`ReportService`]
+//!   absorbing length-framed `Hello`/`Submit`/`FlushEpoch`/`Shutdown`
+//!   messages from any `Read`-able byte stream, validating every frame
+//!   before state is touched, with multi-shard tree merges bit-identical
+//!   to a single-process [`Collector::run`](pipeline::Collector::run).
+//! * [`ledger`] — the per-epoch privacy-budget ledger behind the service:
+//!   a keyed user-id seen-set rejecting (and counting) any second report
+//!   from one user inside an epoch.
 //! * [`pipeline`] — end-to-end collection runs: the paper's proposal
 //!   ([`Protocol::Sampling`]) vs the best-effort composition of prior work
 //!   ([`Protocol::BestEffort`]), exactly as configured in §VI-A — a thin
@@ -26,17 +34,21 @@
 
 pub mod confidence;
 pub mod frequency;
+pub mod ledger;
 pub mod mean;
 pub mod metrics;
 pub mod pipeline;
+pub mod service;
 pub mod session;
 pub mod wordhist;
 
 pub use frequency::FrequencyAccumulator;
+pub use ledger::BudgetLedger;
 pub use mean::MeanAccumulator;
 pub use pipeline::{
     block_partition, block_rng, categorical_mse, numeric_mse, BestEffortNumeric, CollectionResult,
     Collector, Protocol, BLOCK_USERS, DEFAULT_SHARDS,
 };
+pub use service::{EpochSnapshot, ReportService, ServiceConfig, WireMessage};
 pub use session::{Aggregator, ClientEncoder, CompositionReport, EncoderScratch, Report};
 pub use wordhist::WordHistogram;

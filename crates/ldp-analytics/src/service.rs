@@ -1,0 +1,1208 @@
+//! The wire boundary: a long-running report-stream aggregation service.
+//!
+//! [`pipeline::Collector`] and the session API assume reports arrive as
+//! in-process values. A deployment looks different: millions of untrusted
+//! clients serialize reports onto sockets, and an aggregator loop absorbs
+//! whatever bytes actually show up — duplicated, truncated, corrupted, or
+//! adversarial. This module is that loop.
+//!
+//! ## Wire protocol
+//!
+//! Every message travels in one [`ldp_core::frame`] frame (length, kind
+//! byte, FNV-1a checksum, payload). Payloads are bit-packed with the same
+//! [`BitWriter`]/[`BitReader`] primitives as the report codecs:
+//!
+//! | kind | message | payload |
+//! |---|---|---|
+//! | 1 | [`WireMessage::Hello`] | protocol/ε/schema/epoch — the session parameters |
+//! | 2 | [`WireMessage::Submit`] | user id, epoch, block ordinal, report bytes |
+//! | 3 | [`WireMessage::FlushEpoch`] | epoch to snapshot |
+//! | 4 | [`WireMessage::Shutdown`] | empty |
+//!
+//! Report bytes inside `Submit` use the canonical codecs:
+//! [`WireFormat::encode_sparse`] for Algorithm 4 reports and
+//! [`CompositionReport::encode_wire`] for the best-effort baselines.
+//!
+//! ## Validation discipline
+//!
+//! Nothing touches aggregate state until it has fully cleared three gates,
+//! in order: the **frame** gate (length sane, checksum matches), the
+//! **message** gate (payload parses as its kind, exact encoded length, the
+//! report validates against the session's schema and protocol), and the
+//! **ledger** gate (the user has not already spent this epoch's budget).
+//! A failure at any gate is a typed [`LdpError`] — never a panic — and
+//! leaves the aggregate bit-identical to before the frame arrived; the
+//! `proptest_service` suite drives truncated, bit-flipped and oversized
+//! frames through the service to pin exactly that. Failed frames and
+//! duplicates are counted, and the counts surface in every
+//! [`EpochSnapshot`].
+//!
+//! ## Determinism across the wire
+//!
+//! `Submit` carries the block ordinal assigned by the distribution tier
+//! (the [`pipeline::block_partition`] index in simulations). The service
+//! routes each report into the partial keyed by its ordinal, so N service
+//! shards fed arbitrary interleavings of the same reports tree-merge —
+//! in any order — to a snapshot bit-identical to a single-process
+//! [`pipeline::Collector::run`]. The CI determinism diff covers this path.
+
+use crate::ledger::BudgetLedger;
+use crate::pipeline::{self, CollectionResult, Protocol};
+use crate::session::{Aggregator, CompositionReport, Report};
+use ldp_core::frame::{self, FrameRead};
+use ldp_core::multidim::wire::{self, BitReader, BitWriter, WireFormat};
+use ldp_core::multidim::AttrSpec;
+use ldp_core::{Epsilon, LdpError, NumericKind, OracleKind, Result};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+/// Frame kind of [`WireMessage::Hello`].
+pub const KIND_HELLO: u8 = 1;
+/// Frame kind of [`WireMessage::Submit`].
+pub const KIND_SUBMIT: u8 = 2;
+/// Frame kind of [`WireMessage::FlushEpoch`].
+pub const KIND_FLUSH_EPOCH: u8 = 3;
+/// Frame kind of [`WireMessage::Shutdown`].
+pub const KIND_SHUTDOWN: u8 = 4;
+
+/// Byte length of the `Submit` envelope before the report bytes:
+/// user id, epoch, block ordinal — three 64-bit fields.
+const SUBMIT_ENVELOPE_BYTES: usize = 24;
+
+fn malformed(message: String) -> LdpError {
+    LdpError::MalformedFrame { message }
+}
+
+/// True when `oracle` emits unary bit vectors (OUE/SUE) rather than GRR's
+/// direct `⌈log₂ k⌉`-bit values — the flag every report codec needs.
+fn oracle_is_unary(oracle: OracleKind) -> bool {
+    !matches!(oracle, OracleKind::Grr)
+}
+
+fn protocol_unary(protocol: Protocol) -> bool {
+    let (Protocol::Sampling { oracle, .. } | Protocol::BestEffort { oracle, .. }) = protocol;
+    oracle_is_unary(oracle)
+}
+
+/// Stable wire codes for [`Protocol`]: family, numeric kind, oracle kind.
+fn protocol_codes(protocol: Protocol) -> (u64, u64, u64) {
+    let numeric_code = |kind: NumericKind| {
+        NumericKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("ALL is exhaustive") as u64
+    };
+    let oracle_code = |kind: OracleKind| {
+        OracleKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("ALL is exhaustive") as u64
+    };
+    match protocol {
+        Protocol::Sampling { numeric, oracle } => (0, numeric_code(numeric), oracle_code(oracle)),
+        Protocol::BestEffort {
+            numeric: pipeline::BestEffortNumeric::PerAttribute(kind),
+            oracle,
+        } => (1, numeric_code(kind), oracle_code(oracle)),
+        Protocol::BestEffort {
+            numeric: pipeline::BestEffortNumeric::DuchiMultidim,
+            oracle,
+        } => (2, 0, oracle_code(oracle)),
+    }
+}
+
+fn protocol_from_codes(family: u64, numeric: u64, oracle: u64) -> Result<Protocol> {
+    let numeric_kind = |code: u64| {
+        NumericKind::ALL
+            .get(code as usize)
+            .copied()
+            .ok_or_else(|| malformed(format!("unknown numeric-kind code {code}")))
+    };
+    let oracle = OracleKind::ALL
+        .get(oracle as usize)
+        .copied()
+        .ok_or_else(|| malformed(format!("unknown oracle code {oracle}")))?;
+    match family {
+        0 => Ok(Protocol::Sampling {
+            numeric: numeric_kind(numeric)?,
+            oracle,
+        }),
+        1 => Ok(Protocol::BestEffort {
+            numeric: pipeline::BestEffortNumeric::PerAttribute(numeric_kind(numeric)?),
+            oracle,
+        }),
+        2 => Ok(Protocol::BestEffort {
+            numeric: pipeline::BestEffortNumeric::DuchiMultidim,
+            oracle,
+        }),
+        other => Err(malformed(format!("unknown protocol family code {other}"))),
+    }
+}
+
+/// One message of the report-stream protocol.
+///
+/// The client-side counterpart of [`ReportService`]: build a message,
+/// [`write_to`](WireMessage::write_to) any byte sink, and the service on
+/// the other end will absorb it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// Opens (or re-asserts) a session: the public knowledge both sides
+    /// must agree on before any report can be interpreted. Idempotent —
+    /// every client on a shared stream may send its own identical `Hello`
+    /// — but a `Hello` disagreeing with the established session is
+    /// rejected.
+    Hello {
+        /// The collection protocol reports will follow.
+        protocol: Protocol,
+        /// Per-user privacy budget (exact bits travel on the wire, so both
+        /// sides derive identical debias parameters).
+        epsilon: Epsilon,
+        /// The public schema, in attribute order.
+        specs: Vec<AttrSpec>,
+        /// First epoch this session collects; submits for earlier epochs
+        /// are rejected as stale.
+        epoch: u64,
+    },
+    /// One user's perturbed report for one epoch.
+    Submit {
+        /// The submitting user's id. Only a keyed hash of it ever enters
+        /// ledger state.
+        user: u64,
+        /// Epoch the report spends its budget in.
+        epoch: u64,
+        /// Block ordinal assigned by the distribution tier — the report's
+        /// position key in the canonical merge fold (see the module docs).
+        block: u64,
+        /// The report, encoded with [`encode_report`].
+        report: Vec<u8>,
+    },
+    /// Requests an [`EpochSnapshot`] of one epoch.
+    FlushEpoch {
+        /// Epoch to snapshot.
+        epoch: u64,
+    },
+    /// Ends the stream; [`ReportService::serve`] returns after seeing it.
+    Shutdown,
+}
+
+impl WireMessage {
+    /// This message's frame kind byte.
+    pub fn kind(&self) -> u8 {
+        match self {
+            WireMessage::Hello { .. } => KIND_HELLO,
+            WireMessage::Submit { .. } => KIND_SUBMIT,
+            WireMessage::FlushEpoch { .. } => KIND_FLUSH_EPOCH,
+            WireMessage::Shutdown => KIND_SHUTDOWN,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        match self {
+            WireMessage::Hello {
+                protocol,
+                epsilon,
+                specs,
+                epoch,
+            } => {
+                let (family, numeric, oracle) = protocol_codes(*protocol);
+                w.write_bits(family, 8);
+                w.write_bits(numeric, 8);
+                w.write_bits(oracle, 8);
+                w.write_bits(epsilon.value().to_bits(), 64);
+                w.write_bits(*epoch, 64);
+                w.write_bits(specs.len() as u64, 16);
+                for spec in specs {
+                    match spec {
+                        AttrSpec::Numeric => w.write_bits(0, 1),
+                        AttrSpec::Categorical { k } => {
+                            w.write_bits(1, 1);
+                            w.write_bits(u64::from(*k), 32);
+                        }
+                    }
+                }
+                w.finish()
+            }
+            WireMessage::Submit {
+                user,
+                epoch,
+                block,
+                report,
+            } => {
+                w.write_bits(*user, 64);
+                w.write_bits(*epoch, 64);
+                w.write_bits(*block, 64);
+                let mut payload = w.finish();
+                payload.extend_from_slice(report);
+                payload
+            }
+            WireMessage::FlushEpoch { epoch } => {
+                w.write_bits(*epoch, 64);
+                w.finish()
+            }
+            WireMessage::Shutdown => Vec::new(),
+        }
+    }
+
+    /// Encodes this message as one complete frame.
+    pub fn to_frame(&self) -> Result<Vec<u8>> {
+        frame::frame_to_vec(self.kind(), &self.payload())
+    }
+
+    /// Writes this message as one frame to `w`.
+    pub fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> Result<()> {
+        frame::write_frame(w, self.kind(), &self.payload())
+    }
+
+    /// Decodes a verified frame payload back into a message.
+    ///
+    /// # Errors
+    /// [`LdpError::MalformedFrame`] on unknown kinds, truncated payloads,
+    /// out-of-range codes, an invalid ε, or trailing bytes. Decoding never
+    /// panics, whatever the payload.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<WireMessage> {
+        let bit_err = |what: &str, e: LdpError| malformed(format!("bad {what} message: {e}"));
+        match kind {
+            KIND_HELLO => {
+                let mut r = BitReader::new(payload);
+                let read = |r: &mut BitReader<'_>, width| {
+                    r.read_bits(width).map_err(|e| bit_err("hello", e))
+                };
+                let family = read(&mut r, 8)?;
+                let numeric = read(&mut r, 8)?;
+                let oracle = read(&mut r, 8)?;
+                let protocol = protocol_from_codes(family, numeric, oracle)?;
+                let eps_bits = read(&mut r, 64)?;
+                let epsilon =
+                    Epsilon::new(f64::from_bits(eps_bits)).map_err(|e| bit_err("hello", e))?;
+                let epoch = read(&mut r, 64)?;
+                let d = read(&mut r, 16)? as usize;
+                let mut specs = Vec::with_capacity(d);
+                let mut bits: usize = 8 + 8 + 8 + 64 + 64 + 16;
+                for _ in 0..d {
+                    if read(&mut r, 1)? == 0 {
+                        specs.push(AttrSpec::Numeric);
+                        bits += 1;
+                    } else {
+                        let k = read(&mut r, 32)? as u32;
+                        specs.push(AttrSpec::Categorical { k });
+                        bits += 1 + 32;
+                    }
+                }
+                if payload.len() != bits.div_ceil(8) {
+                    return Err(malformed(format!(
+                        "hello message has {} bytes, expected {}",
+                        payload.len(),
+                        bits.div_ceil(8)
+                    )));
+                }
+                Ok(WireMessage::Hello {
+                    protocol,
+                    epsilon,
+                    specs,
+                    epoch,
+                })
+            }
+            KIND_SUBMIT => {
+                if payload.len() < SUBMIT_ENVELOPE_BYTES {
+                    return Err(malformed(format!(
+                        "submit envelope needs {SUBMIT_ENVELOPE_BYTES} bytes, got {}",
+                        payload.len()
+                    )));
+                }
+                let mut r = BitReader::new(payload);
+                let read =
+                    |r: &mut BitReader<'_>| r.read_bits(64).map_err(|e| bit_err("submit", e));
+                Ok(WireMessage::Submit {
+                    user: read(&mut r)?,
+                    epoch: read(&mut r)?,
+                    block: read(&mut r)?,
+                    report: payload[SUBMIT_ENVELOPE_BYTES..].to_vec(),
+                })
+            }
+            KIND_FLUSH_EPOCH => {
+                if payload.len() != 8 {
+                    return Err(malformed(format!(
+                        "flush-epoch message has {} bytes, expected 8",
+                        payload.len()
+                    )));
+                }
+                let mut r = BitReader::new(payload);
+                let epoch = r.read_bits(64).map_err(|e| bit_err("flush-epoch", e))?;
+                Ok(WireMessage::FlushEpoch { epoch })
+            }
+            KIND_SHUTDOWN => {
+                if !payload.is_empty() {
+                    return Err(malformed(format!(
+                        "shutdown message carries {} unexpected bytes",
+                        payload.len()
+                    )));
+                }
+                Ok(WireMessage::Shutdown)
+            }
+            other => Err(malformed(format!("unknown message kind {other}"))),
+        }
+    }
+
+    /// Reads and decodes the next message from `r`.
+    ///
+    /// `Ok(None)` on clean end of stream. A checksum-corrupt frame is
+    /// reported as a [`LdpError::MalformedFrame`] here — callers that want
+    /// to count-and-continue (as [`ReportService::serve`] does) should use
+    /// [`ldp_core::frame::read_frame`] directly to keep the distinction.
+    pub fn read_from<R: Read + ?Sized>(
+        r: &mut R,
+        scratch: &mut Vec<u8>,
+    ) -> Result<Option<WireMessage>> {
+        match frame::read_frame(r, scratch)? {
+            None => Ok(None),
+            Some(FrameRead::Valid { kind }) => WireMessage::decode(kind, scratch).map(Some),
+            Some(FrameRead::Corrupt { declared, computed }) => Err(malformed(format!(
+                "frame checksum mismatch: declared {declared:#018x}, computed {computed:#018x}"
+            ))),
+        }
+    }
+}
+
+/// Encodes a session report into its canonical wire bytes — the inverse of
+/// what the service performs on every `Submit`.
+///
+/// Convenience form that builds a throwaway [`WireFormat`]; hot encode
+/// loops (the wire bench) should hold one `WireFormat` and call
+/// [`WireFormat::encode_sparse`] / [`CompositionReport::encode_wire`]
+/// directly.
+///
+/// # Panics
+/// Panics if the report disagrees with `specs` (reports produced by a
+/// [`crate::ClientEncoder`] on the same schema always agree).
+pub fn encode_report(report: &Report, specs: &[AttrSpec]) -> Vec<u8> {
+    match report {
+        Report::Sampling(sparse) => WireFormat::new(specs.to_vec()).encode_sparse(sparse),
+        Report::Composition(comp) => comp.encode_wire(specs),
+    }
+}
+
+/// Decodes canonical report bytes for `protocol` over `specs`.
+///
+/// # Errors
+/// Typed [`LdpError`]s on truncated or out-of-domain payloads; never
+/// panics.
+pub fn decode_report(protocol: Protocol, specs: &[AttrSpec], bytes: &[u8]) -> Result<Report> {
+    let unary = protocol_unary(protocol);
+    match protocol {
+        Protocol::Sampling { .. } => WireFormat::new(specs.to_vec())
+            .decode_sparse(bytes, unary)
+            .map(Report::Sampling),
+        Protocol::BestEffort { .. } => {
+            CompositionReport::decode_wire(specs, bytes, unary).map(Report::Composition)
+        }
+    }
+}
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Key for the ledger's user-id hashing; every shard of one logical
+    /// service must share it (see [`BudgetLedger::with_key`]).
+    pub ledger_key: u64,
+    /// Timer-tick snapshots: after every `n` admitted reports, the serve
+    /// loop snapshots the epoch the `n`-th report landed in — the
+    /// streaming analogue of a periodic flush. `None` snapshots only on
+    /// explicit [`WireMessage::FlushEpoch`].
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            ledger_key: 0x1cde_2019,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// Session state established by the first `Hello`.
+#[derive(Debug, Clone)]
+struct Session {
+    protocol: Protocol,
+    epsilon: Epsilon,
+    specs: Vec<AttrSpec>,
+    wire: WireFormat,
+    unary: bool,
+    base_epoch: u64,
+    /// Validated blank aggregator, cloned for each new epoch.
+    template: Aggregator,
+}
+
+/// One epoch's estimates plus the admission counters behind them.
+///
+/// `result` is `None` for an epoch no report has reached (the counters may
+/// still be nonzero — e.g. an epoch that saw only duplicates).
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    /// The epoch snapshotted.
+    pub epoch: u64,
+    /// Distinct users whose reports were admitted this epoch.
+    pub admitted: u64,
+    /// Reports rejected this epoch because their user's budget was already
+    /// spent.
+    pub rejected_duplicates: u64,
+    /// Stream-level malformed-frame/message rejections up to the moment of
+    /// this snapshot (malformed input often names no parseable epoch, so
+    /// the count is per service, not per epoch).
+    pub rejected_malformed: u64,
+    /// The epoch's estimates, absent before the first admitted report.
+    pub result: Option<CollectionResult>,
+}
+
+/// What one [`ReportService::serve`] call processed.
+#[derive(Debug, Clone, Default)]
+pub struct ServeSummary {
+    /// Frames consumed from the stream (valid or corrupt).
+    pub frames: u64,
+    /// Reports admitted into aggregate state.
+    pub admitted: u64,
+    /// Reports rejected by the privacy-budget ledger.
+    pub rejected_duplicates: u64,
+    /// Frames or messages rejected as malformed.
+    pub rejected_malformed: u64,
+    /// Snapshots taken during this call (explicit flushes and timer
+    /// ticks), in stream order.
+    pub snapshots: Vec<EpochSnapshot>,
+    /// True when the stream ended with [`WireMessage::Shutdown`] rather
+    /// than EOF.
+    pub shutdown: bool,
+}
+
+/// A long-running aggregation endpoint absorbing framed report streams.
+///
+/// One instance per shard; shards [`merge`](ReportService::merge) into the
+/// global view. See the module docs for the protocol and the validation
+/// discipline.
+///
+/// ```
+/// use ldp_analytics::service::{encode_report, ReportService, ServiceConfig, WireMessage};
+/// use ldp_analytics::{block_rng, ClientEncoder, Protocol};
+/// use ldp_core::rng::RngBlock;
+/// use ldp_core::{AttrSpec, AttrValue, Epsilon, NumericKind, OracleKind};
+///
+/// let protocol = Protocol::Sampling {
+///     numeric: NumericKind::Hybrid,
+///     oracle: OracleKind::Oue,
+/// };
+/// let eps = Epsilon::new(1.0)?;
+/// let specs = vec![AttrSpec::Numeric, AttrSpec::Categorical { k: 4 }];
+/// let encoder = ClientEncoder::new(protocol, eps, specs.clone())?;
+///
+/// // Clients frame messages into any byte sink…
+/// let mut stream: Vec<u8> = Vec::new();
+/// WireMessage::Hello { protocol, epsilon: eps, specs: specs.clone(), epoch: 0 }
+///     .write_to(&mut stream)?;
+/// let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(block_rng(7, 0));
+/// let mut report = encoder.empty_report();
+/// let mut scratch = encoder.scratch();
+/// for user in 0..100u64 {
+///     let tuple = [AttrValue::Numeric(0.5), AttrValue::Categorical((user % 4) as u32)];
+///     encoder.encode_into(&tuple, &mut rng, &mut report, &mut scratch)?;
+///     WireMessage::Submit {
+///         user,
+///         epoch: 0,
+///         block: 0,
+///         report: encode_report(&report, &specs),
+///     }
+///     .write_to(&mut stream)?;
+/// }
+/// WireMessage::FlushEpoch { epoch: 0 }.write_to(&mut stream)?;
+///
+/// // …and the service absorbs them from any `Read`.
+/// let mut service = ReportService::new(ServiceConfig::default());
+/// let summary = service.serve(&mut stream.as_slice())?;
+/// assert_eq!(summary.admitted, 100);
+/// let snapshot = &summary.snapshots[0];
+/// assert_eq!(snapshot.admitted, 100);
+/// assert_eq!(snapshot.rejected_duplicates, 0);
+/// assert!(snapshot.result.is_some());
+/// # Ok::<(), ldp_core::LdpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReportService {
+    config: ServiceConfig,
+    session: Option<Session>,
+    /// Epoch → that epoch's aggregate, partials keyed by block ordinal.
+    epochs: BTreeMap<u64, Aggregator>,
+    ledger: BudgetLedger,
+    frames: u64,
+    rejected_malformed: u64,
+    admitted_since_tick: u64,
+}
+
+impl ReportService {
+    /// A fresh, unconfigured service; the first `Hello` establishes the
+    /// session.
+    pub fn new(config: ServiceConfig) -> Self {
+        let ledger = BudgetLedger::with_key(config.ledger_key);
+        ReportService {
+            config,
+            session: None,
+            epochs: BTreeMap::new(),
+            ledger,
+            frames: 0,
+            rejected_malformed: 0,
+            admitted_since_tick: 0,
+        }
+    }
+
+    /// True once a `Hello` has established the session.
+    pub fn is_configured(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// The privacy-budget ledger (admission counts per epoch).
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// Frames consumed over this service's lifetime.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Lifetime count of frames/messages rejected as malformed.
+    pub fn rejected_malformed(&self) -> u64 {
+        self.rejected_malformed
+    }
+
+    /// Epochs holding aggregate state, ascending.
+    pub fn epochs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.epochs.keys().copied()
+    }
+
+    /// Processes one already-decoded message.
+    ///
+    /// `FlushEpoch` returns `Some` snapshot; everything else `None`.
+    /// Errors are typed and leave aggregate state untouched:
+    /// [`LdpError::DuplicateReport`] for ledger rejections (already
+    /// counted), [`LdpError::MalformedFrame`] and the validation variants
+    /// for everything else (the caller counts them —
+    /// [`ReportService::serve`] does both).
+    pub fn handle(&mut self, msg: &WireMessage) -> Result<Option<EpochSnapshot>> {
+        match msg {
+            WireMessage::Hello {
+                protocol,
+                epsilon,
+                specs,
+                epoch,
+            } => {
+                self.handle_hello(*protocol, *epsilon, specs, *epoch)?;
+                Ok(None)
+            }
+            WireMessage::Submit {
+                user,
+                epoch,
+                block,
+                report,
+            } => {
+                self.handle_submit(*user, *epoch, *block, report)?;
+                Ok(None)
+            }
+            WireMessage::FlushEpoch { epoch } => self.snapshot_epoch(*epoch).map(Some),
+            WireMessage::Shutdown => Ok(None),
+        }
+    }
+
+    fn handle_hello(
+        &mut self,
+        protocol: Protocol,
+        epsilon: Epsilon,
+        specs: &[AttrSpec],
+        epoch: u64,
+    ) -> Result<()> {
+        if let Some(sess) = &self.session {
+            // Idempotent for identical parameters (many clients, one
+            // stream); anything else is a different session and would
+            // corrupt the estimates if absorbed.
+            if sess.protocol == protocol
+                && sess.epsilon.value().to_bits() == epsilon.value().to_bits()
+                && sess.specs == specs
+                && sess.base_epoch == epoch
+            {
+                return Ok(());
+            }
+            return Err(malformed(
+                "hello disagrees with the established session".into(),
+            ));
+        }
+        // Template construction performs full schema validation.
+        let template = Aggregator::new(protocol, epsilon, specs.to_vec())?;
+        self.session = Some(Session {
+            protocol,
+            epsilon,
+            specs: specs.to_vec(),
+            wire: WireFormat::new(specs.to_vec()),
+            unary: protocol_unary(protocol),
+            base_epoch: epoch,
+            template,
+        });
+        Ok(())
+    }
+
+    fn handle_submit(&mut self, user: u64, epoch: u64, block: u64, bytes: &[u8]) -> Result<()> {
+        let sess = self
+            .session
+            .as_ref()
+            .ok_or_else(|| malformed("submit before hello".into()))?;
+        if epoch < sess.base_epoch {
+            return Err(malformed(format!(
+                "stale submit: epoch {epoch} precedes the session's base epoch {}",
+                sess.base_epoch
+            )));
+        }
+        // Gate 2a: the report bytes must decode, at their exact canonical
+        // length (trailing bytes would let a client smuggle stream junk).
+        let report = decode_submit_report(sess, bytes)?;
+        // Gate 2b: the decoded report must validate against the session —
+        // before the ledger runs, so a malformed report does not burn its
+        // user's budget.
+        let template = &sess.template;
+        self.epochs
+            .get(&epoch)
+            .unwrap_or(template)
+            .validate_report(&report)?;
+        // Gate 3: one report per user per epoch.
+        self.ledger.admit(user, epoch)?;
+        // All gates cleared: route into the block's partial.
+        let agg = self.epochs.entry(epoch).or_insert_with(|| template.clone());
+        agg.set_ordinal(block);
+        agg.absorb(&report)
+            .expect("validated above; absorb re-checks the same invariants");
+        self.admitted_since_tick += 1;
+        Ok(())
+    }
+
+    /// Snapshots one epoch: the ordinal-ordered fold of its partials plus
+    /// the admission counters. Non-destructive.
+    ///
+    /// # Errors
+    /// Only if the underlying fold fails, which validated state rules out;
+    /// epochs without reports yield `result: None` rather than an error.
+    pub fn snapshot_epoch(&self, epoch: u64) -> Result<EpochSnapshot> {
+        let result = match self.epochs.get(&epoch) {
+            Some(agg) if agg.users() > 0 => Some(agg.snapshot()?),
+            _ => None,
+        };
+        Ok(EpochSnapshot {
+            epoch,
+            admitted: self.ledger.admitted(epoch),
+            rejected_duplicates: self.ledger.rejected(epoch),
+            rejected_malformed: self.rejected_malformed,
+            result,
+        })
+    }
+
+    /// Absorbs `r` until EOF or `Shutdown`.
+    ///
+    /// Per-message failures are counted and skipped — a hostile client
+    /// must not be able to wedge the collection round — while stream-level
+    /// failures (framing lost: truncation, oversize, I/O) abort with the
+    /// typed error after zero state damage. Checksum-corrupt frames keep
+    /// the reader synchronized (see [`ldp_core::frame::read_frame`]), so
+    /// they count as malformed and serving continues.
+    pub fn serve<R: Read + ?Sized>(&mut self, r: &mut R) -> Result<ServeSummary> {
+        let mut summary = ServeSummary::default();
+        let mut payload = Vec::new();
+        loop {
+            let read = frame::read_frame(r, &mut payload)?;
+            let kind = match read {
+                None => break,
+                Some(FrameRead::Corrupt { .. }) => {
+                    self.frames += 1;
+                    summary.frames += 1;
+                    self.rejected_malformed += 1;
+                    summary.rejected_malformed += 1;
+                    continue;
+                }
+                Some(FrameRead::Valid { kind }) => kind,
+            };
+            self.frames += 1;
+            summary.frames += 1;
+            let msg = match WireMessage::decode(kind, &payload) {
+                Ok(msg) => msg,
+                Err(_) => {
+                    self.rejected_malformed += 1;
+                    summary.rejected_malformed += 1;
+                    continue;
+                }
+            };
+            if matches!(msg, WireMessage::Shutdown) {
+                summary.shutdown = true;
+                break;
+            }
+            let is_submit = matches!(msg, WireMessage::Submit { .. });
+            let submit_epoch = match &msg {
+                WireMessage::Submit { epoch, .. } => *epoch,
+                _ => 0,
+            };
+            match self.handle(&msg) {
+                Ok(Some(snapshot)) => summary.snapshots.push(snapshot),
+                Ok(None) => {
+                    if is_submit {
+                        summary.admitted += 1;
+                        if let Some(every) = self.config.snapshot_every {
+                            if self.admitted_since_tick >= every {
+                                self.admitted_since_tick = 0;
+                                summary.snapshots.push(self.snapshot_epoch(submit_epoch)?);
+                            }
+                        }
+                    }
+                }
+                Err(LdpError::DuplicateReport { .. }) => {
+                    // The ledger already counted it against the epoch.
+                    summary.rejected_duplicates += 1;
+                }
+                Err(_) => {
+                    self.rejected_malformed += 1;
+                    summary.rejected_malformed += 1;
+                }
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Folds another shard into this one: aggregates merge by epoch (and,
+    /// within an epoch, by block ordinal — the snapshot stays invariant to
+    /// the merge tree's shape), ledgers union without double-admitting,
+    /// malformed counts add.
+    ///
+    /// A user admitted by two shards in one epoch is counted as a
+    /// duplicate by the merged ledger. Their report bytes were already
+    /// absorbed shard-locally — cross-shard dedup can only *detect* after
+    /// the fact — so route each user to one shard (as
+    /// [`pipeline::block_partition`] does) and read the counter as an
+    /// integrity alarm.
+    ///
+    /// # Errors
+    /// Mismatched ledger keys or session parameters.
+    pub fn merge(&mut self, other: ReportService) -> Result<()> {
+        match (&self.session, &other.session) {
+            (Some(a), Some(b))
+                if a.protocol != b.protocol
+                    || a.epsilon.value().to_bits() != b.epsilon.value().to_bits()
+                    || a.specs != b.specs
+                    || a.base_epoch != b.base_epoch =>
+            {
+                return Err(LdpError::InvalidParameter {
+                    name: "service",
+                    message: "cannot merge services from different sessions".into(),
+                });
+            }
+            (None, Some(_)) => self.session = other.session.clone(),
+            _ => {}
+        }
+        self.ledger.merge(other.ledger)?;
+        self.frames += other.frames;
+        self.rejected_malformed += other.rejected_malformed;
+        for (epoch, agg) in other.epochs {
+            match self.epochs.entry(epoch) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(agg);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().merge(agg)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decodes submit report bytes under the session, enforcing the exact
+/// canonical length — the service-side hot path (no codec allocation).
+fn decode_submit_report(sess: &Session, bytes: &[u8]) -> Result<Report> {
+    match sess.protocol {
+        Protocol::Sampling { .. } => {
+            let sparse = sess.wire.decode_sparse(bytes, sess.unary)?;
+            // Entries conform to the schema by construction of the decoder,
+            // so the schema-aware size never panics here.
+            let expected =
+                (16 + wire::sparse_report_bits_with_schema(&sparse, &sess.specs)).div_ceil(8);
+            if bytes.len() != expected {
+                return Err(malformed(format!(
+                    "sampling report has {} bytes, canonical encoding is {expected}",
+                    bytes.len()
+                )));
+            }
+            Ok(Report::Sampling(sparse))
+        }
+        Protocol::BestEffort { .. } => {
+            let expected = wire::composition_report_bits(&sess.specs, sess.unary).div_ceil(8);
+            if bytes.len() != expected {
+                return Err(malformed(format!(
+                    "composition report has {} bytes, canonical encoding is {expected}",
+                    bytes.len()
+                )));
+            }
+            CompositionReport::decode_wire(&sess.specs, bytes, sess.unary).map(Report::Composition)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ClientEncoder;
+    use ldp_core::multidim::AttrValue;
+    use ldp_core::rng::RngBlock;
+
+    fn test_protocol() -> Protocol {
+        Protocol::Sampling {
+            numeric: NumericKind::Hybrid,
+            oracle: OracleKind::Oue,
+        }
+    }
+
+    fn test_specs() -> Vec<AttrSpec> {
+        vec![
+            AttrSpec::Numeric,
+            AttrSpec::Categorical { k: 4 },
+            AttrSpec::Numeric,
+        ]
+    }
+
+    fn hello() -> WireMessage {
+        WireMessage::Hello {
+            protocol: test_protocol(),
+            epsilon: Epsilon::new(1.0).unwrap(),
+            specs: test_specs(),
+            epoch: 0,
+        }
+    }
+
+    fn tuple_for(user: u64) -> Vec<AttrValue> {
+        vec![
+            AttrValue::Numeric((user % 10) as f64 / 10.0),
+            AttrValue::Categorical((user % 4) as u32),
+            AttrValue::Numeric(-0.25),
+        ]
+    }
+
+    fn submit_for(encoder: &ClientEncoder, user: u64, epoch: u64) -> WireMessage {
+        let mut rng: RngBlock<rand::rngs::StdRng> =
+            RngBlock::new(pipeline::block_rng(99 ^ user, 0));
+        let mut report = encoder.empty_report();
+        let mut scratch = encoder.scratch();
+        encoder
+            .encode_into(&tuple_for(user), &mut rng, &mut report, &mut scratch)
+            .unwrap();
+        WireMessage::Submit {
+            user,
+            epoch,
+            block: user % 3,
+            report: encode_report(&report, encoder.specs()),
+        }
+    }
+
+    fn encoder() -> ClientEncoder {
+        ClientEncoder::new(test_protocol(), Epsilon::new(1.0).unwrap(), test_specs()).unwrap()
+    }
+
+    #[test]
+    fn wire_messages_round_trip() {
+        let enc = encoder();
+        let messages = [
+            hello(),
+            submit_for(&enc, 42, 1),
+            WireMessage::FlushEpoch { epoch: 7 },
+            WireMessage::Shutdown,
+        ];
+        for msg in &messages {
+            let frame_bytes = msg.to_frame().unwrap();
+            let mut reader = frame_bytes.as_slice();
+            let mut scratch = Vec::new();
+            let back = WireMessage::read_from(&mut reader, &mut scratch)
+                .unwrap()
+                .expect("one message in the stream");
+            assert_eq!(&back, msg);
+        }
+    }
+
+    #[test]
+    fn hello_submit_flush_end_to_end() {
+        let enc = encoder();
+        let mut stream = Vec::new();
+        hello().write_to(&mut stream).unwrap();
+        for user in 0..50 {
+            submit_for(&enc, user, 0).write_to(&mut stream).unwrap();
+        }
+        WireMessage::FlushEpoch { epoch: 0 }
+            .write_to(&mut stream)
+            .unwrap();
+        WireMessage::Shutdown.write_to(&mut stream).unwrap();
+
+        let mut service = ReportService::new(ServiceConfig::default());
+        let summary = service.serve(&mut stream.as_slice()).unwrap();
+        assert!(summary.shutdown);
+        assert_eq!(summary.admitted, 50);
+        assert_eq!(summary.rejected_malformed, 0);
+        let snap = &summary.snapshots[0];
+        assert_eq!(snap.admitted, 50);
+        assert_eq!(snap.rejected_duplicates, 0);
+        let result = snap.result.as_ref().unwrap();
+        assert_eq!(result.n, 50);
+        assert_eq!(result.means.len(), 2);
+        assert_eq!(result.frequencies.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_submits_are_rejected_and_surface_in_the_snapshot() {
+        let enc = encoder();
+        let mut stream = Vec::new();
+        hello().write_to(&mut stream).unwrap();
+        for user in [1u64, 2, 1, 3, 2, 1] {
+            submit_for(&enc, user, 0).write_to(&mut stream).unwrap();
+        }
+        let mut service = ReportService::new(ServiceConfig::default());
+        let summary = service.serve(&mut stream.as_slice()).unwrap();
+        assert_eq!(summary.admitted, 3);
+        assert_eq!(summary.rejected_duplicates, 3);
+        let snap = service.snapshot_epoch(0).unwrap();
+        assert_eq!(snap.admitted, 3);
+        assert_eq!(snap.rejected_duplicates, 3);
+        assert_eq!(snap.result.unwrap().n, 3);
+    }
+
+    #[test]
+    fn same_user_different_epochs_is_admitted() {
+        let enc = encoder();
+        let mut service = ReportService::new(ServiceConfig::default());
+        service.handle(&hello()).unwrap();
+        service.handle(&submit_for(&enc, 5, 0)).unwrap();
+        service.handle(&submit_for(&enc, 5, 1)).unwrap();
+        assert_eq!(service.snapshot_epoch(0).unwrap().admitted, 1);
+        assert_eq!(service.snapshot_epoch(1).unwrap().admitted, 1);
+    }
+
+    #[test]
+    fn submit_before_hello_is_malformed_not_fatal() {
+        let enc = encoder();
+        let mut stream = Vec::new();
+        submit_for(&enc, 1, 0).write_to(&mut stream).unwrap();
+        hello().write_to(&mut stream).unwrap();
+        submit_for(&enc, 1, 0).write_to(&mut stream).unwrap();
+        let mut service = ReportService::new(ServiceConfig::default());
+        let summary = service.serve(&mut stream.as_slice()).unwrap();
+        assert_eq!(summary.rejected_malformed, 1);
+        assert_eq!(summary.admitted, 1);
+    }
+
+    #[test]
+    fn stale_epoch_submits_are_rejected() {
+        let enc = encoder();
+        let mut service = ReportService::new(ServiceConfig::default());
+        service
+            .handle(&WireMessage::Hello {
+                protocol: test_protocol(),
+                epsilon: Epsilon::new(1.0).unwrap(),
+                specs: test_specs(),
+                epoch: 5,
+            })
+            .unwrap();
+        let err = service.handle(&submit_for(&enc, 1, 4)).unwrap_err();
+        assert!(matches!(err, LdpError::MalformedFrame { .. }));
+        assert!(service.handle(&submit_for(&enc, 1, 5)).is_ok());
+    }
+
+    #[test]
+    fn conflicting_hello_is_rejected_idempotent_hello_accepted() {
+        let mut service = ReportService::new(ServiceConfig::default());
+        service.handle(&hello()).unwrap();
+        service.handle(&hello()).unwrap();
+        let err = service
+            .handle(&WireMessage::Hello {
+                protocol: test_protocol(),
+                epsilon: Epsilon::new(2.0).unwrap(),
+                specs: test_specs(),
+                epoch: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, LdpError::MalformedFrame { .. }));
+    }
+
+    #[test]
+    fn unknown_kind_and_garbage_payloads_are_counted_not_fatal() {
+        let enc = encoder();
+        let mut stream = Vec::new();
+        hello().write_to(&mut stream).unwrap();
+        // Unknown kind byte, valid frame.
+        frame::write_frame(&mut stream, 200, b"mystery").unwrap();
+        // Valid submit kind, garbage payload.
+        frame::write_frame(&mut stream, KIND_SUBMIT, b"short").unwrap();
+        submit_for(&enc, 9, 0).write_to(&mut stream).unwrap();
+        let mut service = ReportService::new(ServiceConfig::default());
+        let summary = service.serve(&mut stream.as_slice()).unwrap();
+        assert_eq!(summary.rejected_malformed, 2);
+        assert_eq!(summary.admitted, 1);
+    }
+
+    #[test]
+    fn timer_tick_snapshots_fire_every_n_reports() {
+        let enc = encoder();
+        let mut stream = Vec::new();
+        hello().write_to(&mut stream).unwrap();
+        for user in 0..25 {
+            submit_for(&enc, user, 0).write_to(&mut stream).unwrap();
+        }
+        let mut service = ReportService::new(ServiceConfig {
+            snapshot_every: Some(10),
+            ..ServiceConfig::default()
+        });
+        let summary = service.serve(&mut stream.as_slice()).unwrap();
+        assert_eq!(summary.snapshots.len(), 2);
+        assert_eq!(summary.snapshots[0].admitted, 10);
+        assert_eq!(summary.snapshots[1].admitted, 20);
+    }
+
+    #[test]
+    fn merged_shards_match_one_service_fed_everything() {
+        let enc = encoder();
+        // Interleave 60 users across 3 shard streams, blocks 0..3.
+        let mut streams: Vec<Vec<u8>> = vec![Vec::new(); 3];
+        for s in &mut streams {
+            hello().write_to(s).unwrap();
+        }
+        let mut single_stream = Vec::new();
+        hello().write_to(&mut single_stream).unwrap();
+        for user in 0..60u64 {
+            let msg = submit_for(&enc, user, 0);
+            msg.write_to(&mut streams[(user % 3) as usize]).unwrap();
+            msg.write_to(&mut single_stream).unwrap();
+        }
+
+        let mut shards: Vec<ReportService> = streams
+            .iter()
+            .map(|s| {
+                let mut shard = ReportService::new(ServiceConfig::default());
+                shard.serve(&mut s.as_slice()).unwrap();
+                shard
+            })
+            .collect();
+        // Tree merge in a scrambled order.
+        let c = shards.pop().unwrap();
+        let b = shards.pop().unwrap();
+        let mut a = shards.pop().unwrap();
+        let mut bc = b;
+        bc.merge(c).unwrap();
+        a.merge(bc).unwrap();
+
+        let mut single = ReportService::new(ServiceConfig::default());
+        single.serve(&mut single_stream.as_slice()).unwrap();
+
+        let merged = a.snapshot_epoch(0).unwrap();
+        let reference = single.snapshot_epoch(0).unwrap();
+        assert_eq!(merged.admitted, 60);
+        let merged = merged.result.unwrap();
+        let reference = reference.result.unwrap();
+        assert_eq!(merged.mean_vector(), reference.mean_vector());
+        assert_eq!(merged.frequencies, reference.frequencies);
+    }
+
+    #[test]
+    fn composition_reports_flow_through_the_service() {
+        let protocol = Protocol::BestEffort {
+            numeric: pipeline::BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+            oracle: OracleKind::Grr,
+        };
+        let specs = test_specs();
+        let eps = Epsilon::new(1.0).unwrap();
+        let enc = ClientEncoder::new(protocol, eps, specs.clone()).unwrap();
+        let mut stream = Vec::new();
+        WireMessage::Hello {
+            protocol,
+            epsilon: eps,
+            specs: specs.clone(),
+            epoch: 0,
+        }
+        .write_to(&mut stream)
+        .unwrap();
+        let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(pipeline::block_rng(3, 0));
+        let mut report = enc.empty_report();
+        let mut scratch = enc.scratch();
+        for user in 0..20u64 {
+            enc.encode_into(&tuple_for(user), &mut rng, &mut report, &mut scratch)
+                .unwrap();
+            WireMessage::Submit {
+                user,
+                epoch: 0,
+                block: 0,
+                report: encode_report(&report, &specs),
+            }
+            .write_to(&mut stream)
+            .unwrap();
+        }
+        let mut service = ReportService::new(ServiceConfig::default());
+        let summary = service.serve(&mut stream.as_slice()).unwrap();
+        assert_eq!(summary.admitted, 20);
+        assert_eq!(service.snapshot_epoch(0).unwrap().result.unwrap().n, 20);
+    }
+
+    #[test]
+    fn trailing_junk_on_report_bytes_is_rejected() {
+        let enc = encoder();
+        let WireMessage::Submit {
+            user,
+            epoch,
+            block,
+            mut report,
+        } = submit_for(&enc, 4, 0)
+        else {
+            unreachable!()
+        };
+        report.push(0xFF);
+        let mut service = ReportService::new(ServiceConfig::default());
+        service.handle(&hello()).unwrap();
+        let err = service
+            .handle(&WireMessage::Submit {
+                user,
+                epoch,
+                block,
+                report,
+            })
+            .unwrap_err();
+        assert!(matches!(err, LdpError::MalformedFrame { .. }), "{err}");
+        // The rejected report did not burn the user's budget.
+        assert!(service.handle(&submit_for(&enc, 4, 0)).is_ok());
+    }
+
+    #[test]
+    fn cross_protocol_report_bytes_are_rejected() {
+        // Bytes encoded for a composition session fed to a sampling
+        // session: must be a typed rejection, not a panic or absorption.
+        let comp_protocol = Protocol::BestEffort {
+            numeric: pipeline::BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+            oracle: OracleKind::Oue,
+        };
+        let specs = test_specs();
+        let eps = Epsilon::new(1.0).unwrap();
+        let comp_enc = ClientEncoder::new(comp_protocol, eps, specs.clone()).unwrap();
+        let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(pipeline::block_rng(1, 0));
+        let mut report = comp_enc.empty_report();
+        let mut scratch = comp_enc.scratch();
+        comp_enc
+            .encode_into(&tuple_for(0), &mut rng, &mut report, &mut scratch)
+            .unwrap();
+        let bytes = encode_report(&report, &specs);
+
+        let mut service = ReportService::new(ServiceConfig::default());
+        service.handle(&hello()).unwrap();
+        let err = service
+            .handle(&WireMessage::Submit {
+                user: 0,
+                epoch: 0,
+                block: 0,
+                report: bytes,
+            })
+            .unwrap_err();
+        // Either the decode or the validation gate fires; both are typed.
+        assert!(service.snapshot_epoch(0).unwrap().result.is_none());
+        drop(err);
+    }
+}

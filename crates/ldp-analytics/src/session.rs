@@ -820,6 +820,47 @@ impl Aggregator {
         self
     }
 
+    /// Redirects future absorbs into the partial keyed by `ordinal`.
+    ///
+    /// The in-place counterpart of [`Aggregator::with_ordinal`], for
+    /// long-running consumers (the report service) that route interleaved
+    /// streams: each report carries its block ordinal, and one aggregator
+    /// per shard accumulates many partials by switching the ordinal between
+    /// absorbs. Already-absorbed partials keep the ordinal they were
+    /// absorbed under.
+    pub fn set_ordinal(&mut self, ordinal: u64) {
+        self.ordinal = ordinal;
+    }
+
+    /// Checks `report` against this aggregator's protocol and schema
+    /// without touching any state: variant/protocol agreement, arity,
+    /// entry types, domains, and (for sampling reports) the sampled-entry
+    /// count and ordering. Exactly the checks [`Aggregator::absorb`] runs
+    /// before mutating, exposed so a service can interpose its own
+    /// admission control (e.g. the privacy-budget ledger) between
+    /// validation and absorption — a report that fails here must not burn
+    /// its user's per-epoch budget.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] / [`LdpError::DimensionMismatch`] /
+    /// [`LdpError::InvalidCategory`] on malformed reports.
+    pub fn validate_report(&self, report: &Report) -> Result<()> {
+        match report {
+            Report::Sampling(sparse) => {
+                if !matches!(self.protocol, Protocol::Sampling { .. }) {
+                    return Err(report_mismatch());
+                }
+                self.validate_sparse(sparse)
+            }
+            Report::Composition(dense_rep) => {
+                if !matches!(self.protocol, Protocol::BestEffort { .. }) {
+                    return Err(report_mismatch());
+                }
+                self.validate_composition(dense_rep)
+            }
+        }
+    }
+
     /// The protocol this aggregator estimates for.
     pub fn protocol(&self) -> Protocol {
         self.protocol

@@ -23,6 +23,7 @@
 //! pipeline's bit for bit, and prints the session estimates into the same
 //! diffable stream — so the CI diff covers the merged-partials path too.
 
+use ldp_analytics::service::{encode_report, ReportService, ServiceConfig, WireMessage};
 use ldp_analytics::{
     block_partition, block_rng, Aggregator, BestEffortNumeric, ClientEncoder, CollectionResult,
     Collector, Protocol, DEFAULT_SHARDS,
@@ -86,6 +87,73 @@ fn session_run_reversed(
         total.merge(p).expect("same session");
     }
     total.snapshot().expect("non-empty dataset")
+}
+
+/// Reproduces one pipeline run across the wire boundary: every report is
+/// framed onto one of three shard byte streams (block `b` → shard
+/// `b % 3`, blocks in reverse order within each stream), served by three
+/// `ReportService` instances, tree-merged, and snapshotted.
+fn service_run_wire(
+    protocol: Protocol,
+    eps: Epsilon,
+    dataset: &Dataset,
+    seed: u64,
+) -> CollectionResult {
+    let encoder =
+        ClientEncoder::new(protocol, eps, dataset.schema().attr_specs()).expect("valid schema");
+    let specs = dataset.schema().attr_specs();
+    let hello = WireMessage::Hello {
+        protocol,
+        epsilon: eps,
+        specs: specs.clone(),
+        epoch: 0,
+    };
+    let mut streams: Vec<Vec<u8>> = vec![Vec::new(); 3];
+    for s in &mut streams {
+        hello.write_to(s).expect("in-memory stream");
+    }
+    let blocks: Vec<_> = block_partition(dataset.n(), DEFAULT_SHARDS)
+        .into_iter()
+        .enumerate()
+        .collect();
+    for (b, range) in blocks.into_iter().rev() {
+        let stream = &mut streams[b % 3];
+        let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(block_rng(seed, b));
+        let mut report = encoder.empty_report();
+        let mut scratch = encoder.scratch();
+        let mut tuple: Vec<AttrValue> = Vec::new();
+        for i in range {
+            dataset.canonical_tuple_into(i, &mut tuple);
+            encoder
+                .encode_into(&tuple, &mut rng, &mut report, &mut scratch)
+                .expect("valid tuple");
+            WireMessage::Submit {
+                user: i as u64,
+                epoch: 0,
+                block: b as u64,
+                report: encode_report(&report, &specs),
+            }
+            .write_to(stream)
+            .expect("in-memory stream");
+        }
+    }
+    let mut shards: Vec<ReportService> = streams
+        .iter()
+        .map(|stream| {
+            let mut shard = ReportService::new(ServiceConfig::default());
+            let summary = shard.serve(&mut stream.as_slice()).expect("clean stream");
+            assert_eq!(summary.rejected_malformed, 0, "clean stream");
+            shard
+        })
+        .collect();
+    let s2 = shards.pop().expect("three shards");
+    let mut s1 = shards.pop().expect("three shards");
+    let mut s0 = shards.pop().expect("three shards");
+    s1.merge(s2).expect("same session");
+    s0.merge(s1).expect("same session");
+    let snapshot = s0.snapshot_epoch(0).expect("validated state");
+    assert_eq!(snapshot.rejected_duplicates, 0, "clean stream");
+    snapshot.result.expect("non-empty dataset")
 }
 
 fn main() {
@@ -163,6 +231,26 @@ fn main() {
                 "{label} eps={eps}: session split changed the frequencies"
             );
             print_result(&format!("{label} [session merged-partials]"), eps, &session);
+
+            // The wire service path — framed reports over three shard
+            // streams, tree-merged — must also reproduce the pipeline bit
+            // for bit, and its estimates join the diffable stream.
+            let service = service_run_wire(
+                protocol,
+                Epsilon::new(eps).expect("positive"),
+                &dataset,
+                args.seed,
+            );
+            assert_eq!(
+                reference.mean_vector(),
+                service.mean_vector(),
+                "{label} eps={eps}: wire service path changed the means"
+            );
+            assert_eq!(
+                reference.frequencies, service.frequencies,
+                "{label} eps={eps}: wire service path changed the frequencies"
+            );
+            print_result(&format!("{label} [service wire-merged]"), eps, &service);
         }
     }
 }

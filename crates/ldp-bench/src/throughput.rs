@@ -45,7 +45,11 @@
 
 use crate::cli::Args;
 use crate::table::{fixed, Table};
-use ldp_analytics::{Collector, FrequencyAccumulator, MeanAccumulator, Protocol};
+use ldp_analytics::service::{decode_report, encode_report};
+use ldp_analytics::{
+    BestEffortNumeric, ClientEncoder, Collector, FrequencyAccumulator, MeanAccumulator, Protocol,
+    Report,
+};
 use ldp_core::multidim::{CatReportView, SamplingPerturber, SparseReport};
 use ldp_core::rng::{sample_distinct, seeded_rng, DrawSource, RngBlock};
 use ldp_core::{
@@ -147,6 +151,36 @@ pub struct KernelCell {
     pub speedup: f64,
 }
 
+/// One wire-codec cell: encoding/decoding the canonical report bytes the
+/// `ReportService` carries inside `Submit` frames.
+#[derive(Debug, Clone)]
+pub struct WireCell {
+    /// Protocol label.
+    pub protocol: String,
+    /// Total privacy budget ε.
+    pub eps: f64,
+    /// Number of attributes (1 numeric + d−1 categorical).
+    pub d: usize,
+    /// Categorical domain size.
+    pub k_dom: u32,
+    /// Reports encoded/decoded per timed pass (fixed — see
+    /// [`WIRE_REPORTS`]).
+    pub reports: usize,
+    /// Total canonical wire bytes across all reports. Deterministic (fixed
+    /// seed, fixed report count, exact-length codec) — gated exactly by
+    /// `ci/compare_bench.py`, so a codec change that moves even one byte of
+    /// report framing shows up as a failure, not a silent drift.
+    pub total_bytes: u64,
+    /// `total_bytes / reports` — the per-user wire cost.
+    pub bytes_per_report: f64,
+    /// Reports/sec through `encode_report` (report → canonical bytes).
+    pub encode_reports_per_sec: f64,
+    /// Reports/sec through `decode_report` (canonical bytes → validated
+    /// report, including the exact-length and bounds checks the service
+    /// runs on every submit).
+    pub decode_reports_per_sec: f64,
+}
+
 /// The full grid result.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -158,6 +192,8 @@ pub struct ThroughputReport {
     pub cells: Vec<ThroughputCell>,
     /// Isolated aggregation-kernel microbenches (scatter vs word plane).
     pub kernels: Vec<KernelCell>,
+    /// Wire-codec round-trip cells (report → bytes → report).
+    pub wire: Vec<WireCell>,
     /// The `--workers` pipeline sweep.
     pub worker_sweep: WorkerSweep,
 }
@@ -775,6 +811,114 @@ pub fn run_worker_sweep(workers: &[usize], users: usize, seed: u64) -> WorkerSwe
     }
 }
 
+/// Reports per wire-codec cell. Fixed — independent of `--quick` /
+/// `--full-scale` — so `total_bytes` from a CI smoke run is exactly
+/// comparable against the committed default-mode JSON.
+pub const WIRE_REPORTS: usize = 20_000;
+
+/// The wire-codec arms, in `<arm>_reports_per_sec` field order. Recorded
+/// in the JSON's `wire` object so `ci/compare_bench.py` gates whatever
+/// arms both sides declare.
+pub const WIRE_ARMS: [&str; 2] = ["encode", "decode"];
+
+/// Times the canonical report codec — the bytes a `ReportService` client
+/// puts inside every `Submit` frame — over a fixed perturbed workload.
+/// Before any timing, every report is round-tripped (decode, then
+/// re-encode) and the bytes asserted identical, so the rates can only ever
+/// describe a correct codec.
+fn run_wire(args: &Args) -> Vec<WireCell> {
+    let eps = 1.0f64;
+    let d = 8usize;
+    let grid = [
+        (
+            "Sampling(HM+OUE)",
+            Protocol::Sampling {
+                numeric: NumericKind::Hybrid,
+                oracle: OracleKind::Oue,
+            },
+        ),
+        (
+            "Sampling(HM+GRR)",
+            Protocol::Sampling {
+                numeric: NumericKind::Hybrid,
+                oracle: OracleKind::Grr,
+            },
+        ),
+        (
+            "Composition(Laplace+OUE)",
+            Protocol::BestEffort {
+                numeric: BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+                oracle: OracleKind::Oue,
+            },
+        ),
+        (
+            "Composition(Laplace+GRR)",
+            Protocol::BestEffort {
+                numeric: BestEffortNumeric::PerAttribute(NumericKind::Laplace),
+                oracle: OracleKind::Grr,
+            },
+        ),
+    ];
+    let mut cells = Vec::new();
+    for (label, protocol) in grid {
+        for k_dom in [16u32, 64] {
+            let e = Epsilon::new(eps).expect("positive");
+            let w = Workload::generate(WIRE_REPORTS, d, k_dom, args.seed ^ 0x31BE);
+            let encoder = ClientEncoder::new(protocol, e, w.specs.clone()).expect("valid schema");
+            let mut rng: RngBlock<rand::rngs::StdRng> =
+                RngBlock::new(seeded_rng(args.seed ^ 0x31BE));
+            let mut report = encoder.empty_report();
+            let mut scratch = encoder.scratch();
+            let reports: Vec<Report> = (0..WIRE_REPORTS)
+                .map(|i| {
+                    encoder
+                        .encode_into(w.tuple(i), &mut rng, &mut report, &mut scratch)
+                        .expect("valid tuple");
+                    report.clone()
+                })
+                .collect();
+            let encoded: Vec<Vec<u8>> =
+                reports.iter().map(|r| encode_report(r, &w.specs)).collect();
+            let total_bytes: u64 = encoded.iter().map(|b| b.len() as u64).sum();
+            for (r, b) in reports.iter().zip(&encoded) {
+                let back = decode_report(protocol, &w.specs, b).expect("canonical bytes");
+                assert_eq!(&back, r, "{label} k={k_dom}: wire round trip drifted");
+            }
+            let [encode, decode] = time_arms(
+                WIRE_REPORTS,
+                [
+                    &mut || {
+                        let mut bytes = 0u64;
+                        for r in &reports {
+                            bytes += encode_report(r, &w.specs).len() as u64;
+                        }
+                        std::hint::black_box(bytes);
+                    },
+                    &mut || {
+                        for b in &encoded {
+                            std::hint::black_box(
+                                decode_report(protocol, &w.specs, b).expect("canonical bytes"),
+                            );
+                        }
+                    },
+                ],
+            );
+            cells.push(WireCell {
+                protocol: label.to_string(),
+                eps,
+                d,
+                k_dom,
+                reports: WIRE_REPORTS,
+                total_bytes,
+                bytes_per_report: total_bytes as f64 / WIRE_REPORTS as f64,
+                encode_reports_per_sec: encode,
+                decode_reports_per_sec: decode,
+            });
+        }
+    }
+    cells
+}
+
 /// Users per cell, scaled so every cell does comparable total bit-work:
 /// the baseline arm costs O(reports × k_dom) per user.
 fn users_for_cell(args: &Args, reports_per_user: usize, k_dom: u32) -> usize {
@@ -822,6 +966,7 @@ fn run_with_sweep_users(args: &Args, sweep_users: usize) -> ThroughputReport {
         }
     }
     let kernels = run_kernels(args);
+    let wire = run_wire(args);
     // Pipeline sweep at a fixed, mode-independent size so its checksums are
     // comparable between a CI smoke run and the committed default-mode JSON.
     let worker_sweep = run_worker_sweep(&args.worker_sweep(), sweep_users, args.seed);
@@ -836,6 +981,7 @@ fn run_with_sweep_users(args: &Args, sweep_users: usize) -> ThroughputReport {
         seed: args.seed,
         cells,
         kernels,
+        wire,
         worker_sweep,
     }
 }
@@ -1076,6 +1222,33 @@ impl ThroughputReport {
         }
         out.push('\n');
         out.push_str(&kernels.render());
+        let mut wire = Table::new(
+            "Wire codec: canonical Submit report bytes, round-trip reports/sec",
+            &[
+                "protocol",
+                "eps",
+                "d",
+                "k",
+                "reports",
+                "bytes/report",
+                "encode r/s",
+                "decode r/s",
+            ],
+        );
+        for c in &self.wire {
+            wire.row(vec![
+                c.protocol.clone(),
+                format!("{}", c.eps),
+                c.d.to_string(),
+                c.k_dom.to_string(),
+                c.reports.to_string(),
+                format!("{:.1}", c.bytes_per_report),
+                format!("{:.0}", c.encode_reports_per_sec),
+                format!("{:.0}", c.decode_reports_per_sec),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&wire.render());
         let mut sweep = Table::new(
             &format!(
                 "Worker sweep: {} pipeline, eps = {}, n = {} (work-stealing runner)",
@@ -1148,6 +1321,29 @@ impl ThroughputReport {
             ));
         }
         out.push_str("  ],\n");
+        let wire_arms: Vec<String> = WIRE_ARMS.iter().map(|a| format!("\"{a}\"")).collect();
+        out.push_str(&format!(
+            "  \"wire\": {{\"arms\": [{}], \"cells\": [\n",
+            wire_arms.join(", ")
+        ));
+        for (i, c) in self.wire.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"protocol\": \"{}\", \"eps\": {}, \"d\": {}, \"k\": {}, \
+                 \"reports\": {}, \"total_bytes\": {}, \"bytes_per_report\": {:.2}, \
+                 \"encode_reports_per_sec\": {:.1}, \"decode_reports_per_sec\": {:.1}}}{}\n",
+                c.protocol,
+                c.eps,
+                c.d,
+                c.k_dom,
+                c.reports,
+                c.total_bytes,
+                c.bytes_per_report,
+                c.encode_reports_per_sec,
+                c.decode_reports_per_sec,
+                if i + 1 == self.wire.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]},\n");
         out.push_str(&format!(
             "  \"worker_sweep\": {{\"protocol\": \"{}\", \"eps\": {}, \"users\": {}, \"cells\": [\n",
             self.worker_sweep.protocol, self.worker_sweep.eps, self.worker_sweep.users
@@ -1320,6 +1516,15 @@ mod tests {
         assert!(json.contains("scatter_reports_per_sec"));
         assert!(json.contains("estimate_checksum"));
         assert!(json.contains("worker_sweep"));
+        assert!(json.contains("\"wire\": {\"arms\": [\"encode\", \"decode\"], \"cells\":"));
+        assert!(json.contains("encode_reports_per_sec"));
+        assert!(json.contains("decode_reports_per_sec"));
+        assert!(json.contains("total_bytes"));
+        for c in &report.wire {
+            assert!(c.total_bytes > 0);
+            assert!(c.encode_reports_per_sec.is_finite() && c.encode_reports_per_sec > 0.0);
+            assert!(c.decode_reports_per_sec.is_finite() && c.decode_reports_per_sec > 0.0);
+        }
         // Rates are positive and finite in every cell.
         for c in &report.cells {
             assert!(c.baseline_users_per_sec.is_finite() && c.baseline_users_per_sec > 0.0);
@@ -1333,6 +1538,24 @@ mod tests {
         let table = report.render();
         assert!(table.contains("users/sec"));
         assert!(table.contains("Aggregation kernel"));
+        assert!(table.contains("Wire codec"));
         assert!(table.contains("Worker sweep"));
+    }
+
+    #[test]
+    fn wire_bytes_are_deterministic_and_mode_independent() {
+        // `total_bytes` is exact-gated by CI, so two runs at the same seed —
+        // regardless of --quick — must produce byte-identical wire totals.
+        let quick = run_wire(&tiny_args());
+        let default_mode = run_wire(&Args {
+            users: 2_000,
+            ..Args::default()
+        });
+        assert_eq!(quick.len(), default_mode.len());
+        for (a, b) in quick.iter().zip(&default_mode) {
+            assert_eq!(a.protocol, b.protocol);
+            assert_eq!(a.reports, WIRE_REPORTS);
+            assert_eq!(a.total_bytes, b.total_bytes, "{} k={}", a.protocol, a.k_dom);
+        }
     }
 }

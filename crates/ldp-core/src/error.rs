@@ -58,6 +58,25 @@ pub enum LdpError {
     },
     /// An aggregation was attempted over zero reports.
     EmptyInput(&'static str),
+    /// A wire frame (or the message inside it) could not be decoded: the
+    /// stream was truncated mid-frame, the declared payload length exceeded
+    /// the transport cap, the frame checksum disagreed with the payload, or
+    /// the payload failed to parse as the message its kind byte promised.
+    /// The message pinpoints which; aggregate state is never touched by a
+    /// frame that raises this.
+    MalformedFrame {
+        /// Human-readable explanation of the framing violation.
+        message: String,
+    },
+    /// The privacy-budget ledger rejected a second report from the same
+    /// user within one epoch. Admitting it would double-spend the user's
+    /// per-epoch budget, so the report is dropped and counted instead.
+    DuplicateReport {
+        /// Keyed hash of the offending user id (the raw id is not kept).
+        user: u64,
+        /// Epoch in which the duplicate arrived.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for LdpError {
@@ -93,6 +112,16 @@ impl fmt::Display for LdpError {
                 )
             }
             LdpError::EmptyInput(what) => write!(f, "cannot aggregate zero {what}"),
+            LdpError::MalformedFrame { message } => {
+                write!(f, "malformed wire frame: {message}")
+            }
+            LdpError::DuplicateReport { user, epoch } => {
+                write!(
+                    f,
+                    "duplicate report from user {user:#018x} in epoch {epoch}: \
+                     per-epoch privacy budget already spent"
+                )
+            }
         }
     }
 }
@@ -143,6 +172,21 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("0.25") && msg.contains("0.125"), "{msg}");
+
+        let e = LdpError::MalformedFrame {
+            message: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("checksum mismatch"));
+
+        let e = LdpError::DuplicateReport {
+            user: 0xDEAD_BEEF,
+            epoch: 3,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("0x00000000deadbeef") && msg.contains("epoch 3"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Length-framed wire transport for report streams.
+//!
+//! The aggregation service absorbs messages from untrusted byte streams
+//! (sockets, pipes, files). This module fixes the outermost layer: how a
+//! message is delimited and integrity-checked, independently of what the
+//! payload means. Every frame is
+//!
+//! ```text
+//! ┌──────────────┬──────────┬──────────────────┬─────────────┐
+//! │ len: u32 BE  │ kind: u8 │ checksum: u64 BE │ payload     │
+//! │ (payload     │          │ FNV-1a over      │ len bytes   │
+//! │  bytes)      │          │ kind ‖ payload   │             │
+//! └──────────────┴──────────┴──────────────────┴─────────────┘
+//! ```
+//!
+//! Three properties the service layer relies on:
+//!
+//! * **Typed failure, never panic.** Truncation, an oversized length field,
+//!   and checksum disagreement each produce [`LdpError::MalformedFrame`]
+//!   with a message naming the violation.
+//! * **Corruption is detected before interpretation.** The checksum covers
+//!   the kind byte and the whole payload, so a bit-flipped frame is rejected
+//!   here — payload decoders only ever see bytes the sender actually wrote.
+//! * **Clean end-of-stream is not an error.** EOF *between* frames returns
+//!   `Ok(None)`; EOF *inside* a frame is a truncation error, because the
+//!   sender evidently meant to say more.
+//!
+//! A corrupted payload leaves the reader synchronized (the length field
+//! already consumed the right number of bytes), so a server may count the
+//! frame and keep reading. A corrupted *length* field destroys framing —
+//! there is no way to know where the next frame starts — which is why the
+//! oversize cap exists: it turns the most common desync symptom (an absurd
+//! length) into an immediate typed error instead of an attempt to buffer
+//! gigabytes.
+
+use crate::error::{LdpError, Result};
+use std::io::{Read, Write};
+
+/// Hard cap on the payload length a frame may declare, in bytes.
+///
+/// Far above any legitimate report (the largest schema in the test grid
+/// encodes to well under a kilobyte) but small enough that a corrupted
+/// length field fails fast instead of allocating unbounded memory.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 24;
+
+/// Size of the fixed frame header: length, kind, checksum.
+pub const FRAME_HEADER_BYTES: usize = 4 + 1 + 8;
+
+/// FNV-1a checksum over the kind byte followed by the payload.
+///
+/// The same 64-bit FNV-1a the bench harness uses for estimate checksums:
+/// cheap, dependency-free, and plenty to detect corruption (this is an
+/// integrity check against accidents and fuzzing, not an authenticator).
+pub fn frame_checksum(kind: u8, payload: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET ^ u64::from(kind);
+    h = h.wrapping_mul(PRIME);
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+fn malformed(message: String) -> LdpError {
+    LdpError::MalformedFrame { message }
+}
+
+/// Encode one frame into a fresh byte vector.
+///
+/// Useful when building a stream in memory (tests, the in-process pipes in
+/// `examples/report_service.rs`) or when the caller wants to hand a complete
+/// frame to a transport in one write.
+pub fn frame_to_vec(kind: u8, payload: &[u8]) -> Result<Vec<u8>> {
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(malformed(format!(
+            "refusing to write a {}-byte payload (cap {MAX_FRAME_PAYLOAD})",
+            payload.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.push(kind);
+    out.extend_from_slice(&frame_checksum(kind, payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Write one frame to `w`.
+///
+/// Transport failures surface as [`LdpError::MalformedFrame`] carrying the
+/// underlying I/O message — the error type stays `Clone + PartialEq`, which
+/// the rest of the crate relies on.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, kind: u8, payload: &[u8]) -> Result<()> {
+    let bytes = frame_to_vec(kind, payload)?;
+    w.write_all(&bytes)
+        .map_err(|e| malformed(format!("frame write failed: {e}")))
+}
+
+/// Outcome of reading one complete frame — see [`read_frame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameRead {
+    /// Checksum verified: the scratch buffer holds the payload the sender
+    /// wrote, and `kind` is its kind byte.
+    Valid {
+        /// The frame's kind byte.
+        kind: u8,
+    },
+    /// The frame's declared length consumed cleanly but the checksum
+    /// disagrees with the content: the payload must be discarded, yet the
+    /// reader is still positioned at the next frame boundary, so a server
+    /// may count the corruption and keep reading.
+    Corrupt {
+        /// Checksum the frame header declared.
+        declared: u64,
+        /// Checksum computed over the received kind byte and payload.
+        computed: u64,
+    },
+}
+
+/// Read one frame from `r` into `payload`.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
+/// boundary) and [`FrameRead::Corrupt`] on a checksum mismatch (frame
+/// consumed, reader synchronized, payload poison). Every irregularity that
+/// loses framing — EOF inside a frame, a length above
+/// [`MAX_FRAME_PAYLOAD`], an I/O failure — is a typed
+/// [`LdpError::MalformedFrame`], after which the stream cannot be trusted
+/// to contain further frame boundaries. `payload` is reused as scratch
+/// space so a serve loop reading millions of frames performs no per-frame
+/// allocation once the buffer has grown to the stream's largest payload.
+pub fn read_frame<R: Read + ?Sized>(r: &mut R, payload: &mut Vec<u8>) -> Result<Option<FrameRead>> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    match read_full(r, &mut header)? {
+        0 => return Ok(None),
+        n if n < FRAME_HEADER_BYTES => {
+            return Err(malformed(format!(
+                "truncated frame header: got {n} of {FRAME_HEADER_BYTES} bytes"
+            )));
+        }
+        _ => {}
+    }
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let kind = header[4];
+    let declared = u64::from_be_bytes(header[5..13].try_into().expect("8-byte slice"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(malformed(format!(
+            "oversized frame: declared payload of {len} bytes exceeds the cap of \
+             {MAX_FRAME_PAYLOAD}"
+        )));
+    }
+    payload.clear();
+    payload.resize(len, 0);
+    let got = read_full(r, payload)?;
+    if got < len {
+        return Err(malformed(format!(
+            "truncated frame payload: got {got} of {len} bytes"
+        )));
+    }
+    let computed = frame_checksum(kind, payload);
+    if computed != declared {
+        return Ok(Some(FrameRead::Corrupt { declared, computed }));
+    }
+    Ok(Some(FrameRead::Valid { kind }))
+}
+
+/// Fill `buf` from `r`, returning how many bytes were read before EOF.
+fn read_full<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(malformed(format!("frame read failed: {e}"))),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_frame() {
+        let payload = b"twenty-three bytes of payload".to_vec();
+        let bytes = frame_to_vec(7, &payload).unwrap();
+        assert_eq!(bytes.len(), FRAME_HEADER_BYTES + payload.len());
+
+        let mut reader = bytes.as_slice();
+        let mut scratch = Vec::new();
+        let kind = read_frame(&mut reader, &mut scratch).unwrap();
+        assert_eq!(kind, Some(FrameRead::Valid { kind: 7 }));
+        assert_eq!(scratch, payload);
+        // Stream exhausted cleanly.
+        assert_eq!(read_frame(&mut reader, &mut scratch).unwrap(), None);
+    }
+
+    #[test]
+    fn round_trips_an_empty_payload() {
+        let bytes = frame_to_vec(0, &[]).unwrap();
+        let mut reader = bytes.as_slice();
+        let mut scratch = vec![1, 2, 3];
+        assert_eq!(
+            read_frame(&mut reader, &mut scratch).unwrap(),
+            Some(FrameRead::Valid { kind: 0 })
+        );
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let bytes = frame_to_vec(3, b"payload").unwrap();
+        for cut in 1..bytes.len() {
+            let mut reader = &bytes[..cut];
+            let mut scratch = Vec::new();
+            let err = read_frame(&mut reader, &mut scratch).unwrap_err();
+            assert!(
+                matches!(err, LdpError::MalformedFrame { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = frame_to_vec(3, b"sensitive report bytes").unwrap();
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            let mut reader = corrupt.as_slice();
+            let mut scratch = Vec::new();
+            let got = read_frame(&mut reader, &mut scratch);
+            // A flip is never mistaken for a valid frame: either the
+            // checksum catches it (kind/checksum/payload flips) or the
+            // length field no longer matches the stream (typed error).
+            assert!(
+                !matches!(got, Ok(Some(FrameRead::Valid { .. }))),
+                "flip of bit {bit} gave {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_keeps_the_reader_synchronized() {
+        let mut stream = frame_to_vec(1, b"first payload").unwrap();
+        let tail = frame_to_vec(2, b"second payload").unwrap();
+        let flip_at = FRAME_HEADER_BYTES + 3;
+        stream[flip_at] ^= 0x40;
+        stream.extend_from_slice(&tail);
+
+        let mut reader = stream.as_slice();
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            read_frame(&mut reader, &mut scratch).unwrap(),
+            Some(FrameRead::Corrupt { .. })
+        ));
+        // The corrupt frame consumed exactly its declared bytes, so the
+        // next frame still parses.
+        assert_eq!(
+            read_frame(&mut reader, &mut scratch).unwrap(),
+            Some(FrameRead::Valid { kind: 2 })
+        );
+        assert_eq!(scratch, b"second payload");
+        assert_eq!(read_frame(&mut reader, &mut scratch).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_reading_the_payload() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        let mut reader = bytes.as_slice();
+        let mut scratch = Vec::new();
+        let err = read_frame(&mut reader, &mut scratch).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("oversized"), "{msg}");
+    }
+
+    #[test]
+    fn refuses_to_write_an_oversized_payload() {
+        let payload = vec![0u8; MAX_FRAME_PAYLOAD + 1];
+        assert!(matches!(
+            frame_to_vec(0, &payload),
+            Err(LdpError::MalformedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_covers_the_kind_byte() {
+        let a = frame_checksum(1, b"same payload");
+        let b = frame_checksum(2, b"same payload");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_order() {
+        let mut stream = Vec::new();
+        for kind in 0..5u8 {
+            let payload = vec![kind; kind as usize * 3];
+            stream.extend_from_slice(&frame_to_vec(kind, &payload).unwrap());
+        }
+        let mut reader = stream.as_slice();
+        let mut scratch = Vec::new();
+        for kind in 0..5u8 {
+            assert_eq!(
+                read_frame(&mut reader, &mut scratch).unwrap(),
+                Some(FrameRead::Valid { kind })
+            );
+            assert_eq!(scratch, vec![kind; kind as usize * 3]);
+        }
+        assert_eq!(read_frame(&mut reader, &mut scratch).unwrap(), None);
+    }
+}

@@ -55,6 +55,7 @@ mod kinds;
 mod mechanism;
 
 pub mod categorical;
+pub mod frame;
 pub mod math;
 pub mod multidim;
 pub mod numeric;

@@ -1,0 +1,216 @@
+//! Report-stream aggregation service: three shard threads absorbing
+//! length-framed wire messages from live byte streams, tree-merged into a
+//! result bit-identical to a single-process `Collector::run`.
+//!
+//! ```text
+//! cargo run --release --example report_service
+//! ```
+//!
+//! The pieces:
+//!
+//! * every *client* frames its ε-LDP report into a `Submit` message —
+//!   nothing else crosses the wire;
+//! * each *shard thread* runs [`ReportService::serve`] over a pipe-like
+//!   reader fed in deliberately awkward 7-byte chunks, so frames are
+//!   reassembled across arbitrary read boundaries;
+//! * one stream also carries a replayed (duplicate) submit and a
+//!   bit-flipped frame — the budget ledger rejects the replay, the
+//!   checksum rejects the corruption, both are counted, and neither moves
+//!   a single bit of the estimates;
+//! * the shards tree-merge and the epoch snapshot is asserted
+//!   bit-identical to the canonical pipeline on the same seed.
+
+use ldp::analytics::service::{encode_report, ReportService, ServeSummary, WireMessage};
+use ldp::analytics::{
+    block_partition, block_rng, ClientEncoder, Collector, Protocol, ServiceConfig, DEFAULT_SHARDS,
+};
+use ldp::core::frame::FRAME_HEADER_BYTES;
+use ldp::core::rng::RngBlock;
+use ldp::core::{AttrValue, Epsilon, LdpError, NumericKind, OracleKind};
+use ldp::data::census::generate_br;
+use std::io::Read;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread;
+
+const SHARDS: usize = 3;
+
+/// A `Read` over a channel of byte chunks: what a socket looks like to the
+/// framer. Senders dropping is clean EOF.
+struct ChannelReader {
+    rx: Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        while self.pos == self.buf.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = (self.buf.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Sends `bytes` down a shard's pipe in 7-byte chunks — no frame ever
+/// arrives whole, which is exactly the situation `serve` must handle.
+fn send_chunked(tx: &Sender<Vec<u8>>, bytes: &[u8]) {
+    for chunk in bytes.chunks(7) {
+        tx.send(chunk.to_vec()).expect("shard thread alive");
+    }
+}
+
+fn main() -> Result<(), LdpError> {
+    let n = 12_000;
+    let seed = 42;
+    let dataset = generate_br(n, 5)?;
+    let eps = Epsilon::new(1.0)?;
+    let protocol = Protocol::Sampling {
+        numeric: NumericKind::Hybrid,
+        oracle: OracleKind::Oue,
+    };
+    let specs = dataset.schema().attr_specs();
+    println!(
+        "BR-like census: n = {n}, d = {}, ε = {} — streamed to {SHARDS} service shards\n",
+        dataset.schema().d(),
+        eps.value()
+    );
+
+    // Shard threads: each serves its pipe until the Shutdown frame.
+    let mut pipes: Vec<Sender<Vec<u8>>> = Vec::new();
+    let mut shards: Vec<thread::JoinHandle<(ReportService, ServeSummary)>> = Vec::new();
+    for _ in 0..SHARDS {
+        let (tx, rx) = channel::<Vec<u8>>();
+        pipes.push(tx);
+        shards.push(thread::spawn(move || {
+            let mut service = ReportService::new(ServiceConfig::default());
+            let mut reader = ChannelReader {
+                rx,
+                buf: Vec::new(),
+                pos: 0,
+            };
+            let summary = service.serve(&mut reader).expect("stream stays framed");
+            (service, summary)
+        }));
+    }
+
+    // Client side: session hello on every stream, then each block's reports
+    // framed to shard `block % SHARDS`, blocks in reverse order — nothing
+    // about arrival order is canonical.
+    let encoder = ClientEncoder::new(protocol, eps, specs.clone())?;
+    let hello = WireMessage::Hello {
+        protocol,
+        epsilon: eps,
+        specs: specs.clone(),
+        epoch: 0,
+    };
+    for tx in &pipes {
+        send_chunked(tx, &hello.to_frame()?);
+    }
+    let blocks: Vec<_> = block_partition(n, DEFAULT_SHARDS)
+        .into_iter()
+        .enumerate()
+        .collect();
+    let mut replayed: Option<Vec<u8>> = None;
+    for (b, range) in blocks.into_iter().rev() {
+        let tx = &pipes[b % SHARDS];
+        let mut rng: RngBlock<rand::rngs::StdRng> = RngBlock::new(block_rng(seed, b));
+        let mut report = encoder.empty_report();
+        let mut scratch = encoder.scratch();
+        let mut tuple: Vec<AttrValue> = Vec::new();
+        for i in range {
+            dataset.canonical_tuple_into(i, &mut tuple);
+            encoder.encode_into(&tuple, &mut rng, &mut report, &mut scratch)?;
+            let frame = WireMessage::Submit {
+                user: i as u64,
+                epoch: 0,
+                block: b as u64,
+                report: encode_report(&report, &specs),
+            }
+            .to_frame()?;
+            if replayed.is_none() {
+                replayed = Some(frame.clone());
+            }
+            send_chunked(tx, &frame);
+        }
+    }
+
+    // Adversarial tail on shard 0: the very first submit replayed verbatim
+    // (a spent budget), then the same frame with one payload byte flipped
+    // (a checksum failure). Both must be rejected and counted.
+    let replay = replayed.expect("at least one submit");
+    send_chunked(&pipes[0], &replay);
+    let mut corrupt = replay;
+    corrupt[FRAME_HEADER_BYTES] ^= 0x40;
+    send_chunked(&pipes[0], &corrupt);
+
+    for tx in &pipes {
+        send_chunked(tx, &WireMessage::Shutdown.to_frame()?);
+    }
+    drop(pipes);
+
+    let mut services = Vec::new();
+    for (s, handle) in shards.into_iter().enumerate() {
+        let (service, summary) = handle.join().expect("shard thread");
+        println!(
+            "shard {s}: {} frames, {} admitted, {} duplicate(s) rejected, \
+             {} malformed frame(s) rejected, shutdown = {}",
+            summary.frames,
+            summary.admitted,
+            summary.rejected_duplicates,
+            summary.rejected_malformed,
+            summary.shutdown
+        );
+        assert!(summary.shutdown, "every stream ended with Shutdown");
+        services.push(service);
+    }
+
+    // Tree merge: (s0 + (s1 + s2)). The keyed ledger and the ordinal-keyed
+    // epoch aggregates both merge order-independently.
+    let s2 = services.pop().expect("three shards");
+    let mut s1 = services.pop().expect("three shards");
+    let mut s0 = services.pop().expect("three shards");
+    s1.merge(s2)?;
+    s0.merge(s1)?;
+    let snapshot = s0.snapshot_epoch(0)?;
+    println!(
+        "\nmerged epoch {}: {} admitted, {} duplicate(s) rejected",
+        snapshot.epoch, snapshot.admitted, snapshot.rejected_duplicates
+    );
+    assert_eq!(snapshot.admitted, n as u64);
+    assert_eq!(snapshot.rejected_duplicates, 1, "the replayed submit");
+    let served = snapshot.result.expect("non-empty epoch");
+
+    // The canonical single-process pipeline on the same seed.
+    let reference = Collector::new(protocol, eps).run(&dataset, seed)?;
+    let (sm, rm) = (served.mean_vector(), reference.mean_vector());
+    assert_eq!(sm.len(), rm.len());
+    println!("\nattr  service mean      pipeline mean");
+    for (j, (s, r)) in sm.iter().zip(&rm).enumerate().take(4) {
+        println!("{j:>4}  {s:>15.6}  {r:>15.6}");
+        assert_eq!(s.to_bits(), r.to_bits(), "mean[{j}] drifted");
+    }
+    for (s, r) in sm.iter().zip(&rm) {
+        assert_eq!(s.to_bits(), r.to_bits());
+    }
+    assert_eq!(served.frequencies.len(), reference.frequencies.len());
+    for ((ja, fa), (jb, fb)) in served.frequencies.iter().zip(&reference.frequencies) {
+        assert_eq!(ja, jb);
+        for (x, y) in fa.iter().zip(fb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    println!(
+        "\nevery mean and frequency bit-identical to Collector::run — the wire, \
+         the shard split, the rejected replay and the corrupted frame moved nothing"
+    );
+    Ok(())
+}
