@@ -19,6 +19,12 @@
 //!   messages from any `Read`-able byte stream, validating every frame
 //!   before state is touched, with multi-shard tree merges bit-identical
 //!   to a single-process [`Collector::run`](pipeline::Collector::run).
+//! * [`transport`] — the fault-tolerant shell around the service: a
+//!   [`transport::ReportServer`] feeding one service through a bounded
+//!   backpressure queue from per-connection threads, a reconnecting
+//!   [`transport::ReportClient`] whose retries the budget ledger makes
+//!   idempotent, and a deterministic chaos harness proving clean/chaos
+//!   snapshot parity bit for bit.
 //! * [`ledger`] — the per-epoch privacy-budget ledger behind the service:
 //!   a keyed user-id seen-set rejecting (and counting) any second report
 //!   from one user inside an epoch.
@@ -40,6 +46,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod service;
 pub mod session;
+pub mod transport;
 pub mod wordhist;
 
 pub use frequency::FrequencyAccumulator;
@@ -49,6 +56,9 @@ pub use pipeline::{
     block_partition, block_rng, categorical_mse, numeric_mse, BestEffortNumeric, CollectionResult,
     Collector, Protocol, BLOCK_USERS, DEFAULT_SHARDS,
 };
-pub use service::{EpochSnapshot, ReportService, ServiceConfig, WireMessage};
+pub use service::{
+    AckOutcome, EpochSnapshot, ReportService, ResponseMessage, ServiceConfig, StreamFault,
+    WireMessage,
+};
 pub use session::{Aggregator, ClientEncoder, CompositionReport, EncoderScratch, Report};
 pub use wordhist::WordHistogram;

@@ -54,6 +54,7 @@ use ldp_core::multidim::wire::{self, BitReader, BitWriter, WireFormat};
 use ldp_core::multidim::AttrSpec;
 use ldp_core::{Epsilon, LdpError, NumericKind, OracleKind, Result};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::io::{Read, Write};
 
 /// Frame kind of [`WireMessage::Hello`].
@@ -64,6 +65,14 @@ pub const KIND_SUBMIT: u8 = 2;
 pub const KIND_FLUSH_EPOCH: u8 = 3;
 /// Frame kind of [`WireMessage::Shutdown`].
 pub const KIND_SHUTDOWN: u8 = 4;
+/// Frame kind of [`ResponseMessage::Ack`] (server → client).
+pub const KIND_ACK: u8 = 5;
+/// Frame kind of [`ResponseMessage::HelloAck`] (server → client).
+pub const KIND_HELLO_ACK: u8 = 6;
+/// Frame kind of [`ResponseMessage::SnapshotAck`] (server → client).
+pub const KIND_SNAPSHOT_ACK: u8 = 7;
+/// Frame kind of [`ResponseMessage::Resend`] (server → client).
+pub const KIND_RESEND: u8 = 8;
 
 /// Byte length of the `Submit` envelope before the report bytes:
 /// user id, epoch, block ordinal — three 64-bit fields.
@@ -364,6 +373,222 @@ impl WireMessage {
     }
 }
 
+/// Verdict a server attaches to one client message — the payload of
+/// [`ResponseMessage::Ack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckOutcome {
+    /// The report cleared every gate and was absorbed.
+    Admitted,
+    /// The user's per-epoch budget was already spent. For a retrying
+    /// client this is a *success*: some earlier attempt landed, and the
+    /// ledger made the resend a no-op instead of a double spend.
+    Duplicate,
+    /// The message failed validation and will fail identically if resent
+    /// unchanged — a permanent rejection.
+    Rejected,
+    /// The server's bounded queue shed the message before it touched any
+    /// state; retry after backoff.
+    Overloaded,
+}
+
+impl AckOutcome {
+    fn code(self) -> u64 {
+        match self {
+            AckOutcome::Admitted => 0,
+            AckOutcome::Duplicate => 1,
+            AckOutcome::Rejected => 2,
+            AckOutcome::Overloaded => 3,
+        }
+    }
+
+    fn from_code(code: u64) -> Result<Self> {
+        Ok(match code {
+            0 => AckOutcome::Admitted,
+            1 => AckOutcome::Duplicate,
+            2 => AckOutcome::Rejected,
+            3 => AckOutcome::Overloaded,
+            other => return Err(malformed(format!("unknown ack outcome code {other}"))),
+        })
+    }
+}
+
+/// One server→client message of the transport protocol.
+///
+/// The transport layer answers every inbound frame with exactly one
+/// response frame, in order, so a client matches responses to requests
+/// positionally; `Ack` additionally echoes the submit's user and epoch so
+/// a desynchronized client fails loudly instead of mis-crediting an ack.
+/// Kinds `5..=8` are disjoint from the client-side kinds `1..=4`, so a
+/// frame can never be mistaken for traffic of the wrong direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseMessage {
+    /// Verdict on one `Submit` (or, with `user`/`epoch` zero, an overload
+    /// or rejection verdict on a non-submit message).
+    Ack {
+        /// User id echoed from the submit (`0` when the request carried
+        /// none).
+        user: u64,
+        /// Epoch echoed from the request (`0` when it carried none).
+        epoch: u64,
+        /// The verdict.
+        outcome: AckOutcome,
+    },
+    /// The session `Hello` was accepted (first or idempotent replay).
+    HelloAck,
+    /// Answer to `FlushEpoch`: the snapshot's admission counters. The
+    /// estimates themselves stay server-side; `users` is the snapshot's
+    /// report count (`0` for an epoch no report has reached).
+    SnapshotAck {
+        /// Epoch snapshotted.
+        epoch: u64,
+        /// Distinct users admitted in that epoch.
+        admitted: u64,
+        /// Duplicate reports rejected in that epoch.
+        rejected_duplicates: u64,
+        /// Service-lifetime malformed rejections at snapshot time.
+        rejected_malformed: u64,
+        /// Reports folded into the snapshot's estimates.
+        users: u64,
+    },
+    /// The inbound frame failed its checksum. The reader is still
+    /// synchronized, the request was never interpreted — resend it.
+    Resend,
+}
+
+impl ResponseMessage {
+    /// This message's frame kind byte.
+    pub fn kind(&self) -> u8 {
+        match self {
+            ResponseMessage::Ack { .. } => KIND_ACK,
+            ResponseMessage::HelloAck => KIND_HELLO_ACK,
+            ResponseMessage::SnapshotAck { .. } => KIND_SNAPSHOT_ACK,
+            ResponseMessage::Resend => KIND_RESEND,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        match self {
+            ResponseMessage::Ack {
+                user,
+                epoch,
+                outcome,
+            } => {
+                w.write_bits(*user, 64);
+                w.write_bits(*epoch, 64);
+                w.write_bits(outcome.code(), 8);
+                w.finish()
+            }
+            ResponseMessage::HelloAck | ResponseMessage::Resend => Vec::new(),
+            ResponseMessage::SnapshotAck {
+                epoch,
+                admitted,
+                rejected_duplicates,
+                rejected_malformed,
+                users,
+            } => {
+                for field in [
+                    epoch,
+                    admitted,
+                    rejected_duplicates,
+                    rejected_malformed,
+                    users,
+                ] {
+                    w.write_bits(*field, 64);
+                }
+                w.finish()
+            }
+        }
+    }
+
+    /// Encodes this message as one complete frame.
+    pub fn to_frame(&self) -> Result<Vec<u8>> {
+        frame::frame_to_vec(self.kind(), &self.payload())
+    }
+
+    /// Writes this message as one frame to `w`.
+    pub fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> Result<()> {
+        frame::write_frame(w, self.kind(), &self.payload())
+    }
+
+    /// Decodes a verified frame payload back into a response.
+    ///
+    /// # Errors
+    /// [`LdpError::MalformedFrame`] on unknown kinds, wrong payload
+    /// lengths, or out-of-range outcome codes; never panics.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<ResponseMessage> {
+        let exact_len = |what: &str, expected: usize| {
+            if payload.len() == expected {
+                Ok(())
+            } else {
+                Err(malformed(format!(
+                    "{what} response has {} bytes, expected {expected}",
+                    payload.len()
+                )))
+            }
+        };
+        match kind {
+            KIND_ACK => {
+                exact_len("ack", 17)?;
+                let mut r = BitReader::new(payload);
+                let mut read = |width| {
+                    r.read_bits(width)
+                        .map_err(|e| malformed(format!("bad ack response: {e}")))
+                };
+                Ok(ResponseMessage::Ack {
+                    user: read(64)?,
+                    epoch: read(64)?,
+                    outcome: AckOutcome::from_code(read(8)?)?,
+                })
+            }
+            KIND_HELLO_ACK => {
+                exact_len("hello-ack", 0)?;
+                Ok(ResponseMessage::HelloAck)
+            }
+            KIND_SNAPSHOT_ACK => {
+                exact_len("snapshot-ack", 40)?;
+                let mut r = BitReader::new(payload);
+                let mut read = || {
+                    r.read_bits(64)
+                        .map_err(|e| malformed(format!("bad snapshot-ack response: {e}")))
+                };
+                Ok(ResponseMessage::SnapshotAck {
+                    epoch: read()?,
+                    admitted: read()?,
+                    rejected_duplicates: read()?,
+                    rejected_malformed: read()?,
+                    users: read()?,
+                })
+            }
+            KIND_RESEND => {
+                exact_len("resend", 0)?;
+                Ok(ResponseMessage::Resend)
+            }
+            other => Err(malformed(format!("unknown response kind {other}"))),
+        }
+    }
+
+    /// Reads and decodes the next response from `r`.
+    ///
+    /// `Ok(None)` on clean end of stream; a checksum-corrupt frame is a
+    /// [`LdpError::MalformedFrame`] — the client cannot know what verdict
+    /// the garbled frame carried, so its only safe move is an idempotent
+    /// resend over a fresh connection.
+    pub fn read_from<R: Read + ?Sized>(
+        r: &mut R,
+        scratch: &mut Vec<u8>,
+    ) -> Result<Option<ResponseMessage>> {
+        match frame::read_frame(r, scratch)? {
+            None => Ok(None),
+            Some(FrameRead::Valid { kind }) => ResponseMessage::decode(kind, scratch).map(Some),
+            Some(FrameRead::Corrupt { declared, computed }) => Err(malformed(format!(
+                "response frame checksum mismatch: declared {declared:#018x}, \
+                 computed {computed:#018x}"
+            ))),
+        }
+    }
+}
+
 /// Encodes a session report into its canonical wire bytes — the inverse of
 /// what the service performs on every `Submit`.
 ///
@@ -455,6 +680,31 @@ pub struct EpochSnapshot {
     pub result: Option<CollectionResult>,
 }
 
+/// Where and how a stream lost framing — see [`ServeSummary::desync`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamFault {
+    /// Byte offset (from the start of this `serve` call's stream) of the
+    /// first byte of the frame that destroyed framing. A transport log can
+    /// hexdump the captured stream at exactly this offset to see the
+    /// corruption instead of bisecting for it.
+    pub offset: u64,
+    /// The typed error that ended the stream: [`LdpError::MalformedFrame`]
+    /// for desync (truncation, oversized length, unclassified I/O),
+    /// [`LdpError::Timeout`] / [`LdpError::ConnectionLost`] for transport
+    /// faults.
+    pub error: LdpError,
+}
+
+impl fmt::Display for StreamFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stream fault at byte offset {}: {}",
+            self.offset, self.error
+        )
+    }
+}
+
 /// What one [`ReportService::serve`] call processed.
 #[derive(Debug, Clone, Default)]
 pub struct ServeSummary {
@@ -472,6 +722,11 @@ pub struct ServeSummary {
     /// True when the stream ended with [`WireMessage::Shutdown`] rather
     /// than EOF.
     pub shutdown: bool,
+    /// Why serving stopped early, if framing was lost: the first desync
+    /// (or transport fault) with the byte offset of the offending frame.
+    /// `None` means the stream ended cleanly (EOF or `Shutdown`). State is
+    /// never touched by the faulting frame either way.
+    pub desync: Option<StreamFault>,
 }
 
 /// A long-running aggregation endpoint absorbing framed report streams.
@@ -570,6 +825,14 @@ impl ReportService {
     /// Lifetime count of frames/messages rejected as malformed.
     pub fn rejected_malformed(&self) -> u64 {
         self.rejected_malformed
+    }
+
+    /// Counts one malformed rejection that happened *outside*
+    /// [`ReportService::serve`] — e.g. a transport absorber driving
+    /// [`ReportService::handle`] directly — so snapshots keep accounting
+    /// for every rejection regardless of which loop observed it.
+    pub fn note_malformed(&mut self) {
+        self.rejected_malformed += 1;
     }
 
     /// Epochs holding aggregate state, ascending.
@@ -699,19 +962,36 @@ impl ReportService {
         })
     }
 
-    /// Absorbs `r` until EOF or `Shutdown`.
+    /// Absorbs `r` until EOF, `Shutdown`, or loss of framing.
     ///
     /// Per-message failures are counted and skipped — a hostile client
-    /// must not be able to wedge the collection round — while stream-level
-    /// failures (framing lost: truncation, oversize, I/O) abort with the
-    /// typed error after zero state damage. Checksum-corrupt frames keep
-    /// the reader synchronized (see [`ldp_core::frame::read_frame`]), so
-    /// they count as malformed and serving continues.
+    /// must not be able to wedge the collection round. Stream-level
+    /// failures (framing lost: truncation, oversize, I/O) stop serving
+    /// after zero state damage; the summary comes back `Ok` with
+    /// [`ServeSummary::desync`] carrying the typed error *and the byte
+    /// offset of the offending frame*, so a transport log can pinpoint the
+    /// corruption. Checksum-corrupt frames keep the reader synchronized
+    /// (see [`ldp_core::frame::read_frame`]), so they count as malformed
+    /// and serving continues.
     pub fn serve<R: Read + ?Sized>(&mut self, r: &mut R) -> Result<ServeSummary> {
+        let mut r = CountingReader {
+            inner: r,
+            consumed: 0,
+        };
         let mut summary = ServeSummary::default();
         let mut payload = Vec::new();
         loop {
-            let read = frame::read_frame(r, &mut payload)?;
+            let frame_start = r.consumed;
+            let read = match frame::read_frame(&mut r, &mut payload) {
+                Ok(read) => read,
+                Err(error) => {
+                    summary.desync = Some(StreamFault {
+                        offset: frame_start,
+                        error,
+                    });
+                    break;
+                }
+            };
             let kind = match read {
                 None => break,
                 Some(FrameRead::Corrupt { .. }) => {
@@ -815,6 +1095,21 @@ impl ReportService {
     }
 }
 
+/// Counts bytes as they pass to the framer, so a desync can be reported
+/// with the exact stream offset of the offending frame.
+struct CountingReader<'a, R: Read + ?Sized> {
+    inner: &'a mut R,
+    consumed: u64,
+}
+
+impl<R: Read + ?Sized> Read for CountingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.consumed += n as u64;
+        Ok(n)
+    }
+}
+
 /// Decodes submit report bytes under the session, enforcing the exact
 /// canonical length — the service-side hot path (no codec allocation).
 fn decode_submit_report(sess: &Session, bytes: &[u8]) -> Result<Report> {
@@ -903,6 +1198,136 @@ mod tests {
 
     fn encoder() -> ClientEncoder {
         ClientEncoder::new(test_protocol(), Epsilon::new(1.0).unwrap(), test_specs()).unwrap()
+    }
+
+    #[test]
+    fn response_messages_round_trip() {
+        let messages = [
+            ResponseMessage::Ack {
+                user: 42,
+                epoch: 7,
+                outcome: AckOutcome::Admitted,
+            },
+            ResponseMessage::Ack {
+                user: u64::MAX,
+                epoch: 0,
+                outcome: AckOutcome::Duplicate,
+            },
+            ResponseMessage::Ack {
+                user: 0,
+                epoch: 3,
+                outcome: AckOutcome::Rejected,
+            },
+            ResponseMessage::Ack {
+                user: 1,
+                epoch: 1,
+                outcome: AckOutcome::Overloaded,
+            },
+            ResponseMessage::HelloAck,
+            ResponseMessage::SnapshotAck {
+                epoch: 9,
+                admitted: 1_000_000,
+                rejected_duplicates: 17,
+                rejected_malformed: 3,
+                users: 999_983,
+            },
+            ResponseMessage::Resend,
+        ];
+        for msg in &messages {
+            let frame_bytes = msg.to_frame().unwrap();
+            let mut reader = frame_bytes.as_slice();
+            let mut scratch = Vec::new();
+            let back = ResponseMessage::read_from(&mut reader, &mut scratch)
+                .unwrap()
+                .expect("one response in the stream");
+            assert_eq!(&back, msg);
+        }
+    }
+
+    #[test]
+    fn response_decode_rejects_wrong_lengths_and_codes() {
+        // Wrong payload lengths for every response kind.
+        for (kind, bad_len) in [
+            (KIND_ACK, 16usize),
+            (KIND_ACK, 18),
+            (KIND_HELLO_ACK, 1),
+            (KIND_SNAPSHOT_ACK, 39),
+            (KIND_RESEND, 4),
+        ] {
+            let err = ResponseMessage::decode(kind, &vec![0u8; bad_len]).unwrap_err();
+            assert!(
+                matches!(err, LdpError::MalformedFrame { .. }),
+                "kind {kind} len {bad_len}: {err:?}"
+            );
+        }
+        // Out-of-range outcome code in an otherwise valid ack.
+        let mut payload = [0u8; 17];
+        payload[16] = 200;
+        let err = ResponseMessage::decode(KIND_ACK, &payload).unwrap_err();
+        assert!(err.to_string().contains("outcome"), "{err}");
+        // Unknown response kind.
+        assert!(ResponseMessage::decode(99, &[]).is_err());
+    }
+
+    #[test]
+    fn desync_offset_pinpoints_the_offending_frame() {
+        let enc = encoder();
+        let mut stream = Vec::new();
+        hello().write_to(&mut stream).unwrap();
+        submit_for(&enc, 1, 0).write_to(&mut stream).unwrap();
+        let healthy = stream.len() as u64;
+        // A third frame, truncated mid-payload: framing is unrecoverable.
+        let tail = submit_for(&enc, 2, 0).to_frame().unwrap();
+        stream.extend_from_slice(&tail[..tail.len() - 3]);
+
+        let mut service = ReportService::new(ServiceConfig::default());
+        let summary = service.serve(&mut stream.as_slice()).unwrap();
+        assert_eq!(summary.admitted, 1, "healthy prefix fully absorbed");
+        let fault = summary.desync.expect("truncated tail must surface");
+        assert_eq!(
+            fault.offset, healthy,
+            "offset must name the offending frame's first byte"
+        );
+        assert!(matches!(fault.error, LdpError::MalformedFrame { .. }));
+        assert!(fault.to_string().contains(&healthy.to_string()), "{fault}");
+    }
+
+    #[test]
+    fn connection_loss_mid_stream_is_a_typed_fault_not_a_panic() {
+        struct DyingReader {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for DyingReader {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos < self.data.len() {
+                    let n = (self.data.len() - self.pos).min(out.len());
+                    out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                    self.pos += n;
+                    return Ok(n);
+                }
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "peer reset",
+                ))
+            }
+        }
+        let enc = encoder();
+        let mut data = Vec::new();
+        hello().write_to(&mut data).unwrap();
+        submit_for(&enc, 1, 0).write_to(&mut data).unwrap();
+        let healthy = data.len() as u64;
+
+        let mut service = ReportService::new(ServiceConfig::default());
+        let summary = service.serve(&mut DyingReader { data, pos: 0 }).unwrap();
+        assert_eq!(summary.admitted, 1);
+        let fault = summary.desync.expect("reset must surface");
+        assert_eq!(fault.offset, healthy);
+        assert!(
+            matches!(fault.error, LdpError::ConnectionLost { .. }),
+            "{:?}",
+            fault.error
+        );
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Seeded exponential backoff with bounded jitter.
+//!
+//! Every retry loop in the transport paces itself through one [`Backoff`]:
+//! delays grow geometrically from a base, saturate at a cap, and carry a
+//! multiplicative jitter drawn from a *seeded* generator — so a chaos test
+//! replays the exact same retry schedule on every run, while production
+//! clients still de-correlate their reconnect storms.
+
+use std::time::Duration;
+
+use ldp_core::rng::{seeded_rng, uniform};
+use rand::rngs::StdRng;
+
+/// Exponent after which the envelope stops doubling (the cap has long been
+/// reached for any sane base/cap pair; this just prevents shift overflow).
+const MAX_EXPONENT: u32 = 20;
+
+/// Jitter range: each delay is the envelope scaled by a uniform draw from
+/// `[JITTER_LO, 1.0]`. Full-range jitter (`lo = 0`) can collapse a delay
+/// to nothing, defeating the pacing; half-range keeps delays meaningful
+/// while still spreading synchronized clients apart.
+const JITTER_LO: f64 = 0.5;
+
+/// A deterministic, capped, jittered exponential backoff schedule.
+///
+/// [`next_delay`](Backoff::next_delay) yields
+/// `envelope(attempt) * U(0.5, 1.0)` where
+/// `envelope(a) = min(cap, base * 2^a)`, then advances the attempt
+/// counter. [`reset`](Backoff::reset) rewinds the counter after a success
+/// but deliberately *not* the jitter stream — the schedule stays a pure
+/// function of the seed and the sequence of calls, never of wall-clock
+/// time.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, doubling per attempt, never
+    /// exceeding `cap`, with jitter drawn from `seed`.
+    ///
+    /// A `base` longer than `cap` is clamped to `cap`; a zero `base`
+    /// yields all-zero delays (useful for tests that must not sleep).
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Self {
+        Backoff {
+            base: base.min(cap),
+            cap,
+            attempt: 0,
+            rng: seeded_rng(seed),
+        }
+    }
+
+    /// The deterministic (jitter-free) upper bound for one attempt:
+    /// `min(cap, base * 2^min(attempt, 20))`.
+    pub fn envelope(&self, attempt: u32) -> Duration {
+        self.base
+            .saturating_mul(1u32 << attempt.min(MAX_EXPONENT))
+            .min(self.cap)
+    }
+
+    /// Attempts since construction or the last [`reset`](Backoff::reset).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Draws the next delay and advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let envelope = self.envelope(self.attempt);
+        self.attempt = self.attempt.saturating_add(1);
+        envelope.mul_f64(uniform(&mut self.rng, JITTER_LO, 1.0))
+    }
+
+    /// Rewinds the attempt counter after a success.
+    ///
+    /// The jitter stream is *not* rewound: two `Backoff`s with one seed
+    /// stay in lockstep only if they see the same call sequence, which is
+    /// exactly the reproducibility the chaos harness needs.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(1);
+        let mut a = Backoff::new(7, base, cap);
+        let mut b = Backoff::new(7, base, cap);
+        let sa: Vec<_> = (0..32).map(|_| a.next_delay()).collect();
+        let sb: Vec<_> = (0..32).map(|_| b.next_delay()).collect();
+        assert_eq!(sa, sb);
+        let mut c = Backoff::new(8, base, cap);
+        let sc: Vec<_> = (0..32).map(|_| c.next_delay()).collect();
+        assert_ne!(sa, sc, "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn delays_are_jittered_within_the_envelope_and_capped() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(640);
+        let mut b = Backoff::new(3, base, cap);
+        for attempt in 0..40 {
+            let env = b.envelope(attempt);
+            let d = b.next_delay();
+            assert!(d <= env, "attempt {attempt}: {d:?} > envelope {env:?}");
+            assert!(
+                d >= env.mul_f64(JITTER_LO),
+                "attempt {attempt}: {d:?} below jitter floor"
+            );
+            assert!(d <= cap, "attempt {attempt}: {d:?} above cap");
+        }
+    }
+
+    #[test]
+    fn envelope_is_monotone_then_flat_at_cap() {
+        let b = Backoff::new(0, Duration::from_millis(10), Duration::from_millis(500));
+        let mut prev = Duration::ZERO;
+        for attempt in 0..64 {
+            let env = b.envelope(attempt);
+            assert!(env >= prev, "envelope shrank at attempt {attempt}");
+            prev = env;
+        }
+        assert_eq!(prev, Duration::from_millis(500));
+        // Far beyond MAX_EXPONENT: no shift overflow, still the cap.
+        assert_eq!(b.envelope(u32::MAX), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn reset_rewinds_attempts_but_not_the_jitter_stream() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(1);
+        let mut b = Backoff::new(11, base, cap);
+        let first = b.next_delay();
+        b.next_delay();
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        let after_reset = b.next_delay();
+        // Same envelope as the very first draw, but the jitter stream has
+        // advanced, so equality would be a (vanishingly unlikely) fluke.
+        assert!(after_reset <= b.envelope(0));
+        assert_ne!(first, after_reset);
+    }
+
+    #[test]
+    fn degenerate_bases_are_safe() {
+        let mut zero = Backoff::new(1, Duration::ZERO, Duration::from_secs(1));
+        assert_eq!(zero.next_delay(), Duration::ZERO);
+        let mut clamped = Backoff::new(1, Duration::from_secs(5), Duration::from_secs(1));
+        assert!(clamped.next_delay() <= Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,439 @@
+//! The server half of the transport: connection threads feeding one
+//! [`ReportService`] through a bounded queue.
+//!
+//! ## Architecture
+//!
+//! One *absorber* thread owns the [`ReportService`] outright — no locks,
+//! no shared mutable aggregate state. Every connection runs
+//! [`ConnHandle::serve_stream`] on its own thread, decoding frames and
+//! pushing [`WireMessage`]s into a bounded `sync_channel`. The bound is
+//! the backpressure contract: when the absorber falls behind, `try_send`
+//! fails immediately and the connection *sheds* the message with an
+//! [`AckOutcome::Overloaded`] verdict instead of queueing unboundedly —
+//! the client backs off and retries, and the privacy-budget ledger makes
+//! that retry idempotent.
+//!
+//! ## Fault isolation
+//!
+//! A desynced, hostile, or vanished client kills only its own connection:
+//! the fault is recorded in that connection's [`ConnSummary`] and counted
+//! in [`TransportStats`], while the absorber — and every other connection
+//! — keeps running. Checksum-corrupt frames keep the reader synchronized
+//! (see [`ldp_core::frame::read_frame`]), so they earn a
+//! [`ResponseMessage::Resend`] rather than a disconnect.
+//!
+//! ## Shutdown
+//!
+//! [`ReportServer::finish`] drops the server's own queue handle and joins
+//! the absorber, which drains every message already queued before
+//! returning the service — drain-then-stop, never drop-on-stop. The
+//! absorber exits when the last [`ConnHandle`] clone is gone, so join
+//! connection threads (or drop their handles) first.
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+
+use ldp_core::frame::{self, FrameRead, FRAME_HEADER_BYTES};
+
+use crate::service::{
+    AckOutcome, ReportService, ResponseMessage, ServiceConfig, StreamFault, WireMessage,
+};
+
+/// Construction parameters for a [`ReportServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Configuration for the owned [`ReportService`].
+    pub service: ServiceConfig,
+    /// Bound of the connection→absorber queue. Messages arriving while
+    /// the queue is full are shed with [`AckOutcome::Overloaded`]; they
+    /// never wait unboundedly and never touch service state.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            service: ServiceConfig::default(),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Shared transport counters, updated by connection threads and the
+/// absorber. All loads are `Relaxed`: the counters are monotone telemetry,
+/// not synchronization.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    connections: AtomicU64,
+    faulted_connections: AtomicU64,
+    corrupt_frames: AtomicU64,
+    malformed_messages: AtomicU64,
+    shed: AtomicU64,
+    submits: AtomicU64,
+}
+
+impl TransportStats {
+    /// Connections served to completion or fault.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections that ended in a transport fault (desync, disconnect,
+    /// timeout) rather than clean EOF or `Shutdown`.
+    pub fn faulted_connections(&self) -> u64 {
+        self.faulted_connections.load(Ordering::Relaxed)
+    }
+
+    /// Checksum-corrupt frames answered with [`ResponseMessage::Resend`].
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt_frames.load(Ordering::Relaxed)
+    }
+
+    /// Frames that verified but failed to decode as a [`WireMessage`].
+    pub fn malformed_messages(&self) -> u64 {
+        self.malformed_messages.load(Ordering::Relaxed)
+    }
+
+    /// Messages shed because the bounded queue was full.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Submit messages that reached the absorber (each earns exactly one
+    /// admitted / duplicate / rejected verdict from the service).
+    pub fn submits(&self) -> u64 {
+        self.submits.load(Ordering::Relaxed)
+    }
+}
+
+/// What the absorber should do with one queued message.
+enum JobKind {
+    /// A decoded message for [`ReportService::handle`].
+    Msg(WireMessage),
+    /// A frame that verified its checksum but failed message decoding —
+    /// counted by the service (not just the transport) so snapshot
+    /// counters match a direct [`ReportService::serve`] run.
+    Malformed,
+}
+
+/// One unit of absorber work plus the channel its verdict returns on.
+pub(crate) struct Job {
+    kind: JobKind,
+    reply: mpsc::Sender<ResponseMessage>,
+}
+
+/// How one connection's [`ConnHandle::serve_stream`] call ended.
+#[derive(Debug, Default)]
+pub struct ConnSummary {
+    /// Frames consumed from this connection (valid or corrupt).
+    pub frames: u64,
+    /// Checksum-corrupt frames answered with a resend request.
+    pub corrupt_frames: u64,
+    /// Responses successfully written back to the client.
+    pub responded: u64,
+    /// True when the client sent [`WireMessage::Shutdown`] (connection
+    /// scoped: the server itself keeps running).
+    pub shutdown: bool,
+    /// The transport fault that ended the connection, if any, with the
+    /// byte offset of the offending inbound frame. `None` for clean EOF
+    /// or `Shutdown`.
+    pub fault: Option<StreamFault>,
+}
+
+/// A cloneable per-connection handle into a running [`ReportServer`].
+///
+/// Cheap to clone (a queue sender and a stats handle); the absorber stays
+/// alive as long as any clone exists.
+#[derive(Debug, Clone)]
+pub struct ConnHandle {
+    tx: mpsc::SyncSender<Job>,
+    stats: Arc<TransportStats>,
+    queue_capacity: usize,
+}
+
+impl ConnHandle {
+    /// Serves one client stream to completion: reads frames, queues
+    /// messages, writes one response frame per request, in order.
+    ///
+    /// Every exit path is accounted: clean EOF, client `Shutdown`, a
+    /// transport fault (recorded in the summary, counted in the stats),
+    /// or server shutdown (queue closed). Never panics on hostile input.
+    pub fn serve_stream<S: Read + Write + ?Sized>(&self, stream: &mut S) -> ConnSummary {
+        self.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let mut summary = ConnSummary::default();
+        let mut payload = Vec::new();
+        let mut offset = 0u64;
+        loop {
+            let frame_start = offset;
+            let read = match frame::read_frame(stream, &mut payload) {
+                Ok(read) => read,
+                Err(error) => {
+                    summary.fault = Some(StreamFault {
+                        offset: frame_start,
+                        error,
+                    });
+                    break;
+                }
+            };
+            let kind = match read {
+                None => break,
+                Some(FrameRead::Corrupt { .. }) => {
+                    offset += (FRAME_HEADER_BYTES + payload.len()) as u64;
+                    summary.frames += 1;
+                    summary.corrupt_frames += 1;
+                    self.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    // Reader is still synchronized: ask for the frame
+                    // again instead of dropping the connection.
+                    if let Err(error) = ResponseMessage::Resend.write_to(stream) {
+                        summary.fault = Some(StreamFault {
+                            offset: frame_start,
+                            error,
+                        });
+                        break;
+                    }
+                    summary.responded += 1;
+                    continue;
+                }
+                Some(FrameRead::Valid { kind }) => kind,
+            };
+            offset += (FRAME_HEADER_BYTES + payload.len()) as u64;
+            summary.frames += 1;
+            let job_kind = match WireMessage::decode(kind, &payload) {
+                Ok(WireMessage::Shutdown) => {
+                    // Connection-scoped: this client is done, the server
+                    // and every other connection keep running.
+                    summary.shutdown = true;
+                    break;
+                }
+                Ok(msg) => JobKind::Msg(msg),
+                Err(_) => {
+                    self.stats
+                        .malformed_messages
+                        .fetch_add(1, Ordering::Relaxed);
+                    JobKind::Malformed
+                }
+            };
+            let echo = match &job_kind {
+                JobKind::Msg(WireMessage::Submit { user, epoch, .. }) => (*user, *epoch),
+                _ => (0, 0),
+            };
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let response = match self.tx.try_send(Job {
+                kind: job_kind,
+                reply: reply_tx,
+            }) {
+                Ok(()) => match reply_rx.recv() {
+                    Ok(response) => response,
+                    // Absorber gone mid-job: server is shutting down.
+                    Err(mpsc::RecvError) => break,
+                },
+                Err(mpsc::TrySendError::Full(_)) => {
+                    // Backpressure: shed before any state is touched and
+                    // tell the client to back off. The ledger makes the
+                    // eventual retry idempotent.
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    ResponseMessage::Ack {
+                        user: echo.0,
+                        epoch: echo.1,
+                        outcome: AckOutcome::Overloaded,
+                    }
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => break,
+            };
+            if let Err(error) = response.write_to(stream) {
+                // The verdict may already be applied server-side; the
+                // client will resend on reconnect and the ledger will
+                // answer `Duplicate` — at-most-once either way.
+                summary.fault = Some(StreamFault {
+                    offset: frame_start,
+                    error,
+                });
+                break;
+            }
+            summary.responded += 1;
+        }
+        if summary.fault.is_some() {
+            self.stats
+                .faulted_connections
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        summary
+    }
+
+    /// The queue bound this handle sheds against.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+}
+
+/// A running report server: one absorber thread owning a
+/// [`ReportService`], fed by any number of [`ConnHandle`]s.
+#[derive(Debug)]
+pub struct ReportServer {
+    handle: ConnHandle,
+    absorber: JoinHandle<ReportService>,
+}
+
+impl ReportServer {
+    /// Starts the absorber thread around a fresh service.
+    pub fn start(config: ServerConfig) -> Self {
+        let capacity = config.queue_capacity.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Job>(capacity);
+        let stats = Arc::new(TransportStats::default());
+        let service = ReportService::new(config.service);
+        let absorber_stats = Arc::clone(&stats);
+        let absorber = thread::spawn(move || absorb(rx, service, &absorber_stats));
+        ReportServer {
+            handle: ConnHandle {
+                tx,
+                stats,
+                queue_capacity: capacity,
+            },
+            absorber,
+        }
+    }
+
+    /// A new connection handle; give one clone to each connection thread.
+    pub fn handle(&self) -> ConnHandle {
+        self.handle.clone()
+    }
+
+    /// The server's shared transport counters.
+    pub fn stats(&self) -> Arc<TransportStats> {
+        Arc::clone(&self.handle.stats)
+    }
+
+    /// Graceful drain-then-stop: waits for every outstanding
+    /// [`ConnHandle`] to drop, lets the absorber drain the queue, and
+    /// returns the service with all absorbed state.
+    ///
+    /// Blocks until all connection handles are gone — join connection
+    /// threads before calling.
+    pub fn finish(self) -> ReportService {
+        let ReportServer { handle, absorber } = self;
+        drop(handle);
+        absorber.join().expect("absorber thread panicked")
+    }
+}
+
+/// The absorber loop: single-threaded ownership of the service, one
+/// verdict per job, exits when every sender is gone.
+fn absorb(
+    rx: mpsc::Receiver<Job>,
+    mut service: ReportService,
+    stats: &TransportStats,
+) -> ReportService {
+    while let Ok(job) = rx.recv() {
+        let response = match job.kind {
+            JobKind::Malformed => {
+                service.note_malformed();
+                ResponseMessage::Ack {
+                    user: 0,
+                    epoch: 0,
+                    outcome: AckOutcome::Rejected,
+                }
+            }
+            JobKind::Msg(msg) => verdict(&mut service, stats, &msg),
+        };
+        // A vanished connection cannot receive its verdict; the state
+        // change (if any) stands and the ledger covers the client's retry.
+        let _ = job.reply.send(response);
+    }
+    service
+}
+
+/// Applies one message to the service and renders the wire verdict.
+fn verdict(
+    service: &mut ReportService,
+    stats: &TransportStats,
+    msg: &WireMessage,
+) -> ResponseMessage {
+    match msg {
+        WireMessage::Hello { .. } => match service.handle(msg) {
+            Ok(_) => ResponseMessage::HelloAck,
+            Err(_) => {
+                service.note_malformed();
+                ResponseMessage::Ack {
+                    user: 0,
+                    epoch: 0,
+                    outcome: AckOutcome::Rejected,
+                }
+            }
+        },
+        WireMessage::Submit { user, epoch, .. } => {
+            stats.submits.fetch_add(1, Ordering::Relaxed);
+            let outcome = match service.handle(msg) {
+                Ok(_) => AckOutcome::Admitted,
+                Err(ldp_core::LdpError::DuplicateReport { .. }) => AckOutcome::Duplicate,
+                Err(_) => {
+                    service.note_malformed();
+                    AckOutcome::Rejected
+                }
+            };
+            ResponseMessage::Ack {
+                user: *user,
+                epoch: *epoch,
+                outcome,
+            }
+        }
+        WireMessage::FlushEpoch { epoch } => match service.handle(msg) {
+            Ok(Some(snap)) => ResponseMessage::SnapshotAck {
+                epoch: snap.epoch,
+                admitted: snap.admitted,
+                rejected_duplicates: snap.rejected_duplicates,
+                rejected_malformed: snap.rejected_malformed,
+                users: snap.result.map_or(0, |r| r.n as u64),
+            },
+            Ok(None) | Err(_) => {
+                service.note_malformed();
+                ResponseMessage::Ack {
+                    user: 0,
+                    epoch: *epoch,
+                    outcome: AckOutcome::Rejected,
+                }
+            }
+        },
+        // Shutdown is handled connection-side and never queued.
+        WireMessage::Shutdown => ResponseMessage::Ack {
+            user: 0,
+            epoch: 0,
+            outcome: AckOutcome::Rejected,
+        },
+    }
+}
+
+/// Test-only plumbing: handles over wedged queues, for exercising the
+/// shedding path without racing a live absorber.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// A [`ConnHandle`] whose queue has no absorber; the returned
+    /// receiver must stay alive for `try_send` to report `Full` (rather
+    /// than `Disconnected`).
+    pub(crate) fn wedged_handle(capacity: usize) -> (ConnHandle, mpsc::Receiver<Job>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (
+            ConnHandle {
+                tx,
+                stats: Arc::new(TransportStats::default()),
+                queue_capacity: capacity,
+            },
+            rx,
+        )
+    }
+
+    /// Occupies one queue slot with a job nobody will answer.
+    pub(crate) fn fill(handle: &ConnHandle) {
+        let (reply, _discarded) = mpsc::channel();
+        handle
+            .tx
+            .try_send(Job {
+                kind: JobKind::Msg(WireMessage::FlushEpoch { epoch: 0 }),
+                reply,
+            })
+            .expect("queue must have a free slot to fill");
+    }
+}

@@ -209,8 +209,9 @@ proptest! {
         prop_assert_eq!(&back, &report);
     }
 
-    /// Contract 2a: a frame truncated at any point yields a typed error
-    /// and the snapshot does not move.
+    /// Contract 2a: a frame truncated at any point surfaces a typed
+    /// [`StreamFault`] whose offset names the frame's first byte, and the
+    /// snapshot does not move.
     #[test]
     fn truncated_frames_are_typed_errors_and_state_is_unchanged(
         pick in 0u8..6,
@@ -233,8 +234,15 @@ proptest! {
         let cut = 1 + cut_pick % (frame_bytes.len() - 1);
         let truncated = &frame_bytes[..cut];
 
-        let err = service.serve(&mut &truncated[..]).unwrap_err();
-        prop_assert!(matches!(err, LdpError::MalformedFrame { .. }), "{}", err);
+        let summary = service.serve(&mut &truncated[..]).unwrap();
+        prop_assert_eq!(summary.admitted, 0, "truncated frame was admitted");
+        let fault = summary.desync.expect("truncation must surface as a fault");
+        prop_assert_eq!(fault.offset, 0, "fault must name the frame's first byte");
+        prop_assert!(
+            matches!(&fault.error, LdpError::MalformedFrame { .. }),
+            "{}",
+            fault.error
+        );
         assert_snapshot_unchanged(&service, &baseline);
     }
 
@@ -263,16 +271,22 @@ proptest! {
         let bit = bit_pick % (frame_bytes.len() * 8);
         frame_bytes[bit / 8] ^= 1 << (bit % 8);
 
-        match service.serve(&mut frame_bytes.as_slice()) {
-            Ok(summary) => {
-                prop_assert_eq!(summary.admitted, 0, "corrupted frame was admitted");
+        let summary = service.serve(&mut frame_bytes.as_slice()).unwrap();
+        prop_assert_eq!(summary.admitted, 0, "corrupted frame was admitted");
+        match summary.desync {
+            None => {
                 prop_assert!(
                     summary.rejected_malformed > 0,
                     "corruption neither rejected nor fatal"
                 );
             }
-            Err(err) => {
-                prop_assert!(matches!(err, LdpError::MalformedFrame { .. }), "{}", err);
+            Some(fault) => {
+                prop_assert_eq!(fault.offset, 0, "fault must name the frame's first byte");
+                prop_assert!(
+                    matches!(&fault.error, LdpError::MalformedFrame { .. }),
+                    "{}",
+                    fault.error
+                );
             }
         }
         assert_snapshot_unchanged(&service, &baseline);
@@ -399,8 +413,12 @@ fn oversized_length_aborts_with_typed_error() {
     stream.push(2);
     stream.extend_from_slice(&0u64.to_be_bytes());
 
-    let err = service.serve(&mut stream.as_slice()).unwrap_err();
-    let msg = err.to_string();
+    let summary = service.serve(&mut stream.as_slice()).unwrap();
+    let fault = summary
+        .desync
+        .expect("oversized length must surface as a fault");
+    assert_eq!(fault.offset, 0);
+    let msg = fault.error.to_string();
     assert!(msg.contains("oversized"), "{msg}");
     assert_snapshot_unchanged(&service, &baseline);
 }

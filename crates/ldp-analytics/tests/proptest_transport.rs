@@ -1,0 +1,184 @@
+//! Transport-layer property tests.
+//!
+//! Three contracts:
+//!
+//! 1. The [`Backoff`] schedule is a pure function of its seed — same
+//!    seed, same jittered delays, on every platform and every run.
+//! 2. Every delay is bounded by the deterministic envelope and the cap,
+//!    and the envelope is monotone until it saturates at the cap.
+//! 3. Retrying an already-admitted submit through the full transport
+//!    stack never increments `admitted` — the ledger answers `Duplicate`,
+//!    the client reports [`SubmitOutcome::AlreadyAdmitted`], and the
+//!    epoch's budget is spent at most once.
+
+use std::thread;
+use std::time::Duration;
+
+use ldp_analytics::pipeline::Protocol;
+use ldp_analytics::service::{encode_report, WireMessage};
+use ldp_analytics::session::ClientEncoder;
+use ldp_analytics::transport::{
+    duplex, Backoff, ClientConfig, Connect, PipeStream, ReportClient, ReportServer, ServerConfig,
+    SubmitOutcome,
+};
+use ldp_core::multidim::{AttrSpec, AttrValue};
+use ldp_core::rng::seeded_rng;
+use ldp_core::{Epsilon, IoFault, LdpError, NumericKind, OracleKind};
+use proptest::prelude::*;
+
+fn specs() -> Vec<AttrSpec> {
+    vec![AttrSpec::Numeric, AttrSpec::Categorical { k: 3 }]
+}
+
+fn protocol() -> Protocol {
+    Protocol::Sampling {
+        numeric: NumericKind::Hybrid,
+        oracle: OracleKind::Oue,
+    }
+}
+
+fn hello() -> WireMessage {
+    WireMessage::Hello {
+        protocol: protocol(),
+        epsilon: Epsilon::new(1.0).unwrap(),
+        specs: specs(),
+        epoch: 0,
+    }
+}
+
+fn report_bytes(user: u64, seed: u64) -> Vec<u8> {
+    let encoder = ClientEncoder::new(protocol(), Epsilon::new(1.0).unwrap(), specs()).unwrap();
+    let mut rng = seeded_rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ user);
+    let record = vec![AttrValue::Numeric(-0.5), AttrValue::Categorical(2)];
+    let report = encoder.encode(&record, &mut rng).unwrap();
+    encode_report(&report, &specs())
+}
+
+/// Hands out pre-wired duplex halves, one per connect.
+struct QueueConnector {
+    streams: Vec<PipeStream>,
+}
+
+impl Connect for QueueConnector {
+    type Stream = PipeStream;
+    fn connect(&mut self) -> ldp_core::Result<Self::Stream> {
+        self.streams.pop().ok_or(LdpError::ConnectionLost {
+            op: "connect",
+            cause: IoFault {
+                kind: std::io::ErrorKind::ConnectionRefused,
+                message: "no more test streams".into(),
+            },
+        })
+    }
+}
+
+fn no_sleep_config() -> ClientConfig {
+    ClientConfig {
+        max_attempts: 8,
+        max_resends: 8,
+        backoff_base: Duration::ZERO,
+        backoff_cap: Duration::ZERO,
+        backoff_seed: 3,
+    }
+}
+
+proptest! {
+    /// Contract 1: the jittered schedule is deterministic per seed.
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed(
+        seed in 0u64..1_000_000,
+        base_ms in 0u64..200,
+        cap_ms in 1u64..2_000,
+        draws in 1usize..64,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(cap_ms);
+        let mut a = Backoff::new(seed, base, cap);
+        let mut b = Backoff::new(seed, base, cap);
+        for i in 0..draws {
+            prop_assert_eq!(a.next_delay(), b.next_delay(), "diverged at draw {}", i);
+        }
+    }
+
+    /// Contract 2: delays live inside the envelope, the envelope is
+    /// monotone, and nothing ever exceeds the cap — even after resets and
+    /// attempt counts far past the doubling range.
+    #[test]
+    fn backoff_delays_are_bounded_by_the_monotone_envelope(
+        seed in 0u64..1_000_000,
+        base_ms in 0u64..200,
+        cap_ms in 1u64..2_000,
+        draws in 1u32..64,
+        reset_at in 0u32..64,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(cap_ms);
+        let mut bo = Backoff::new(seed, base, cap);
+        let mut prev_env = Duration::ZERO;
+        for attempt in 0..draws {
+            let env = bo.envelope(bo.attempt());
+            let delay = bo.next_delay();
+            prop_assert!(env <= cap, "envelope {env:?} above cap {cap:?}");
+            prop_assert!(delay <= env, "delay {delay:?} above envelope {env:?}");
+            if attempt == reset_at {
+                bo.reset();
+                prev_env = Duration::ZERO;
+            } else {
+                prop_assert!(env >= prev_env, "envelope shrank at attempt {attempt}");
+                prev_env = env;
+            }
+        }
+        prop_assert!(bo.envelope(u32::MAX) <= cap);
+    }
+
+    /// Contract 3: resending admitted reports through the full
+    /// client/server stack never double-spends budget. `admitted` stays
+    /// at the distinct-user count, every resend lands as a counted
+    /// duplicate, and the client sees each as `AlreadyAdmitted`.
+    #[test]
+    fn duplicate_retries_never_increment_admitted(
+        seed in 0u64..1_000_000,
+        users in 1u64..12,
+        resend_mask in 0u64..4096,
+    ) {
+        let server = ReportServer::start(ServerConfig::default());
+        let (client_half, mut server_half) = duplex();
+        let handle = server.handle();
+        let conn_thread = thread::spawn(move || handle.serve_stream(&mut server_half));
+
+        let connector = QueueConnector { streams: vec![client_half] };
+        let mut client = ReportClient::new(connector, hello(), no_sleep_config()).unwrap();
+        for user in 0..users {
+            let outcome = client
+                .submit(user, 0, user % 4, report_bytes(user, seed))
+                .unwrap();
+            prop_assert_eq!(outcome, SubmitOutcome::Admitted);
+        }
+        let mut resends = 0u64;
+        for user in 0..users {
+            if resend_mask >> user & 1 == 1 {
+                let outcome = client
+                    .submit(user, 0, user % 4, report_bytes(user, seed))
+                    .unwrap();
+                prop_assert_eq!(outcome, SubmitOutcome::AlreadyAdmitted);
+                resends += 1;
+            }
+        }
+        prop_assert_eq!(client.stats().duplicate_acks, resends);
+
+        let receipt = client.flush_epoch(0).unwrap();
+        prop_assert_eq!(receipt.admitted, users, "resends must never admit");
+        prop_assert_eq!(receipt.rejected_duplicates, resends);
+        prop_assert_eq!(receipt.users, users);
+
+        client.close();
+        let summary = conn_thread.join().unwrap();
+        prop_assert!(summary.shutdown && summary.fault.is_none());
+
+        let service = server.finish();
+        let snap = service.snapshot_epoch(0).unwrap();
+        prop_assert_eq!(snap.admitted, users);
+        prop_assert_eq!(snap.rejected_duplicates, resends);
+        prop_assert_eq!(snap.result.map(|r| r.n as u64), Some(users));
+    }
+}

@@ -45,7 +45,7 @@
 
 use crate::cli::Args;
 use crate::table::{fixed, Table};
-use ldp_analytics::service::{decode_report, encode_report};
+use ldp_analytics::service::{decode_report, encode_report, WireMessage};
 use ldp_analytics::{
     BestEffortNumeric, ClientEncoder, Collector, FrequencyAccumulator, MeanAccumulator, Protocol,
     Report,
@@ -179,6 +179,12 @@ pub struct WireCell {
     /// report, including the exact-length and bounds checks the service
     /// runs on every submit).
     pub decode_reports_per_sec: f64,
+    /// Reports/sec through the full transport path one `Submit` takes:
+    /// frame the message (length header + kind + FNV checksum), read it
+    /// back through `WireMessage::read_from` (checksum verify + decode),
+    /// then `decode_report` on the carried bytes — the per-report codec
+    /// cost of the socket transport with the socket itself factored out.
+    pub roundtrip_reports_per_sec: f64,
 }
 
 /// The full grid result.
@@ -819,7 +825,7 @@ pub const WIRE_REPORTS: usize = 20_000;
 /// The wire-codec arms, in `<arm>_reports_per_sec` field order. Recorded
 /// in the JSON's `wire` object so `ci/compare_bench.py` gates whatever
 /// arms both sides declare.
-pub const WIRE_ARMS: [&str; 2] = ["encode", "decode"];
+pub const WIRE_ARMS: [&str; 3] = ["encode", "decode", "roundtrip"];
 
 /// Times the canonical report codec — the bytes a `ReportService` client
 /// puts inside every `Submit` frame — over a fixed perturbed workload.
@@ -884,7 +890,19 @@ fn run_wire(args: &Args) -> Vec<WireCell> {
                 let back = decode_report(protocol, &w.specs, b).expect("canonical bytes");
                 assert_eq!(&back, r, "{label} k={k_dom}: wire round trip drifted");
             }
-            let [encode, decode] = time_arms(
+            let submits: Vec<WireMessage> = encoded
+                .iter()
+                .enumerate()
+                .map(|(i, b)| WireMessage::Submit {
+                    user: i as u64,
+                    epoch: 0,
+                    block: (i / 64) as u64,
+                    report: b.clone(),
+                })
+                .collect();
+            let mut frame_buf: Vec<u8> = Vec::new();
+            let mut frame_scratch: Vec<u8> = Vec::new();
+            let [encode, decode, roundtrip] = time_arms(
                 WIRE_REPORTS,
                 [
                     &mut || {
@@ -901,6 +919,25 @@ fn run_wire(args: &Args) -> Vec<WireCell> {
                             );
                         }
                     },
+                    &mut || {
+                        for msg in &submits {
+                            frame_buf.clear();
+                            msg.write_to(&mut frame_buf).expect("vec write");
+                            let back = WireMessage::read_from(
+                                &mut frame_buf.as_slice(),
+                                &mut frame_scratch,
+                            )
+                            .expect("framed bytes")
+                            .expect("one message");
+                            let WireMessage::Submit { report, .. } = back else {
+                                unreachable!("submit in, submit out");
+                            };
+                            std::hint::black_box(
+                                decode_report(protocol, &w.specs, &report)
+                                    .expect("canonical bytes"),
+                            );
+                        }
+                    },
                 ],
             );
             cells.push(WireCell {
@@ -913,6 +950,7 @@ fn run_wire(args: &Args) -> Vec<WireCell> {
                 bytes_per_report: total_bytes as f64 / WIRE_REPORTS as f64,
                 encode_reports_per_sec: encode,
                 decode_reports_per_sec: decode,
+                roundtrip_reports_per_sec: roundtrip,
             });
         }
     }
@@ -1233,6 +1271,7 @@ impl ThroughputReport {
                 "bytes/report",
                 "encode r/s",
                 "decode r/s",
+                "roundtrip r/s",
             ],
         );
         for c in &self.wire {
@@ -1245,6 +1284,7 @@ impl ThroughputReport {
                 format!("{:.1}", c.bytes_per_report),
                 format!("{:.0}", c.encode_reports_per_sec),
                 format!("{:.0}", c.decode_reports_per_sec),
+                format!("{:.0}", c.roundtrip_reports_per_sec),
             ]);
         }
         out.push('\n');
@@ -1330,7 +1370,8 @@ impl ThroughputReport {
             out.push_str(&format!(
                 "    {{\"protocol\": \"{}\", \"eps\": {}, \"d\": {}, \"k\": {}, \
                  \"reports\": {}, \"total_bytes\": {}, \"bytes_per_report\": {:.2}, \
-                 \"encode_reports_per_sec\": {:.1}, \"decode_reports_per_sec\": {:.1}}}{}\n",
+                 \"encode_reports_per_sec\": {:.1}, \"decode_reports_per_sec\": {:.1}, \
+                 \"roundtrip_reports_per_sec\": {:.1}}}{}\n",
                 c.protocol,
                 c.eps,
                 c.d,
@@ -1340,6 +1381,7 @@ impl ThroughputReport {
                 c.bytes_per_report,
                 c.encode_reports_per_sec,
                 c.decode_reports_per_sec,
+                c.roundtrip_reports_per_sec,
                 if i + 1 == self.wire.len() { "" } else { "," }
             ));
         }
@@ -1516,14 +1558,17 @@ mod tests {
         assert!(json.contains("scatter_reports_per_sec"));
         assert!(json.contains("estimate_checksum"));
         assert!(json.contains("worker_sweep"));
-        assert!(json.contains("\"wire\": {\"arms\": [\"encode\", \"decode\"], \"cells\":"));
+        assert!(json
+            .contains("\"wire\": {\"arms\": [\"encode\", \"decode\", \"roundtrip\"], \"cells\":"));
         assert!(json.contains("encode_reports_per_sec"));
         assert!(json.contains("decode_reports_per_sec"));
+        assert!(json.contains("roundtrip_reports_per_sec"));
         assert!(json.contains("total_bytes"));
         for c in &report.wire {
             assert!(c.total_bytes > 0);
             assert!(c.encode_reports_per_sec.is_finite() && c.encode_reports_per_sec > 0.0);
             assert!(c.decode_reports_per_sec.is_finite() && c.decode_reports_per_sec > 0.0);
+            assert!(c.roundtrip_reports_per_sec.is_finite() && c.roundtrip_reports_per_sec > 0.0);
         }
         // Rates are positive and finite in every cell.
         for c in &report.cells {

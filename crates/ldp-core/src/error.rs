@@ -2,6 +2,41 @@
 
 use std::fmt;
 
+/// The I/O condition behind a transport-layer [`LdpError`].
+///
+/// `std::io::Error` is neither `Clone` nor `PartialEq`, which every
+/// consumer of [`LdpError`] relies on, so the frame layer captures the
+/// parts that matter — the [`std::io::ErrorKind`] and the rendered message
+/// — into this owned, comparable cause. It implements
+/// [`std::error::Error`], and the transport variants expose it through
+/// [`std::error::Error::source`], so error-reporting crates walk the chain
+/// exactly as they would with the original `io::Error`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoFault {
+    /// Kind of the underlying `std::io::Error`.
+    pub kind: std::io::ErrorKind,
+    /// The underlying error rendered to text.
+    pub message: String,
+}
+
+impl IoFault {
+    /// Captures the comparable parts of an `std::io::Error`.
+    pub fn from_io(e: &std::io::Error) -> Self {
+        IoFault {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for IoFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for IoFault {}
+
 /// Errors returned by LDP mechanisms and their constructors.
 ///
 /// All constructors validate their parameters eagerly so that perturbation
@@ -77,6 +112,37 @@ pub enum LdpError {
         /// Epoch in which the duplicate arrived.
         epoch: u64,
     },
+    /// A transport operation did not complete in time
+    /// (`io::ErrorKind::TimedOut` / `WouldBlock` at the frame layer).
+    /// Retryable: nothing about the stream's framing is known to be lost,
+    /// but the caller cannot tell whether the far side acted, so any retry
+    /// must be idempotent (the budget ledger makes report resubmission so).
+    Timeout {
+        /// The frame operation that timed out (`"read"` / `"write"` /
+        /// `"connect"`).
+        op: &'static str,
+        /// The captured I/O condition (also the
+        /// [`source`](std::error::Error::source)).
+        cause: IoFault,
+    },
+    /// A bounded transport queue was full, so the message was shed before
+    /// touching any service state. Retryable after backoff — shedding is
+    /// how the server protects itself, not a verdict on the message.
+    Overloaded {
+        /// Capacity of the queue that shed the message; `0` when the far
+        /// end reported overload without disclosing its capacity.
+        capacity: usize,
+    },
+    /// The peer went away mid-stream (connection reset/aborted, broken
+    /// pipe, or EOF where bytes were owed). Unacknowledged messages are in
+    /// an unknown state; reconnect and resend them idempotently.
+    ConnectionLost {
+        /// The frame operation that observed the loss.
+        op: &'static str,
+        /// The captured I/O condition (also the
+        /// [`source`](std::error::Error::source)).
+        cause: IoFault,
+    },
 }
 
 impl fmt::Display for LdpError {
@@ -122,11 +188,35 @@ impl fmt::Display for LdpError {
                      per-epoch privacy budget already spent"
                 )
             }
+            LdpError::Timeout { op, cause } => {
+                write!(f, "transport {op} timed out ({cause})")
+            }
+            LdpError::Overloaded { capacity } => {
+                if *capacity > 0 {
+                    write!(
+                        f,
+                        "transport overloaded: bounded queue at capacity {capacity}; \
+                         retry after backoff"
+                    )
+                } else {
+                    write!(f, "transport overloaded; retry after backoff")
+                }
+            }
+            LdpError::ConnectionLost { op, cause } => {
+                write!(f, "connection lost during {op} ({cause})")
+            }
         }
     }
 }
 
-impl std::error::Error for LdpError {}
+impl std::error::Error for LdpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LdpError::Timeout { cause, .. } | LdpError::ConnectionLost { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LdpError>;
@@ -187,6 +277,51 @@ mod tests {
             msg.contains("0x00000000deadbeef") && msg.contains("epoch 3"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn transport_variants_display_and_source() {
+        let cause = IoFault {
+            kind: std::io::ErrorKind::TimedOut,
+            message: "deadline elapsed".into(),
+        };
+        let e = LdpError::Timeout {
+            op: "read",
+            cause: cause.clone(),
+        };
+        assert!(e.to_string().contains("read"), "{e}");
+        assert!(e.to_string().contains("deadline elapsed"), "{e}");
+        let src = std::error::Error::source(&e).expect("io-backed variant has a source");
+        assert_eq!(src.to_string(), cause.to_string());
+
+        let e = LdpError::ConnectionLost {
+            op: "write",
+            cause: IoFault {
+                kind: std::io::ErrorKind::BrokenPipe,
+                message: "peer closed".into(),
+            },
+        };
+        assert!(e.to_string().contains("write"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = LdpError::Overloaded { capacity: 128 };
+        assert!(e.to_string().contains("128"), "{e}");
+        assert!(std::error::Error::source(&e).is_none());
+        let e = LdpError::Overloaded { capacity: 0 };
+        assert!(e.to_string().contains("retry after backoff"), "{e}");
+
+        // Non-transport variants still have no source.
+        assert!(std::error::Error::source(&LdpError::EmptyInput("x")).is_none());
+    }
+
+    #[test]
+    fn io_fault_captures_kind_and_message() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "mid-frame reset");
+        let fault = IoFault::from_io(&io);
+        assert_eq!(fault.kind, std::io::ErrorKind::ConnectionReset);
+        assert!(fault.message.contains("mid-frame reset"));
+        // Comparable + cloneable, unlike std::io::Error itself.
+        assert_eq!(fault.clone(), fault);
     }
 
     #[test]

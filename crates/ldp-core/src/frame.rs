@@ -33,7 +33,7 @@
 //! length) into an immediate typed error instead of an attempt to buffer
 //! gigabytes.
 
-use crate::error::{LdpError, Result};
+use crate::error::{IoFault, LdpError, Result};
 use std::io::{Read, Write};
 
 /// Hard cap on the payload length a frame may declare, in bytes.
@@ -67,6 +67,38 @@ fn malformed(message: String) -> LdpError {
     LdpError::MalformedFrame { message }
 }
 
+/// Classifies an `std::io::Error` raised during frame `op` into the typed
+/// transport errors.
+///
+/// * `TimedOut` / `WouldBlock` → [`LdpError::Timeout`] — the stream may
+///   still be synchronized; the operation just did not complete in time.
+/// * `ConnectionReset` / `ConnectionAborted` / `BrokenPipe` /
+///   `NotConnected` / `UnexpectedEof` → [`LdpError::ConnectionLost`] — the
+///   peer is gone and unacknowledged frames are in an unknown state.
+/// * everything else → [`LdpError::MalformedFrame`] — framing cannot be
+///   trusted past an unclassified I/O failure.
+///
+/// `Interrupted` never reaches this function: the frame read and write
+/// loops retry it in place, which *is* its mapping.
+pub fn io_error(op: &'static str, e: &std::io::Error) -> LdpError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => LdpError::Timeout {
+            op,
+            cause: IoFault::from_io(e),
+        },
+        ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::NotConnected
+        | ErrorKind::UnexpectedEof => LdpError::ConnectionLost {
+            op,
+            cause: IoFault::from_io(e),
+        },
+        _ => malformed(format!("frame {op} failed: {e}")),
+    }
+}
+
 /// Encode one frame into a fresh byte vector.
 ///
 /// Useful when building a stream in memory (tests, the in-process pipes in
@@ -89,13 +121,14 @@ pub fn frame_to_vec(kind: u8, payload: &[u8]) -> Result<Vec<u8>> {
 
 /// Write one frame to `w`.
 ///
-/// Transport failures surface as [`LdpError::MalformedFrame`] carrying the
-/// underlying I/O message — the error type stays `Clone + PartialEq`, which
-/// the rest of the crate relies on.
+/// Transport failures surface as typed errors via [`io_error`]: timeouts
+/// as [`LdpError::Timeout`], peer loss as [`LdpError::ConnectionLost`],
+/// anything unclassified as [`LdpError::MalformedFrame`] — the error type
+/// stays `Clone + PartialEq`, which the rest of the crate relies on.
+/// `Interrupted` is retried by `write_all` itself.
 pub fn write_frame<W: Write + ?Sized>(w: &mut W, kind: u8, payload: &[u8]) -> Result<()> {
     let bytes = frame_to_vec(kind, payload)?;
-    w.write_all(&bytes)
-        .map_err(|e| malformed(format!("frame write failed: {e}")))
+    w.write_all(&bytes).map_err(|e| io_error("write", &e))
 }
 
 /// Outcome of reading one complete frame — see [`read_frame`].
@@ -124,10 +157,13 @@ pub enum FrameRead {
 /// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
 /// boundary) and [`FrameRead::Corrupt`] on a checksum mismatch (frame
 /// consumed, reader synchronized, payload poison). Every irregularity that
-/// loses framing — EOF inside a frame, a length above
-/// [`MAX_FRAME_PAYLOAD`], an I/O failure — is a typed
-/// [`LdpError::MalformedFrame`], after which the stream cannot be trusted
-/// to contain further frame boundaries. `payload` is reused as scratch
+/// loses framing is a typed error: EOF inside a frame and a length above
+/// [`MAX_FRAME_PAYLOAD`] are [`LdpError::MalformedFrame`], while I/O
+/// failures classify through [`io_error`] (timeouts as
+/// [`LdpError::Timeout`], peer loss as [`LdpError::ConnectionLost`],
+/// anything else as [`LdpError::MalformedFrame`]) — after any of them the
+/// stream cannot be trusted to contain further frame boundaries.
+/// `payload` is reused as scratch
 /// space so a serve loop reading millions of frames performs no per-frame
 /// allocation once the buffer has grown to the stream's largest payload.
 pub fn read_frame<R: Read + ?Sized>(r: &mut R, payload: &mut Vec<u8>) -> Result<Option<FrameRead>> {
@@ -173,7 +209,7 @@ fn read_full<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> Result<usize> {
             Ok(0) => break,
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(malformed(format!("frame read failed: {e}"))),
+            Err(e) => return Err(io_error("read", &e)),
         }
     }
     Ok(filled)
@@ -294,6 +330,129 @@ mod tests {
         let a = frame_checksum(1, b"same payload");
         let b = frame_checksum(2, b"same payload");
         assert_ne!(a, b);
+    }
+
+    /// A reader scripted to fail with one io::ErrorKind per call (after
+    /// optionally yielding a few real bytes first).
+    struct FailingReader {
+        data: Vec<u8>,
+        pos: usize,
+        kinds: Vec<std::io::ErrorKind>,
+    }
+
+    impl Read for FailingReader {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos < self.data.len() {
+                let n = (self.data.len() - self.pos).min(out.len());
+                out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                return Ok(n);
+            }
+            match self.kinds.pop() {
+                Some(kind) => Err(std::io::Error::new(kind, "scripted fault")),
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn timed_out_and_would_block_map_to_typed_timeout() {
+        for kind in [std::io::ErrorKind::TimedOut, std::io::ErrorKind::WouldBlock] {
+            let mut reader = FailingReader {
+                data: Vec::new(),
+                pos: 0,
+                kinds: vec![kind],
+            };
+            let mut scratch = Vec::new();
+            let err = read_frame(&mut reader, &mut scratch).unwrap_err();
+            assert!(
+                matches!(err, LdpError::Timeout { op: "read", .. }),
+                "{kind:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn peer_loss_kinds_map_to_connection_lost() {
+        for kind in [
+            std::io::ErrorKind::ConnectionReset,
+            std::io::ErrorKind::ConnectionAborted,
+            std::io::ErrorKind::BrokenPipe,
+            std::io::ErrorKind::UnexpectedEof,
+        ] {
+            let mut reader = FailingReader {
+                data: frame_to_vec(1, b"partial").unwrap()[..6].to_vec(),
+                pos: 0,
+                kinds: vec![kind],
+            };
+            let mut scratch = Vec::new();
+            let err = read_frame(&mut reader, &mut scratch).unwrap_err();
+            assert!(
+                matches!(err, LdpError::ConnectionLost { op: "read", .. }),
+                "{kind:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried_to_a_valid_frame() {
+        // Interrupted between every delivered byte: the read loop absorbs
+        // them all and the frame still parses.
+        struct Interrupting {
+            data: Vec<u8>,
+            pos: usize,
+            interrupt_next: bool,
+        }
+        impl Read for Interrupting {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.interrupt_next {
+                    self.interrupt_next = false;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "signal",
+                    ));
+                }
+                self.interrupt_next = true;
+                if self.pos == self.data.len() {
+                    return Ok(0);
+                }
+                out[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut reader = Interrupting {
+            data: frame_to_vec(9, b"survives signals").unwrap(),
+            pos: 0,
+            interrupt_next: true,
+        };
+        let mut scratch = Vec::new();
+        assert_eq!(
+            read_frame(&mut reader, &mut scratch).unwrap(),
+            Some(FrameRead::Valid { kind: 9 })
+        );
+        assert_eq!(scratch, b"survives signals");
+    }
+
+    #[test]
+    fn write_side_peer_loss_is_typed() {
+        struct BrokenWriter;
+        impl Write for BrokenWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "peer closed",
+                ))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_frame(&mut BrokenWriter, 1, b"doomed").unwrap_err();
+        assert!(
+            matches!(err, LdpError::ConnectionLost { op: "write", .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod variance;
 pub use budget::Epsilon;
 pub use categorical::AnyOracle;
 pub use domain::NumericDomain;
-pub use error::{LdpError, Result};
+pub use error::{IoFault, LdpError, Result};
 pub use kinds::{NumericKind, OracleKind};
 pub use mechanism::{
     check_unit_interval, BitVec, CategoricalReport, DebiasParams, FrequencyOracle, NumericMechanism,
