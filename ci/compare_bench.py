@@ -1,7 +1,22 @@
 #!/usr/bin/env python3
-"""Gate a fresh throughput run against the committed BENCH_throughput.json.
+"""Gate a fresh bench run against its committed BENCH_*.json artifact.
 
-Two kinds of fields, two kinds of gates:
+The script dispatches on the top-level ``bench`` field of the two JSONs:
+
+* ``"throughput"`` — the perf/accuracy gate described below, against
+  ``BENCH_throughput.json``.
+* ``"audit"`` — the privacy gate, against ``BENCH_audit.json``: every
+  audited (cell, arm) in BOTH files must satisfy
+  ``<arm>_eps_emp_upper <= eps_theory`` (plus ``--eps-slop``, default 1e-9,
+  for float formatting only). The certified bound only *shrinks* with fewer
+  trials, so a quick CI re-audit applies the exact same inequality as the
+  committed million-trial artifact — there is no "tolerant" variant of this
+  gate. Every committed cell (keyed on protocol/eps/d/k/sampled_k) and
+  every committed arm must be present in the measured JSON; a candidate
+  that silently stops auditing a cell must not pass by omission. Tally
+  sanity (wins <= trials, lower <= upper) is checked on both sides too.
+
+For the throughput gate there are two kinds of fields, two kinds of gates:
 
 * accuracy fields (``estimate_checksum`` per grid cell and per worker-sweep
   entry, ``total_bytes`` per wire cell) are deterministic — fixed seeds,
@@ -201,6 +216,97 @@ def compare(committed, measured, min_ratio):
     return failures, delta_rows, matched
 
 
+def audit_cell_key(cell):
+    return (
+        cell["protocol"],
+        float(cell["eps"]),
+        int(cell["d"]),
+        int(cell["k"]),
+        int(cell["sampled_k"]),
+    )
+
+
+def audit_check_side(name, report, slop, failures, rows):
+    """The privacy gate proper, applied to one JSON: certified empirical
+    epsilon must never exceed the theoretical budget, and the tallies must
+    be internally consistent. Runs on the committed artifact too — a bad
+    artifact must not become the baseline everything else is compared to."""
+    arms = report.get("arms", [])
+    if not arms:
+        failures.append(f"{name} audit JSON declares no arms")
+    for cell in report.get("cells", []):
+        label = "{} {} eps={} d={} k={}".format(
+            name, cell["protocol"], cell["eps"], cell["d"], cell["k"]
+        )
+        theory = float(cell["eps_theory"])
+        for arm in arms:
+            fields = [f"{arm}_{f}" for f in (
+                "trials", "wins_v1", "wins_v2", "eps_emp_lower", "eps_emp_upper"
+            )]
+            missing = [f for f in fields if f not in cell]
+            if missing:
+                # Only flag arms this cell is expected to carry: the
+                # ``direct`` arm exists on 1-D GRR cells alone, and a cell
+                # with no trace of the arm simply doesn't run it.
+                if any(f in cell for f in fields):
+                    failures.append(f"{label}: missing audit field(s) {missing}")
+                continue
+            trials, w1, w2 = (int(cell[f"{arm}_{f}"]) for f in ("trials", "wins_v1", "wins_v2"))
+            lower, upper = (float(cell[f"{arm}_eps_emp_{b}"]) for b in ("lower", "upper"))
+            if w1 + w2 > trials:
+                failures.append(
+                    f"{label}: {arm} wins exceed trials ({w1}+{w2} > {trials}) "
+                    f"— tally conservation broken"
+                )
+            if lower > upper + slop:
+                failures.append(
+                    f"{label}: {arm} eps_emp_lower {lower} > eps_emp_upper {upper}"
+                )
+            rows.append((label, arm, upper, theory))
+            if upper > theory + slop:
+                failures.append(
+                    f"{label}: {arm} certified eps_emp_upper {upper} exceeds "
+                    f"theoretical eps {theory} — the implementation leaks more "
+                    f"privacy than it claims"
+                )
+
+
+def compare_audit(committed, measured, slop):
+    """The audit gate. Returns (failures, rows, matched_cell_count) where
+    rows are (label, arm, eps_emp_upper, eps_theory) for the log."""
+    failures = []
+    rows = []
+
+    audit_check_side("committed", committed, slop, failures, rows)
+    audit_check_side("measured", measured, slop, failures, rows)
+
+    committed_arms = committed.get("arms", [])
+    measured_arms = measured.get("arms", [])
+    dropped = [a for a in committed_arms if a not in measured_arms]
+    if dropped:
+        failures.append(
+            f"measured audit JSON dropped committed arm(s): {', '.join(dropped)}"
+        )
+
+    # The audit grid is mode-independent (quick mode reduces trials, not
+    # cells), so every committed cell must reappear in the candidate.
+    measured_cells = {audit_cell_key(c) for c in measured.get("cells", [])}
+    matched = 0
+    for cell in committed.get("cells", []):
+        key = audit_cell_key(cell)
+        if key in measured_cells:
+            matched += 1
+        else:
+            failures.append(
+                "committed audit cell {} eps={} d={} k={} missing from the "
+                "measured grid".format(*key[:4])
+            )
+    if matched == 0:
+        failures.append("no measured audit cell matched any committed cell")
+
+    return failures, rows, matched
+
+
 def self_test():
     """Unit checks for the gate itself, on synthetic reports. Returns the
     number of violated expectations (0 = pass)."""
@@ -322,6 +428,109 @@ def self_test():
         report(cells=[grid_cell(d=99)]),
     )
 
+    # --- audit-gate cases ---
+
+    def audit_cell(**over):
+        cell = {
+            "protocol": "Oracle(GRR)",
+            "eps": 1.0,
+            "d": 1,
+            "k": 2,
+            "sampled_k": 1,
+            "eps_theory": 1.0,
+            "encode_trials": 1000000,
+            "encode_wins_v1": 365000,
+            "encode_wins_v2": 365000,
+            "encode_advantage": 0.46,
+            "encode_eps_emp_lower": 0.98,
+            "encode_eps_emp_upper": 0.99,
+        }
+        cell.update(over)
+        return cell
+
+    def audit_report(**over):
+        rep = {
+            "bench": "audit",
+            "mode": "default",
+            "arms": ["encode"],
+            "cells": [audit_cell()],
+        }
+        rep.update(over)
+        return rep
+
+    def expect_audit(name, want_failure_containing, committed, measured):
+        failures, _, _ = compare_audit(committed, measured, slop=1e-9)
+        if want_failure_containing is None:
+            ok = not failures
+            detail = f"unexpected failures: {failures}" if not ok else ""
+        else:
+            ok = any(want_failure_containing in f for f in failures)
+            detail = (
+                f"no failure containing {want_failure_containing!r} in {failures}"
+                if not ok
+                else ""
+            )
+        cases.append((name, ok, detail))
+
+    expect_audit("healthy audit pair passes", None, audit_report(), audit_report())
+    # The deliberately-broken cell: a certificate above the theoretical
+    # budget must fail no matter which side carries it.
+    expect_audit(
+        "measured eps violation fails",
+        "exceeds theoretical eps",
+        audit_report(),
+        audit_report(cells=[audit_cell(encode_eps_emp_upper=1.07)]),
+    )
+    expect_audit(
+        "committed eps violation fails",
+        "exceeds theoretical eps",
+        audit_report(cells=[audit_cell(encode_eps_emp_upper=1.07)]),
+        audit_report(),
+    )
+    expect_audit(
+        "missing committed audit cell fails",
+        "missing from the measured grid",
+        audit_report(cells=[audit_cell(), audit_cell(k=16)]),
+        audit_report(),
+    )
+    expect_audit(
+        "dropped audit arm fails",
+        "dropped committed arm(s): encode",
+        audit_report(),
+        audit_report(arms=[], cells=[audit_cell()]),
+    )
+    expect_audit(
+        "tally conservation violation fails",
+        "wins exceed trials",
+        audit_report(),
+        audit_report(cells=[audit_cell(encode_wins_v1=700000, encode_wins_v2=700000)]),
+    )
+    expect_audit(
+        "inverted bounds fail",
+        "eps_emp_lower",
+        audit_report(),
+        audit_report(
+            cells=[audit_cell(encode_eps_emp_lower=0.99, encode_eps_emp_upper=0.5)]
+        ),
+    )
+    expect_audit(
+        "quick re-audit with smaller certificates passes",
+        None,
+        audit_report(),
+        audit_report(
+            mode="quick",
+            cells=[
+                audit_cell(
+                    encode_trials=50000,
+                    encode_wins_v1=18000,
+                    encode_wins_v2=18000,
+                    encode_eps_emp_lower=0.90,
+                    encode_eps_emp_upper=0.93,
+                )
+            ],
+        ),
+    )
+
     bad = 0
     for name, ok, detail in cases:
         print(f"{'ok' if ok else 'FAIL'} {name}{': ' + detail if detail else ''}")
@@ -342,6 +551,12 @@ def main():
         help="fail when measured/committed users-per-sec drops below this",
     )
     parser.add_argument(
+        "--eps-slop",
+        type=float,
+        default=1e-9,
+        help="audit gate: tolerated float slack on eps_emp_upper <= eps_theory",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the gate's own unit checks on synthetic reports and exit",
@@ -357,6 +572,25 @@ def main():
         committed = json.load(f)
     with open(args.measured) as f:
         measured = json.load(f)
+
+    kinds = (committed.get("bench", "throughput"), measured.get("bench", "throughput"))
+    if kinds[0] != kinds[1]:
+        print(f"bench kinds disagree: committed={kinds[0]} measured={kinds[1]}")
+        sys.exit(1)
+
+    if kinds[0] == "audit":
+        failures, rows, matched = compare_audit(committed, measured, args.eps_slop)
+        for label, arm, upper, theory in rows:
+            marker = "OK" if upper <= theory + args.eps_slop else "FAIL"
+            print(f"{marker} {label} {arm}: eps_emp_upper {upper} vs eps {theory}")
+        print(f"\n{matched} audit cells matched against the committed grid")
+        if failures:
+            print("\nFAILURES:")
+            for f in failures:
+                print(f"  - {f}")
+            sys.exit(1)
+        print("privacy audit gate passed")
+        return
 
     failures, delta_rows, matched = compare(committed, measured, args.min_ratio)
 

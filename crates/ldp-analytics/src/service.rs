@@ -45,6 +45,79 @@
 //! shards fed arbitrary interleavings of the same reports tree-merge —
 //! in any order — to a snapshot bit-identical to a single-process
 //! [`pipeline::Collector::run`]. The CI determinism diff covers this path.
+//!
+//! ## Example: serving a framed byte stream
+//!
+//! [`ReportService::serve`] consumes any `Read`-able stream until
+//! `Shutdown` or EOF; here the "wire" is an in-memory buffer. (For live
+//! connections with acks, backpressure and reconnects, put the
+//! [`transport`](crate::transport) layer in front — its
+//! `ReportServer`/`ReportClient` pair speaks this protocol over real
+//! streams.)
+//!
+//! ```
+//! use ldp_analytics::service::{encode_report, ReportService, ServiceConfig, WireMessage};
+//! use ldp_analytics::{ClientEncoder, Protocol};
+//! use ldp_core::multidim::{AttrSpec, AttrValue};
+//! use ldp_core::rng::seeded_rng;
+//! use ldp_core::{Epsilon, LdpError, NumericKind, OracleKind};
+//!
+//! let protocol = Protocol::Sampling {
+//!     numeric: NumericKind::Hybrid,
+//!     oracle: OracleKind::Oue,
+//! };
+//! let epsilon = Epsilon::new(1.0)?;
+//! let specs = vec![AttrSpec::Numeric, AttrSpec::Categorical { k: 4 }];
+//!
+//! // Clients frame Hello + one Submit each onto the wire.
+//! let mut wire = Vec::new();
+//! WireMessage::Hello {
+//!     protocol,
+//!     epsilon,
+//!     specs: specs.clone(),
+//!     epoch: 0,
+//! }
+//! .write_to(&mut wire)?;
+//! let encoder = ClientEncoder::new(protocol, epsilon, specs.clone())?;
+//! let mut rng = seeded_rng(7);
+//! for user in 0..100u64 {
+//!     let report = encoder.encode(
+//!         &[AttrValue::Numeric(0.5), AttrValue::Categorical(1)],
+//!         &mut rng,
+//!     )?;
+//!     WireMessage::Submit {
+//!         user,
+//!         epoch: 0,
+//!         block: user / 32, // merge ordinal from the distribution tier
+//!         report: encode_report(&report, &specs),
+//!     }
+//!     .write_to(&mut wire)?;
+//! }
+//! // A duplicate submit: the ledger rejects it without touching state.
+//! let report = encoder.encode(
+//!     &[AttrValue::Numeric(0.5), AttrValue::Categorical(1)],
+//!     &mut rng,
+//! )?;
+//! WireMessage::Submit {
+//!     user: 42,
+//!     epoch: 0,
+//!     block: 1,
+//!     report: encode_report(&report, &specs),
+//! }
+//! .write_to(&mut wire)?;
+//! WireMessage::Shutdown.write_to(&mut wire)?;
+//!
+//! // The aggregator side: one loop over the bytes.
+//! let mut service = ReportService::new(ServiceConfig::default());
+//! let summary = service.serve(&mut wire.as_slice())?;
+//! assert!(summary.shutdown);
+//! let snapshot = service.snapshot_epoch(0)?;
+//! assert_eq!(snapshot.admitted, 100);
+//! assert_eq!(snapshot.rejected_duplicates, 1);
+//! let estimates = &snapshot.result; // debiased means + frequencies
+//! # let _ = estimates;
+//! # Ok::<(), LdpError>(())
+//! ```
 
 use crate::ledger::BudgetLedger;
 use crate::pipeline::{self, CollectionResult, Protocol};

@@ -23,6 +23,115 @@
 //!   snapshot is *bit-identical* to a clean run's.
 //! * [`net`] (feature `net`, on by default) — `std::net` TCP and Unix
 //!   domain socket shells over the stream-agnostic core.
+//!
+//! ## Verdicts and the retry contract
+//!
+//! Three signals cover everything that can go wrong short of a dead
+//! wire, and each prescribes exactly one client reaction:
+//!
+//! * [`AckOutcome::Overloaded`](crate::service::AckOutcome::Overloaded)
+//!   — the server's bounded queue shed the submit **before** any
+//!   validation or ledger state was touched. Nothing was spent; the
+//!   client pauses on its [`Backoff`] schedule and resends on the *same*
+//!   connection.
+//! * [`ResponseMessage::Resend`](crate::service::ResponseMessage::Resend)
+//!   — a frame arrived checksum-corrupt but well-delimited. The stream
+//!   is still in sync, so the client rewrites the same frame in place;
+//!   after [`ClientConfig::max_resends`] bounces the connection is
+//!   declared hostile and rebuilt.
+//! * [`StreamFault`](crate::service::StreamFault) — desynchronizing
+//!   damage (truncation, an oversized length, an I/O error), recorded
+//!   with the exact byte offset. The server ends *that connection only*;
+//!   the client reconnects, replays its `Hello`, and retries.
+//!
+//! Whenever an ack is lost the submit's fate is unknown, and the only
+//! safe move is to resend. That is safe because the server's
+//! [`BudgetLedger`](crate::ledger::BudgetLedger) answers a resend of an
+//! already-admitted `(user, epoch)` with a
+//! [`Duplicate`](crate::service::AckOutcome::Duplicate) verdict, which
+//! [`ReportClient`] surfaces as the *success*
+//! [`SubmitOutcome::AlreadyAdmitted`]: **at-most-once budget spend, no
+//! client-side bookkeeping** — retries can only ever be counted, never
+//! double-spent.
+//!
+//! ## Example: a client/server round trip
+//!
+//! An in-process connection (a deployment would use
+//! [`TcpConnector`]/[`TcpReportServer`]; the contract is identical):
+//!
+//! ```
+//! use ldp_analytics::service::{encode_report, WireMessage};
+//! use ldp_analytics::transport::{
+//!     duplex, ClientConfig, Connect, PipeStream, ReportClient, ReportServer, ServerConfig,
+//!     SubmitOutcome,
+//! };
+//! use ldp_analytics::{ClientEncoder, Protocol};
+//! use ldp_core::multidim::{AttrSpec, AttrValue};
+//! use ldp_core::rng::seeded_rng;
+//! use ldp_core::{Epsilon, IoFault, LdpError, NumericKind, OracleKind};
+//!
+//! // A connector over one pre-wired duplex half.
+//! struct OneShot(Option<PipeStream>);
+//! impl Connect for OneShot {
+//!     type Stream = PipeStream;
+//!     fn connect(&mut self) -> ldp_core::Result<PipeStream> {
+//!         self.0.take().ok_or(LdpError::ConnectionLost {
+//!             op: "connect",
+//!             cause: IoFault {
+//!                 kind: std::io::ErrorKind::ConnectionRefused,
+//!                 message: "single test stream already used".into(),
+//!             },
+//!         })
+//!     }
+//! }
+//!
+//! let protocol = Protocol::Sampling {
+//!     numeric: NumericKind::Hybrid,
+//!     oracle: OracleKind::Oue,
+//! };
+//! let epsilon = Epsilon::new(1.0)?;
+//! let specs = vec![AttrSpec::Numeric, AttrSpec::Categorical { k: 4 }];
+//!
+//! // Server: reader threads feed one service-owning absorber; here a
+//! // single in-process connection is served on a spawned thread.
+//! let server = ReportServer::start(ServerConfig::default());
+//! let (client_half, mut server_half) = duplex();
+//! let handle = server.handle();
+//! let conn = std::thread::spawn(move || handle.serve_stream(&mut server_half));
+//!
+//! // Client: reconnect + retry around the framed protocol.
+//! let hello = WireMessage::Hello {
+//!     protocol,
+//!     epsilon,
+//!     specs: specs.clone(),
+//!     epoch: 0,
+//! };
+//! let mut client = ReportClient::new(OneShot(Some(client_half)), hello, ClientConfig::default())?;
+//!
+//! let encoder = ClientEncoder::new(protocol, epsilon, specs.clone())?;
+//! let record = vec![AttrValue::Numeric(0.25), AttrValue::Categorical(1)];
+//! let mut rng = seeded_rng(7);
+//! for user in 0..10u64 {
+//!     let report = encoder.encode(&record, &mut rng)?;
+//!     let outcome = client.submit(user, 0, 0, encode_report(&report, &specs))?;
+//!     assert_eq!(outcome, SubmitOutcome::Admitted);
+//! }
+//!
+//! // Retrying an already-admitted user is success, not a double spend.
+//! let report = encoder.encode(&record, &mut rng)?;
+//! let outcome = client.submit(3, 0, 0, encode_report(&report, &specs))?;
+//! assert_eq!(outcome, SubmitOutcome::AlreadyAdmitted);
+//!
+//! let receipt = client.flush_epoch(0)?;
+//! assert_eq!(receipt.admitted, 10);
+//! assert_eq!(receipt.rejected_duplicates, 1);
+//!
+//! client.close();
+//! conn.join().expect("connection thread");
+//! let service = server.finish(); // drains the queue, returns the service
+//! assert_eq!(service.snapshot_epoch(0)?.admitted, 10);
+//! # Ok::<(), LdpError>(())
+//! ```
 
 pub mod backoff;
 pub mod chaos;

@@ -1,0 +1,93 @@
+//! Property tests for the audit estimator and trial engine.
+
+use ldp_audit::{
+    audit_grr_direct_cell, clopper_pearson_lower, clopper_pearson_upper, estimate_eps, AuditConfig,
+    TrialCounts,
+};
+use ldp_core::Epsilon;
+use proptest::prelude::*;
+
+proptest! {
+    /// Trial-count conservation through the whole engine: every scheduled
+    /// trial lands in exactly one (side, win/loss) bucket, for any trial
+    /// count, seed, and worker count.
+    #[test]
+    fn trial_count_conservation(
+        trials in 2usize..2_000,
+        seed in 0u64..1_000_000,
+        workers in 1usize..5,
+        k in 2u32..12,
+    ) {
+        let cfg = AuditConfig {
+            trials,
+            alpha: 1e-2,
+            seed,
+            shards: 8,
+            workers: Some(workers),
+        };
+        let counts = audit_grr_direct_cell(Epsilon::new(1.0).unwrap(), k, &cfg).unwrap();
+        prop_assert_eq!(counts.trials(), trials as u64);
+        prop_assert_eq!(counts.wins() + counts.losses(), counts.trials());
+        prop_assert_eq!(counts.trials_v1 + counts.trials_v2, trials as u64);
+        prop_assert!(counts.wins_v1 <= counts.trials_v1);
+        prop_assert!(counts.wins_v2 <= counts.trials_v2);
+        // Parity split: v1 gets the ceiling half.
+        prop_assert_eq!(counts.trials_v1, trials.div_ceil(2) as u64);
+    }
+
+    /// The certified ε is monotone in the attacker's advantage: more
+    /// correct guesses on either side (trials fixed) can only strengthen
+    /// the certificate.
+    #[test]
+    fn eps_emp_monotone_in_advantage(
+        n1 in 50u64..2_000,
+        n2 in 50u64..2_000,
+        w1 in 0u64..2_000,
+        w2 in 0u64..2_000,
+    ) {
+        let w1 = w1.min(n1);
+        let w2 = w2.min(n2);
+        let alpha = 1e-2;
+        let base = TrialCounts { trials_v1: n1, wins_v1: w1, trials_v2: n2, wins_v2: w2 };
+        let est = estimate_eps(&base, alpha);
+        prop_assert!(est.eps_emp_lower >= 0.0);
+        prop_assert!(est.eps_emp_lower <= est.eps_emp_upper);
+        if w1 < n1 {
+            let better = TrialCounts { wins_v1: w1 + 1, ..base };
+            let est2 = estimate_eps(&better, alpha);
+            prop_assert!(
+                est2.eps_emp_upper >= est.eps_emp_upper - 1e-9,
+                "w1+1 weakened the certificate: {} -> {}", est.eps_emp_upper, est2.eps_emp_upper
+            );
+            prop_assert!(est2.advantage > est.advantage);
+        }
+        if w2 < n2 {
+            let better = TrialCounts { wins_v2: w2 + 1, ..base };
+            let est2 = estimate_eps(&better, alpha);
+            prop_assert!(
+                est2.eps_emp_upper >= est.eps_emp_upper - 1e-9,
+                "w2+1 weakened the certificate: {} -> {}", est.eps_emp_upper, est2.eps_emp_upper
+            );
+            prop_assert!(est2.advantage > est.advantage);
+        }
+    }
+
+    /// Clopper-Pearson sanity over the whole count range: bounds bracket
+    /// the point estimate and respect [0, 1].
+    #[test]
+    fn clopper_pearson_bounds_are_ordered(
+        n in 1u64..5_000,
+        w in 0u64..5_000,
+    ) {
+        let w = w.min(n);
+        let alpha = 1e-2;
+        let lo = clopper_pearson_lower(w, n, alpha);
+        let hi = clopper_pearson_upper(w, n, alpha);
+        let point = w as f64 / n as f64;
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= point + 1e-12);
+        prop_assert!(point <= hi + 1e-12);
+        prop_assert!(lo <= hi);
+    }
+}

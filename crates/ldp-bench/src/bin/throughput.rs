@@ -9,20 +9,7 @@
 //! never leave a truncated artifact that a later existence check
 //! half-passes.
 
-use ldp_bench::{emit, throughput, Args};
-use std::path::Path;
-
-/// Writes `contents` to `path` via a sibling temp file + rename, so readers
-/// only ever observe the old artifact or the complete new one.
-fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
-    let target = Path::new(path);
-    let mut tmp = target.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = Path::new(&tmp);
-    std::fs::write(tmp, contents)?;
-    // Same-directory rename: atomic on POSIX, and never a cross-device move.
-    std::fs::rename(tmp, target)
-}
+use ldp_bench::{emit, throughput, write_atomic, Args};
 
 fn main() {
     let args = Args::parse();

@@ -24,3 +24,19 @@ pub fn emit(name: &str, report: &str) {
     println!("==== {name} ====");
     println!("{report}");
 }
+
+/// Writes `contents` to `path` via a sibling temp file + rename, so readers
+/// only ever observe the old artifact or the complete new one (shared by
+/// the `throughput` and `audit` binaries' `--out` flags).
+///
+/// # Errors
+/// I/O failures creating the temp file or renaming it into place.
+pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let target = std::path::Path::new(path);
+    let mut tmp = target.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::Path::new(&tmp);
+    std::fs::write(tmp, contents)?;
+    // Same-directory rename: atomic on POSIX, and never a cross-device move.
+    std::fs::rename(tmp, target)
+}

@@ -180,6 +180,27 @@ impl FrequencyOracle for Grr {
             q: self.q,
         }
     }
+
+    fn log_likelihood(&self, report: &CategoricalReport, value: u32) -> Result<f64> {
+        check_category(value, self.k)?;
+        match report {
+            CategoricalReport::Value(x) => {
+                check_category(*x, self.k)?;
+                Ok(if *x == value {
+                    self.p.ln()
+                } else {
+                    self.q.ln()
+                })
+            }
+            // GRR never emits unary reports, and the provided per-bit
+            // independence model would be wrong for direct encoding —
+            // reject rather than return a silently bogus likelihood.
+            CategoricalReport::Bits(_) => Err(crate::LdpError::InvalidParameter {
+                name: "report",
+                message: "GRR emits direct reports; a unary report has no GRR likelihood".into(),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]

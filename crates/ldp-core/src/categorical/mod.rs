@@ -91,6 +91,16 @@ impl AnyOracle {
         self.as_dyn().debias_params()
     }
 
+    /// Log-likelihood of a report given a true value — see
+    /// [`FrequencyOracle::log_likelihood`].
+    ///
+    /// # Errors
+    /// As [`FrequencyOracle::log_likelihood`].
+    #[inline]
+    pub fn log_likelihood(&self, report: &CategoricalReport, value: u32) -> Result<f64> {
+        self.as_dyn().log_likelihood(report, value)
+    }
+
     /// Monomorphized perturbation into a caller-owned report: one match,
     /// then the concrete oracle's generic `fill_into`. Draw-for-draw
     /// identical to the trait's `perturb_into`.

@@ -54,6 +54,7 @@ mod error;
 mod kinds;
 mod mechanism;
 
+pub mod audit;
 pub mod categorical;
 pub mod frame;
 pub mod math;

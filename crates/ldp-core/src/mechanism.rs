@@ -166,6 +166,53 @@ pub trait FrequencyOracle: Send + Sync {
         let p_one = f * p + (1.0 - f) * q;
         p_one * (1.0 - p_one) / ((p - q) * (p - q))
     }
+
+    /// Log-likelihood `ln Pr[report | true value = value]` of a report this
+    /// oracle produced.
+    ///
+    /// Provided in terms of [`FrequencyOracle::debias_params`]: a direct
+    /// report contributes `ln p` when it equals `value` and `ln q`
+    /// otherwise; a unary report is a product of independent per-bit
+    /// Bernoullis — `p` at `value`, `q` everywhere else. The independence
+    /// model fits the unary encodings (OUE, SUE); GRR overrides this to
+    /// reject `Bits` reports, which it never emits and whose bits would not
+    /// be independent under direct encoding. The `ldp-audit` attacker
+    /// subtracts two of these to form an exact log likelihood ratio between
+    /// neighboring inputs.
+    ///
+    /// # Errors
+    /// * [`LdpError::InvalidCategory`] if `value ≥ k`, or if a direct
+    ///   report's category is `≥ k`.
+    /// * [`LdpError::DimensionMismatch`] if a unary report's length is
+    ///   not `k`.
+    fn log_likelihood(&self, report: &CategoricalReport, value: u32) -> Result<f64> {
+        let k = self.k();
+        if value >= k {
+            return Err(LdpError::InvalidCategory { value, k });
+        }
+        let DebiasParams { p, q } = self.debias_params();
+        match report {
+            CategoricalReport::Value(x) => {
+                if *x >= k {
+                    return Err(LdpError::InvalidCategory { value: *x, k });
+                }
+                Ok(if *x == value { p.ln() } else { q.ln() })
+            }
+            CategoricalReport::Bits(bits) => {
+                if bits.len() != k {
+                    return Err(LdpError::DimensionMismatch {
+                        expected: k as usize,
+                        actual: bits.len() as usize,
+                    });
+                }
+                let hit = bits.get(value);
+                let other_ones = f64::from(bits.count_ones() - u32::from(hit));
+                let other_zeros = f64::from(k - 1) - other_ones;
+                let head = if hit { p.ln() } else { (1.0 - p).ln() };
+                Ok(head + other_ones * q.ln() + other_zeros * (1.0 - q).ln())
+            }
+        }
+    }
 }
 
 /// The perturbed message a user sends for one categorical attribute.

@@ -43,6 +43,25 @@ impl Duchi1d {
         self.slope * t + 0.5
     }
 
+    /// Log-mass of the output atom `x` given true value `t`.
+    ///
+    /// The support is exactly two points, `±magnitude`, compared bitwise:
+    /// `x` must be the *same float* the mechanism emits (honest reports are;
+    /// anything else has probability zero and yields `-∞`).
+    ///
+    /// # Errors
+    /// Returns [`crate::LdpError::OutOfDomain`] if `t ∉ [-1, 1]`.
+    pub fn log_mass(&self, x: f64, t: f64) -> Result<f64> {
+        check_unit_interval(t)?;
+        if x == self.magnitude {
+            Ok(self.head_probability(t).ln())
+        } else if x == -self.magnitude {
+            Ok((1.0 - self.head_probability(t)).ln())
+        } else {
+            Ok(f64::NEG_INFINITY)
+        }
+    }
+
     /// Monomorphic form of [`NumericMechanism::perturb`]: generic over the
     /// rng, draw-for-draw identical to the trait path.
     ///

@@ -81,6 +81,31 @@ impl Hybrid {
         &self.duchi
     }
 
+    /// Log-likelihood of output `x` given true value `t`, under the mixed
+    /// output measure.
+    ///
+    /// HM's output law is `(1−α)` of Duchi's two-point atoms plus `α` of PM's
+    /// continuous density. With the reference measure "Lebesgue + the two
+    /// atoms", the likelihood at an atom is the atom's mass (the continuous
+    /// component contributes zero mass to a point) and elsewhere it is the
+    /// PM density scaled by `α`. Atoms are detected by bitwise float
+    /// equality, exactly as [`Duchi1d::log_mass`] — honest reports reproduce
+    /// the emitted float verbatim. Likelihood *ratios* between two inputs are
+    /// therefore exact, which is all the `ldp-audit` attacker needs.
+    ///
+    /// # Errors
+    /// Returns [`crate::LdpError::OutOfDomain`] if `t ∉ [-1, 1]`.
+    pub fn log_density(&self, x: f64, t: f64) -> Result<f64> {
+        check_unit_interval(t)?;
+        if x == self.duchi.magnitude() || x == -self.duchi.magnitude() {
+            Ok((1.0 - self.alpha).ln() + self.duchi.log_mass(x, t)?)
+        } else {
+            // α = 0 (pure Duchi below ε*) makes this -∞: honest reports are
+            // then always atoms, so the branch is unreachable for them.
+            Ok(self.alpha.ln() + self.pm.log_density(x, t)?)
+        }
+    }
+
     /// Monomorphic form of [`NumericMechanism::perturb`]: generic over the
     /// rng, draw-for-draw identical to the trait path.
     ///

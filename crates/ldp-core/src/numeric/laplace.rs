@@ -54,6 +54,19 @@ impl Laplace {
         check_unit_interval(input)?;
         Ok(input + self.sample_noise(rng))
     }
+
+    /// Log-density of the output `x` given true value `t`:
+    /// `ln f(x|t) = −|x−t|/λ − ln(2λ)`.
+    ///
+    /// Used by the empirical privacy auditor (`ldp-audit`) to form exact
+    /// likelihood ratios between neighboring inputs.
+    ///
+    /// # Errors
+    /// Returns [`crate::LdpError::OutOfDomain`] if `t ∉ [-1, 1]`.
+    pub fn log_density(&self, x: f64, t: f64) -> Result<f64> {
+        check_unit_interval(t)?;
+        Ok(-(x - t).abs() / self.scale - (2.0 * self.scale).ln())
+    }
 }
 
 impl NumericMechanism for Laplace {

@@ -108,6 +108,32 @@ impl AnyNumeric {
         }
     }
 
+    /// Log-likelihood of output `x` given true value `t`, under each
+    /// mechanism's natural output measure (density for [`Laplace`] and
+    /// [`Piecewise`], point mass for [`Duchi1d`], the mixed measure for
+    /// [`Hybrid`]). The `ldp-audit` attacker subtracts two of these to get
+    /// an exact log likelihood ratio between neighboring inputs.
+    ///
+    /// # Errors
+    /// * [`crate::LdpError::OutOfDomain`] if `t ∉ [-1, 1]`.
+    /// * [`crate::LdpError::InvalidParameter`] for [`Scdf`] and
+    ///   [`Staircase`], whose auditing likelihoods are not implemented (they
+    ///   are §III baselines, not part of any audited protocol grid).
+    pub fn log_density(&self, x: f64, t: f64) -> Result<f64> {
+        match self {
+            AnyNumeric::Laplace(m) => m.log_density(x, t),
+            AnyNumeric::Duchi(m) => m.log_mass(x, t),
+            AnyNumeric::Piecewise(m) => m.log_density(x, t),
+            AnyNumeric::Hybrid(m) => m.log_density(x, t),
+            AnyNumeric::Scdf(_) | AnyNumeric::Staircase(_) => {
+                Err(crate::LdpError::InvalidParameter {
+                    name: "mechanism",
+                    message: format!("log_density not implemented for {}", self.name()),
+                })
+            }
+        }
+    }
+
     /// The privacy budget this mechanism was constructed with.
     #[inline]
     pub fn epsilon(&self) -> Epsilon {

@@ -90,6 +90,19 @@ impl Piecewise {
         }
     }
 
+    /// Log-density `ln pdf(t* = x | t)` of Equation 5.
+    ///
+    /// Returns `-∞` for `x` outside `[-C, C]` (honest reports never are).
+    /// Used by the empirical privacy auditor (`ldp-audit`) to form exact
+    /// likelihood ratios between neighboring inputs.
+    ///
+    /// # Errors
+    /// Returns [`crate::LdpError::OutOfDomain`] if `t ∉ [-1, 1]`.
+    pub fn log_density(&self, x: f64, t: f64) -> Result<f64> {
+        check_unit_interval(t)?;
+        Ok(self.pdf(x, t).ln())
+    }
+
     /// Monomorphic form of [`NumericMechanism::perturb`]: generic over the
     /// rng, draw-for-draw identical to the trait path.
     ///
