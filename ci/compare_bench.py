@@ -199,6 +199,55 @@ def compare(committed, measured, min_ratio):
                     "no measured wire cell matched any committed wire cell"
                 )
 
+    # Range-query section: HDG answers over the fixed census workload. The
+    # answer checksum and grid layout are deterministic (fixed seed, fixed
+    # population, pure answer-time post-processing), so they gate exactly;
+    # answers_per_sec gates tolerantly like any arm; and on BOTH sides the
+    # repaired HDG error must beat the naive full-domain baseline — the
+    # accuracy claim the query subsystem exists for, re-checked here so a
+    # bad committed artifact cannot become the baseline either.
+    q_ref = committed.get("queries")
+    q_got = measured.get("queries")
+    if q_ref is not None:
+        if q_got is None:
+            failures.append(
+                "committed JSON declares a queries section but the measured "
+                "JSON has none — the candidate must keep reporting it"
+            )
+        else:
+            ref_cells = {float(c["eps"]): c for c in q_ref["cells"]}
+            q_matched = 0
+            for cell in q_got["cells"]:
+                ref = ref_cells.get(float(cell["eps"]))
+                if ref is None:
+                    continue
+                q_matched += 1
+                label = "queries eps={}".format(cell["eps"])
+                for exact in ("queries", "g1", "g2", "grids", "answer_checksum"):
+                    if cell[exact] != ref[exact]:
+                        failures.append(
+                            f"{label}: {exact} drifted "
+                            f"({ref[exact]} -> {cell[exact]}) — the range-query "
+                            f"pipeline changed its deterministic output"
+                        )
+                gate_speed(
+                    label, "answers_per_sec", cell, ref, min_ratio, failures, delta_rows
+                )
+            if q_matched == 0:
+                failures.append(
+                    "no measured query cell matched any committed query cell"
+                )
+        for name, section in (("committed", q_ref), ("measured", q_got)):
+            for cell in (section or {}).get("cells", []):
+                hdg = float(cell["hdg_mean_rel_err"])
+                naive = float(cell["naive_mean_rel_err"])
+                if not hdg < naive:
+                    failures.append(
+                        f"{name} queries eps={cell['eps']}: hdg_mean_rel_err {hdg} "
+                        f"is not below naive_mean_rel_err {naive} — the repaired "
+                        f"grids no longer beat the naive baseline"
+                    )
+
     # Worker sweep: same fixed users/seed in every mode, so checksums are
     # exact too, and all entries within one file must agree with each other.
     for name, report in (("committed", committed), ("measured", measured)):
@@ -340,11 +389,27 @@ def self_test():
         cell.update(over)
         return cell
 
+    def query_cell(**over):
+        cell = {
+            "eps": 1.0,
+            "queries": 16,
+            "g1": 21,
+            "g2": 7,
+            "grids": 10,
+            "hdg_mean_rel_err": 0.12,
+            "naive_mean_rel_err": 0.45,
+            "answers_per_sec": 50000.0,
+            "answer_checksum": "0x123",
+        }
+        cell.update(over)
+        return cell
+
     def report(**over):
         rep = {
             "arms": ["baseline", "fast", "batched"],
             "cells": [grid_cell()],
             "wire": {"arms": ["encode", "decode"], "cells": [wire_cell()]},
+            "queries": {"users": 30000, "cells": [query_cell()]},
             "worker_sweep": {"cells": [{"estimate_checksum": "0xfff"}]},
         }
         rep.update(over)
@@ -426,6 +491,48 @@ def self_test():
         "no measured cell matched",
         report(),
         report(cells=[grid_cell(d=99)]),
+    )
+    expect(
+        "missing queries section fails",
+        "declares a queries section but the measured JSON has none",
+        report(),
+        {k: v for k, v in report().items() if k != "queries"},
+    )
+    expect(
+        "query answer checksum drift fails",
+        "answer_checksum drifted",
+        report(),
+        report(queries={"users": 30000, "cells": [query_cell(answer_checksum="0x124")]}),
+    )
+    expect(
+        "query grid layout drift fails",
+        "g1 drifted",
+        report(),
+        report(queries={"users": 30000, "cells": [query_cell(g1=24)]}),
+    )
+    expect(
+        "measured hdg worse than naive fails",
+        "no longer beat the naive baseline",
+        report(),
+        report(queries={"users": 30000, "cells": [query_cell(hdg_mean_rel_err=0.5)]}),
+    )
+    expect(
+        "committed hdg worse than naive fails",
+        "no longer beat the naive baseline",
+        report(queries={"users": 30000, "cells": [query_cell(hdg_mean_rel_err=0.5)]}),
+        report(),
+    )
+    expect(
+        "query answer rate collapse fails",
+        "answers_per_sec regressed",
+        report(),
+        report(queries={"users": 30000, "cells": [query_cell(answers_per_sec=100.0)]}),
+    )
+    expect(
+        "query eps mismatch fails",
+        "no measured query cell matched",
+        report(),
+        report(queries={"users": 30000, "cells": [query_cell(eps=9.0)]}),
     )
 
     # --- audit-gate cases ---

@@ -187,6 +187,42 @@ impl FrequencyAccumulator {
         out
     }
 
+    /// The `(p, q)` debias pair the absorbed reports were perturbed with, or
+    /// `None` while the accumulator is empty. Read-only: downstream
+    /// post-processors (e.g. the `ldp-query` grid repair) need the oracle's
+    /// parameters without re-deriving them from `(ε, k)`.
+    pub fn debias_params(&self) -> Option<DebiasParams> {
+        self.debias
+    }
+
+    /// The protocol scale (`d/k` under attribute sampling, 1 otherwise)
+    /// applied at estimation time.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The declared population, if [`FrequencyAccumulator::set_population`]
+    /// was called.
+    pub fn population(&self) -> Option<usize> {
+        self.population
+    }
+
+    /// Debiased per-category *support counts* — the estimate numerators
+    /// `scale · (c_v − reports·q) / (p − q)` before division by the
+    /// population. `None` while no reports have been absorbed (the debias
+    /// pair is unknown). Unlike [`FrequencyAccumulator::estimate`] this never
+    /// fails on an undeclared population, which is what count-space
+    /// consumers (grid repair, sharded consistency checks) want.
+    pub fn debiased_counts(&self) -> Option<Vec<f64>> {
+        let debias = self.debias?;
+        Some(
+            self.counts()
+                .into_iter()
+                .map(|c| self.scale * debias.debias_count(c, self.reports))
+                .collect(),
+        )
+    }
+
     /// Absorbs one report. The oracle only contributes its
     /// [`DebiasParams`] — all reports in one accumulator must come from
     /// oracles with the same `(p, q)`, since the debias is applied once at
@@ -365,6 +401,52 @@ mod tests {
             // exactly `support_variance(t)` (data + response randomness).
             assert_within_ci!(e, t, oracle.support_variance(t), n, "v={v}");
         }
+    }
+
+    #[test]
+    fn accessors_expose_debias_state_read_only() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let oracle = Oue::new(eps, 4).unwrap();
+        let mut acc = FrequencyAccumulator::new(4, 2.0);
+
+        // Empty accumulator: no debias pair yet, so no debiased counts.
+        assert_eq!(acc.debias_params(), None);
+        assert_eq!(acc.debiased_counts(), None);
+        assert_eq!(acc.scale(), 2.0);
+        assert_eq!(acc.population(), None);
+
+        let mut rng = fixture_rng("frequency::accessors_read_only");
+        for _ in 0..100 {
+            let rep = oracle.perturb(1, &mut rng).unwrap();
+            acc.add(&oracle, &rep);
+        }
+        assert_eq!(acc.debias_params(), Some(oracle.debias_params()));
+        acc.set_population(250);
+        assert_eq!(acc.population(), Some(250));
+    }
+
+    #[test]
+    fn debiased_counts_are_estimate_numerators() {
+        let eps = Epsilon::new(2.0).unwrap();
+        let oracle = Oue::new(eps, 5).unwrap();
+        let scale = 3.0;
+        let mut acc = FrequencyAccumulator::new(5, scale);
+        let mut rng = fixture_rng("frequency::debiased_counts_numerators");
+        for i in 0..1_000u32 {
+            let rep = oracle.perturb(i % 5, &mut rng).unwrap();
+            acc.add(&oracle, &rep);
+        }
+        let n = 4_000;
+        acc.set_population(n);
+        let est = acc.estimate().unwrap();
+        let counts = acc.debiased_counts().unwrap();
+        assert_eq!(counts.len(), est.len());
+        for (c, e) in counts.iter().zip(&est) {
+            // estimate = debiased_count / population, exactly.
+            assert!((c / n as f64 - e).abs() < 1e-12);
+        }
+        // The raw integer counts stay exact and untouched by the accessors.
+        assert!(acc.counts().iter().copied().max().unwrap() <= 1_000);
     }
 
     #[test]

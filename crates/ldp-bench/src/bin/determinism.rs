@@ -22,6 +22,13 @@
 //! partials merged in *reverse* order, asserts the result equals the
 //! pipeline's bit for bit, and prints the session estimates into the same
 //! diffable stream — so the CI diff covers the merged-partials path too.
+//!
+//! Finally, the range-query path: the census workload's fixed query batch
+//! is answered from HDG grids collected over the lowered dataset — once per
+//! worker count, once from reverse-merged session partials, once from
+//! wire-served shard snapshots — and every answer's bit pattern joins the
+//! diffable stream, gating grid lowering, collection, consistency repair,
+//! and evidence combination end to end.
 
 use ldp_analytics::service::{encode_report, ReportService, ServiceConfig, WireMessage};
 use ldp_analytics::{
@@ -32,7 +39,9 @@ use ldp_bench::Args;
 use ldp_core::rng::RngBlock;
 use ldp_core::{AttrValue, Epsilon, NumericKind, OracleKind};
 use ldp_data::census::generate_br;
+use ldp_data::queries::br_query_workload;
 use ldp_data::Dataset;
+use ldp_query::{grid_protocol, GridSpec, QueryEngine};
 
 /// Fixed workload size: small enough for CI, large enough that every shard
 /// splits across categorical and numeric work.
@@ -156,6 +165,77 @@ fn service_run_wire(
     snapshot.result.expect("non-empty dataset")
 }
 
+fn print_answers(label: &str, eps: f64, answers: &[f64]) {
+    println!("{label} eps={eps} queries={}", answers.len());
+    let bits: Vec<String> = answers
+        .iter()
+        .map(|a| format!("{:016x}", a.to_bits()))
+        .collect();
+    println!("  answers = {}", bits.join(" "));
+}
+
+/// The range-query path: collects HDG grids over the lowered census
+/// dataset at every worker count, answers the fixed query batch, asserts
+/// the answers are bit-identical across worker counts and across the
+/// merged-partials and wire-service snapshot paths, and prints the bit
+/// patterns for the cross-process diff.
+fn query_path(dataset: &Dataset, workers: &[usize], seed: u64) {
+    let schema = dataset.schema().clone();
+    let attrs: Vec<usize> = ["age", "total_income", "hours_worked", "years_schooling"]
+        .iter()
+        .map(|a| schema.index_of(a).expect("BR schema attribute"))
+        .collect();
+    let batch = br_query_workload(&schema).expect("BR schema");
+    for eps in [1.0f64, 4.0] {
+        let epsilon = Epsilon::new(eps).expect("positive");
+        let spec = GridSpec::build(&schema, &attrs, epsilon, dataset.n()).expect("valid layout");
+        let lowered = spec.lower_dataset(dataset).expect("numeric attributes");
+        let collector = Collector::new(grid_protocol(), epsilon);
+        let mut reference: Option<Vec<f64>> = None;
+        for &w in workers {
+            let result = collector
+                .clone()
+                .with_worker_threads(w)
+                .run(&lowered, seed)
+                .expect("valid dataset");
+            let engine = QueryEngine::from_result(spec.clone(), &result).expect("grid snapshot");
+            let answers = engine.answer_batch(&batch).expect("gridded attributes");
+            match &reference {
+                None => reference = Some(answers),
+                Some(r) => assert_eq!(
+                    r.iter().map(|a| a.to_bits()).collect::<Vec<_>>(),
+                    answers.iter().map(|a| a.to_bits()).collect::<Vec<_>>(),
+                    "queries eps={eps}: workers={w} changed the answers"
+                ),
+            }
+        }
+        let reference = reference.expect("at least one worker count");
+        print_answers("Queries(HDG)", eps, &reference);
+
+        // Same batch from reverse-merged session partials...
+        let session = session_run_reversed(grid_protocol(), epsilon, &lowered, seed);
+        let engine = QueryEngine::from_result(spec.clone(), &session).expect("grid snapshot");
+        let answers = engine.answer_batch(&batch).expect("gridded attributes");
+        assert_eq!(
+            reference.iter().map(|a| a.to_bits()).collect::<Vec<_>>(),
+            answers.iter().map(|a| a.to_bits()).collect::<Vec<_>>(),
+            "queries eps={eps}: session split changed the answers"
+        );
+        print_answers("Queries(HDG) [session merged-partials]", eps, &answers);
+
+        // ...and from wire-served, tree-merged service shards.
+        let service = service_run_wire(grid_protocol(), epsilon, &lowered, seed);
+        let engine = QueryEngine::from_result(spec.clone(), &service).expect("grid snapshot");
+        let answers = engine.answer_batch(&batch).expect("gridded attributes");
+        assert_eq!(
+            reference.iter().map(|a| a.to_bits()).collect::<Vec<_>>(),
+            answers.iter().map(|a| a.to_bits()).collect::<Vec<_>>(),
+            "queries eps={eps}: wire service path changed the answers"
+        );
+        print_answers("Queries(HDG) [service wire-merged]", eps, &answers);
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let workers = args.worker_sweep();
@@ -253,4 +333,6 @@ fn main() {
             print_result(&format!("{label} [service wire-merged]"), eps, &service);
         }
     }
+
+    query_path(&dataset, &workers, args.seed);
 }

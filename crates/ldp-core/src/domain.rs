@@ -95,6 +95,46 @@ impl NumericDomain {
     pub fn clamp(&self, x: f64) -> f64 {
         x.clamp(self.lo, self.hi)
     }
+
+    /// Lowers `x` to one of `g` equal-width grid cells over the domain.
+    ///
+    /// Cell `i` covers `[lo + i·w/g, lo + (i+1)·w/g)` with the last cell
+    /// closed at `hi`. Out-of-domain values clamp to the nearest cell, so
+    /// grid lowering never fails on raw survey data.
+    ///
+    /// # Panics
+    /// Panics if `g == 0`.
+    #[inline]
+    pub fn grid_cell(&self, x: f64, g: usize) -> u32 {
+        assert!(g > 0, "grid granularity must be positive");
+        let t = (self.clamp(x) - self.lo) / self.width();
+        (((t * g as f64).floor() as i64).clamp(0, g as i64 - 1)) as u32
+    }
+
+    /// The sub-interval `[lo_i, hi_i]` covered by grid cell `i` out of `g`.
+    ///
+    /// # Panics
+    /// Panics if `g == 0` or `i ≥ g`.
+    #[inline]
+    pub fn cell_bounds(&self, i: u32, g: usize) -> (f64, f64) {
+        assert!(g > 0 && (i as usize) < g, "cell {i} out of range {g}");
+        let w = self.width() / g as f64;
+        (self.lo + i as f64 * w, self.lo + (i as f64 + 1.0) * w)
+    }
+
+    /// Fraction of grid cell `i` (out of `g`) covered by the query interval
+    /// `[qlo, qhi]` — the partial-cell weight used by range decomposition.
+    /// Returns a value in `[0, 1]`; degenerate queries (`qhi ≤ qlo`) get 0.
+    ///
+    /// # Panics
+    /// Panics if `g == 0` or `i ≥ g`.
+    #[inline]
+    pub fn cell_overlap(&self, i: u32, g: usize, qlo: f64, qhi: f64) -> f64 {
+        let (clo, chi) = self.cell_bounds(i, g);
+        let lo = qlo.max(clo);
+        let hi = qhi.min(chi);
+        ((hi - lo) / (chi - clo)).clamp(0.0, 1.0)
+    }
 }
 
 impl std::fmt::Display for NumericDomain {
@@ -155,6 +195,61 @@ mod tests {
             assert!((d.normalize(x).unwrap() - x).abs() < 1e-15);
             assert!((d.denormalize(x) - x).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn grid_cell_partitions_the_domain() {
+        let d = NumericDomain::new(15.0, 90.0).unwrap();
+        assert_eq!(d.grid_cell(15.0, 5), 0);
+        assert_eq!(d.grid_cell(89.999, 5), 4);
+        // hi lands in the last cell (closed at the top), not a phantom cell g.
+        assert_eq!(d.grid_cell(90.0, 5), 4);
+        // Out-of-domain values clamp instead of erroring.
+        assert_eq!(d.grid_cell(-3.0, 5), 0);
+        assert_eq!(d.grid_cell(1e9, 5), 4);
+        // Interior boundaries are half-open: 30.0 starts cell 1 of 5.
+        assert_eq!(d.grid_cell(30.0, 5), 1);
+        assert_eq!(d.grid_cell(29.999_999, 5), 0);
+    }
+
+    #[test]
+    fn grid_cell_coarsening_is_consistent() {
+        // When g1 = c·g2, the coarse cell is the fine cell divided by c —
+        // the alignment the 2-D↔1-D marginal repair relies on.
+        let d = NumericDomain::new(0.0, 1.0).unwrap();
+        let (g1, g2) = (12, 4);
+        let c = g1 / g2;
+        for k in 0..1000 {
+            let x = k as f64 / 1000.0;
+            assert_eq!(d.grid_cell(x, g2), d.grid_cell(x, g1) / c as u32, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn cell_bounds_tile_the_domain() {
+        let d = NumericDomain::new(-5.0, 3.0).unwrap();
+        let g = 7;
+        let (first_lo, _) = d.cell_bounds(0, g);
+        let (_, last_hi) = d.cell_bounds(g as u32 - 1, g);
+        assert!((first_lo - d.lo()).abs() < 1e-12);
+        assert!((last_hi - d.hi()).abs() < 1e-12);
+        for i in 1..g as u32 {
+            let (_, prev_hi) = d.cell_bounds(i - 1, g);
+            let (lo, _) = d.cell_bounds(i, g);
+            assert!((prev_hi - lo).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cell_overlap_weights_partial_cells() {
+        let d = NumericDomain::new(0.0, 10.0).unwrap();
+        // Cell 1 of 5 covers [2, 4]; query [3, 9] covers half of it.
+        assert!((d.cell_overlap(1, 5, 3.0, 9.0) - 0.5).abs() < 1e-12);
+        // Fully covered and fully disjoint cells.
+        assert_eq!(d.cell_overlap(2, 5, 3.0, 9.0), 1.0);
+        assert_eq!(d.cell_overlap(0, 5, 3.0, 9.0), 0.0);
+        // Degenerate query.
+        assert_eq!(d.cell_overlap(2, 5, 6.0, 5.0), 0.0);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   one-hot dimensionalities, and income learnability; see DESIGN.md §5).
 //! * [`encoding`] — §VI-B one-hot design matrices with `total_income` as the
 //!   dependent variable.
+//! * [`queries`] — conjunctive range-query workloads (OLAP-style filters)
+//!   with exact plaintext selectivities as ground truth.
 //! * [`split`] — shuffled k-fold cross validation.
 
 #![warn(missing_docs)]
@@ -19,11 +21,13 @@
 pub mod census;
 pub mod dataset;
 pub mod encoding;
+pub mod queries;
 pub mod schema;
 pub mod split;
 pub mod synthetic;
 
 pub use dataset::{Column, Dataset};
 pub use encoding::{DesignMatrix, TargetKind};
+pub use queries::{RangeClause, RangeQuery};
 pub use schema::{Attribute, AttributeKind, Schema};
 pub use split::{train_test_split, KFold, Split};

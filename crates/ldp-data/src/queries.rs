@@ -1,0 +1,214 @@
+//! Range-query workloads: conjunctive interval predicates over numeric
+//! attributes, with exact plaintext answers for accuracy evaluation.
+//!
+//! This module is deliberately *plain data* — a [`RangeQuery`] is just a
+//! conjunction of `attr ∈ [lo, hi]` clauses plus an exact evaluator over a
+//! [`Dataset`]. The private answering machinery (grids, decomposition,
+//! consistency repair) lives in the `ldp-query` crate, which consumes these
+//! queries; keeping the workload here lets datasets, benches, and examples
+//! share one fixed batch without a dependency cycle.
+
+use crate::dataset::{Column, Dataset};
+use crate::schema::Schema;
+use ldp_core::{LdpError, Result};
+
+/// One conjunct: `attribute ∈ [lo, hi]` (closed interval, raw scale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeClause {
+    /// Schema index of the (numeric) attribute.
+    pub attr: usize,
+    /// Inclusive lower bound in the attribute's raw domain.
+    pub lo: f64,
+    /// Inclusive upper bound in the attribute's raw domain.
+    pub hi: f64,
+}
+
+/// A conjunctive range predicate, e.g. `age ∈ [30, 40] ∧ income ∈ [5k, 20k]`.
+///
+/// The query's *answer* is the fraction of users whose tuples satisfy every
+/// clause — a selectivity in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeQuery {
+    /// The conjuncts. Attributes must be distinct.
+    pub clauses: Vec<RangeClause>,
+}
+
+impl RangeQuery {
+    /// Builds a query from `(attr, lo, hi)` triples, validating that the
+    /// clauses are non-degenerate and name distinct attributes.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] on `lo > hi`, a non-finite bound, or a
+    /// repeated attribute; [`LdpError::EmptyInput`] on zero clauses.
+    pub fn new(clauses: &[(usize, f64, f64)]) -> Result<Self> {
+        if clauses.is_empty() {
+            return Err(LdpError::EmptyInput("range clauses"));
+        }
+        let mut out = Vec::with_capacity(clauses.len());
+        for &(attr, lo, hi) in clauses {
+            if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+                return Err(LdpError::InvalidParameter {
+                    name: "clause",
+                    message: format!("need finite lo <= hi on attr {attr}, got [{lo}, {hi}]"),
+                });
+            }
+            if out.iter().any(|c: &RangeClause| c.attr == attr) {
+                return Err(LdpError::InvalidParameter {
+                    name: "clause",
+                    message: format!("attribute {attr} appears in two clauses"),
+                });
+            }
+            out.push(RangeClause { attr, lo, hi });
+        }
+        // Canonical clause order: by attribute index, so structurally equal
+        // queries plan (and checksum) identically regardless of author order.
+        out.sort_by_key(|c| c.attr);
+        Ok(RangeQuery { clauses: out })
+    }
+
+    /// Exact plaintext selectivity: the fraction of rows satisfying every
+    /// clause. This is the ground truth private answers are judged against.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] if a clause names a non-numeric or
+    /// out-of-range attribute; [`LdpError::EmptyInput`] on an empty dataset.
+    pub fn selectivity(&self, dataset: &Dataset) -> Result<f64> {
+        if dataset.n() == 0 {
+            return Err(LdpError::EmptyInput("dataset"));
+        }
+        let mut columns = Vec::with_capacity(self.clauses.len());
+        for c in &self.clauses {
+            if c.attr >= dataset.schema().d() {
+                return Err(LdpError::InvalidParameter {
+                    name: "attr",
+                    message: format!("attribute {} out of range {}", c.attr, dataset.schema().d()),
+                });
+            }
+            match dataset.column(c.attr) {
+                Column::Numeric(v) => columns.push((v, c.lo, c.hi)),
+                Column::Categorical(_) => {
+                    return Err(LdpError::InvalidParameter {
+                        name: "attr",
+                        message: format!("attribute {} is categorical, not numeric", c.attr),
+                    })
+                }
+            }
+        }
+        let hits = (0..dataset.n())
+            .filter(|&i| columns.iter().all(|(v, lo, hi)| v[i] >= *lo && v[i] <= *hi))
+            .count();
+        Ok(hits as f64 / dataset.n() as f64)
+    }
+}
+
+/// The fixed BR census query batch used by the example, the determinism
+/// diff, and the `queries` bench section.
+///
+/// Sixteen OLAP-style filters over the four headline numeric attributes
+/// (`age`, `total_income`, `hours_worked`, `years_schooling`): wide and
+/// narrow 1-D ranges (grid-aligned and deliberately cell-splitting), 2-D
+/// conjunctions with correlated attributes (income × schooling), and one
+/// 3-D conjunction to exercise multi-grid composition.
+///
+/// # Errors
+/// [`LdpError::InvalidParameter`] if `schema` lacks one of the four
+/// attributes (i.e. it is not the BR census schema).
+pub fn br_query_workload(schema: &Schema) -> Result<Vec<RangeQuery>> {
+    let idx = |name: &str| {
+        schema.index_of(name).ok_or(LdpError::InvalidParameter {
+            name: "schema",
+            message: format!("missing attribute `{name}`"),
+        })
+    };
+    let age = idx("age")?;
+    let income = idx("total_income")?;
+    let hours = idx("hours_worked")?;
+    let school = idx("years_schooling")?;
+    let specs: &[&[(usize, f64, f64)]] = &[
+        // 1-D: broad demographic slices.
+        &[(age, 30.0, 40.0)],
+        &[(age, 15.0, 25.0)],
+        &[(age, 62.5, 90.0)],
+        &[(income, 0.0, 10_000.0)],
+        &[(income, 12_500.0, 30_000.0)],
+        &[(hours, 35.0, 45.0)],
+        &[(school, 0.0, 8.0)],
+        &[(school, 11.0, 20.0)],
+        // 2-D: correlated pairs (income rises with schooling and age).
+        &[(age, 30.0, 50.0), (income, 5_000.0, 25_000.0)],
+        &[(age, 25.0, 45.0), (hours, 30.0, 60.0)],
+        &[(income, 0.0, 15_000.0), (school, 0.0, 10.0)],
+        &[(income, 15_000.0, 50_000.0), (school, 10.0, 20.0)],
+        &[(hours, 20.0, 50.0), (school, 5.0, 15.0)],
+        &[(age, 40.0, 70.0), (school, 0.0, 6.0)],
+        // 3-D: working-age, mid-income, educated.
+        &[
+            (age, 25.0, 55.0),
+            (income, 5_000.0, 30_000.0),
+            (school, 8.0, 20.0),
+        ],
+        &[
+            (age, 30.0, 60.0),
+            (income, 10_000.0, 50_000.0),
+            (hours, 30.0, 50.0),
+        ],
+    ];
+    specs.iter().map(|s| RangeQuery::new(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::{br_schema, generate_br};
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(RangeQuery::new(&[]).is_err());
+        assert!(RangeQuery::new(&[(0, 2.0, 1.0)]).is_err());
+        assert!(RangeQuery::new(&[(0, f64::NAN, 1.0)]).is_err());
+        assert!(RangeQuery::new(&[(0, 0.0, 1.0), (0, 2.0, 3.0)]).is_err());
+    }
+
+    #[test]
+    fn clauses_are_canonically_ordered() {
+        let q = RangeQuery::new(&[(3, 0.0, 1.0), (1, 2.0, 5.0)]).unwrap();
+        assert_eq!(q.clauses[0].attr, 1);
+        assert_eq!(q.clauses[1].attr, 3);
+    }
+
+    #[test]
+    fn selectivity_counts_exactly() {
+        let ds = generate_br(2_000, 11).unwrap();
+        let age = ds.schema().index_of("age").unwrap();
+        // Whole domain → every row qualifies.
+        let all = RangeQuery::new(&[(age, 15.0, 90.0)]).unwrap();
+        assert_eq!(all.selectivity(&ds).unwrap(), 1.0);
+        // Conjunction is never more selective than either conjunct.
+        let income = ds.schema().index_of("total_income").unwrap();
+        let a = RangeQuery::new(&[(age, 30.0, 40.0)]).unwrap();
+        let b = RangeQuery::new(&[(age, 30.0, 40.0), (income, 0.0, 10_000.0)]).unwrap();
+        assert!(b.selectivity(&ds).unwrap() <= a.selectivity(&ds).unwrap());
+    }
+
+    #[test]
+    fn selectivity_rejects_categorical_attributes() {
+        let ds = generate_br(100, 3).unwrap();
+        let gender = ds.schema().index_of("gender").unwrap();
+        let q = RangeQuery::new(&[(gender, 0.0, 1.0)]).unwrap();
+        assert!(q.selectivity(&ds).is_err());
+    }
+
+    #[test]
+    fn br_workload_is_valid_and_nontrivial() {
+        let schema = br_schema();
+        let batch = br_query_workload(&schema).unwrap();
+        assert_eq!(batch.len(), 16);
+        let ds = generate_br(5_000, 7).unwrap();
+        for q in &batch {
+            let s = q.selectivity(&ds).unwrap();
+            // Every workload query has interior selectivity — an all-or-none
+            // query would make relative-error comparisons degenerate.
+            assert!(s > 0.005 && s < 0.995, "selectivity {s} for {q:?}");
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! The `QueryEngine` facade: repaired grids + compiled plans → range
+//! answers, plus the naive full-domain baseline the bench compares against.
+//!
+//! The engine is built *from* a collection snapshot (a
+//! [`CollectionResult`] out of `Collector::run`/`Aggregator::snapshot`, or
+//! an [`EpochSnapshot`] out of the report service) and never touches the
+//! collection path itself: repair and answering are deterministic
+//! post-processing, so answers are bit-identical wherever the snapshot is.
+//!
+//! ## Evidence combination
+//!
+//! * 1 clause — the fine 1-D span sum.
+//! * 2 clauses — the paper's weighted average of the 2-D grid's span sum
+//!   and the 1-D independence product, with inverse-variance weights from
+//!   the spec's analytic per-cell variance.
+//! * ≥ 3 clauses — Kirkwood superposition over the pairwise combined
+//!   answers: `Π_{i<j} P_ij / Π_i P_i^{k-2}`, clamped into `[0, 1]`. The
+//!   workload leans on 1-D/2-D queries; this keeps higher arities sane
+//!   without a maximum-entropy solver.
+
+use crate::grid::GridSpec;
+use crate::plan::{PlannedClause, QueryPlan, Span};
+use crate::repair::{repair, RepairedGrids};
+use ldp_analytics::{CollectionResult, EpochSnapshot, Protocol};
+use ldp_core::{LdpError, NumericKind, OracleKind, Result};
+use ldp_data::RangeQuery;
+
+/// Floor applied to answers appearing in denominators (Kirkwood, relative
+/// variances) so empty-looking estimates cannot blow up a quotient.
+const ANSWER_FLOOR: f64 = 1e-6;
+
+/// The collection protocol grid-lowered datasets are gathered under:
+/// attribute sampling with the OUE frequency oracle. The lowered schema is
+/// all-categorical, so the numeric mechanism choice is inert; fixing it
+/// here keeps every grid consumer (bench, example, determinism diff) on one
+/// wire-identical configuration.
+pub fn grid_protocol() -> Protocol {
+    Protocol::Sampling {
+        numeric: NumericKind::Hybrid,
+        oracle: OracleKind::Oue,
+    }
+}
+
+/// Mean relative error of `answers` against plaintext `truth`, with the
+/// customary floor on the denominator (queries with tiny true selectivity
+/// would otherwise dominate the metric).
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn mean_relative_error(answers: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(answers.len(), truth.len());
+    assert!(!answers.is_empty());
+    let sum: f64 = answers
+        .iter()
+        .zip(truth)
+        .map(|(a, t)| (a - t).abs() / t.max(0.01))
+        .sum();
+    sum / answers.len() as f64
+}
+
+/// The `(1-D grids, 2-D grids)` estimate tables split out of a snapshot.
+type GridTables = (Vec<Vec<f64>>, Vec<Vec<f64>>);
+
+/// Splits a lowered-schema snapshot's frequency estimates into per-grid
+/// vectors, validating counts and lengths against the spec.
+fn split_grids(spec: &GridSpec, result: &CollectionResult) -> Result<GridTables> {
+    let d = spec.dims().len();
+    let m = spec.grids();
+    if result.frequencies.len() != m {
+        return Err(LdpError::DimensionMismatch {
+            expected: m,
+            actual: result.frequencies.len(),
+        });
+    }
+    let mut one_d: Vec<Option<Vec<f64>>> = vec![None; d];
+    let mut two_d: Vec<Option<Vec<f64>>> = vec![None; m - d];
+    for (j, est) in &result.frequencies {
+        let (slot, want_len) = if *j < d {
+            (&mut one_d[*j], spec.g1())
+        } else if *j < m {
+            (&mut two_d[*j - d], spec.g2() * spec.g2())
+        } else {
+            return Err(LdpError::InvalidParameter {
+                name: "result",
+                message: format!("frequency slot {j} out of range {m}"),
+            });
+        };
+        if est.len() != want_len {
+            return Err(LdpError::DimensionMismatch {
+                expected: want_len,
+                actual: est.len(),
+            });
+        }
+        if slot.replace(est.clone()).is_some() {
+            return Err(LdpError::InvalidParameter {
+                name: "result",
+                message: format!("frequency slot {j} appears twice"),
+            });
+        }
+    }
+    let unwrap_all = |v: Vec<Option<Vec<f64>>>| -> Result<Vec<Vec<f64>>> {
+        v.into_iter()
+            .enumerate()
+            .map(|(j, s)| {
+                s.ok_or(LdpError::InvalidParameter {
+                    name: "result",
+                    message: format!("frequency slot {j} missing"),
+                })
+            })
+            .collect()
+    };
+    Ok((unwrap_all(one_d)?, unwrap_all(two_d)?))
+}
+
+/// Answers conjunctive range queries from repaired HDG grids.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    spec: GridSpec,
+    grids: RepairedGrids,
+}
+
+impl QueryEngine {
+    /// Builds the engine from a collection over the spec's lowered schema:
+    /// splits the snapshot's debiased estimates into grids and runs the
+    /// consistency repair.
+    ///
+    /// # Errors
+    /// Dimension errors when `result` does not look like a collection over
+    /// `spec.lowered_schema()`.
+    pub fn from_result(spec: GridSpec, result: &CollectionResult) -> Result<Self> {
+        let (one_d, two_d) = split_grids(&spec, result)?;
+        let grids = repair(&spec, one_d, two_d);
+        Ok(QueryEngine { spec, grids })
+    }
+
+    /// Builds the engine from a report-service epoch snapshot — the service
+    /// integration path: shards aggregate lowered reports, merge, snapshot,
+    /// and the snapshot answers the batch.
+    ///
+    /// # Errors
+    /// [`LdpError::EmptyInput`] if the epoch holds no aggregate;
+    /// otherwise as [`QueryEngine::from_result`].
+    pub fn from_snapshot(spec: GridSpec, snapshot: &EpochSnapshot) -> Result<Self> {
+        let result = snapshot
+            .result
+            .as_ref()
+            .ok_or(LdpError::EmptyInput("epoch snapshot result"))?;
+        Self::from_result(spec, result)
+    }
+
+    /// The grid layout this engine answers over.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// The repaired grids (read-only; exposed for diagnostics and tests).
+    pub fn grids(&self) -> &RepairedGrids {
+        &self.grids
+    }
+
+    /// Compiles a query against the grid layout.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] if the query constrains an attribute
+    /// the spec does not grid.
+    pub fn plan(&self, query: &RangeQuery) -> Result<QueryPlan> {
+        QueryPlan::compile(&self.spec, query)
+    }
+
+    /// Answers a compiled plan: the estimated selectivity in `[0, 1]`.
+    pub fn answer(&self, plan: &QueryPlan) -> f64 {
+        self.answer_with_sigma(plan).0
+    }
+
+    /// Answer plus its analytic noise standard deviation (for confidence
+    /// intervals; repair only shrinks the true error, so this is
+    /// conservative).
+    pub fn answer_with_sigma(&self, plan: &QueryPlan) -> (f64, f64) {
+        if plan.is_empty() {
+            return (0.0, 0.0);
+        }
+        let singles: Vec<(f64, f64)> = plan
+            .clauses
+            .iter()
+            .map(|c| self.clause_evidence(c))
+            .collect();
+        match plan.clauses.len() {
+            1 => {
+                let (ans, var) = singles[0];
+                (ans, var.sqrt())
+            }
+            2 => {
+                let (ri, ci, grid) = plan.pair_grids[0];
+                let (ans, var) = self.combined_pair(plan, &singles, ri, ci, grid);
+                (ans, var.sqrt())
+            }
+            k => {
+                // Kirkwood superposition over the pairwise estimates.
+                let mut log_num = 0.0;
+                let mut rel_var = 0.0;
+                for &(ri, ci, grid) in &plan.pair_grids {
+                    let (p, var) = self.combined_pair(plan, &singles, ri, ci, grid);
+                    let p = p.max(ANSWER_FLOOR);
+                    log_num += p.ln();
+                    rel_var += var / (p * p);
+                }
+                let mut log_den = 0.0;
+                for &(p, var) in &singles {
+                    let p = p.max(ANSWER_FLOOR);
+                    log_den += (k as f64 - 2.0) * p.ln();
+                    rel_var += (k as f64 - 2.0).powi(2) * var / (p * p);
+                }
+                let ans = (log_num - log_den).exp().clamp(0.0, 1.0);
+                (ans, ans * rel_var.sqrt())
+            }
+        }
+    }
+
+    /// Answers a whole batch (planning included).
+    ///
+    /// # Errors
+    /// As [`QueryEngine::plan`].
+    pub fn answer_batch(&self, queries: &[RangeQuery]) -> Result<Vec<f64>> {
+        queries
+            .iter()
+            .map(|q| Ok(self.answer(&self.plan(q)?)))
+            .collect()
+    }
+
+    /// 1-D evidence for one clause: fine span sum and its noise variance.
+    fn clause_evidence(&self, clause: &PlannedClause) -> (f64, f64) {
+        let est = &self.grids.one_d[clause.dim];
+        let ans = clause.fine.sum(est).clamp(0.0, 1.0);
+        let var = clause.fine.var_cells() * self.spec.cell_var();
+        (ans, var)
+    }
+
+    /// The paper's weighted average of 2-D evidence and the 1-D
+    /// independence product for clause pair `(ri, ci)` over pair grid
+    /// `grid` (a lowered-schema index). Returns `(answer, variance)`.
+    fn combined_pair(
+        &self,
+        plan: &QueryPlan,
+        singles: &[(f64, f64)],
+        ri: usize,
+        ci: usize,
+        grid: usize,
+    ) -> (f64, f64) {
+        let g2 = self.spec.g2();
+        let est = &self.grids.two_d[grid - self.spec.dims().len()];
+        let rows = &plan.clauses[ri].coarse;
+        let cols = &plan.clauses[ci].coarse;
+        let mut ans2 = 0.0;
+        for (i, wr) in rows.weights.iter().enumerate() {
+            let r = rows.first + i;
+            for (j, wc) in cols.weights.iter().enumerate() {
+                let c = cols.first + j;
+                ans2 += wr * wc * est[r * g2 + c];
+            }
+        }
+        let ans2 = ans2.clamp(0.0, 1.0);
+        let var2 = rows.var_cells() * cols.var_cells() * self.spec.cell_var();
+
+        let (a, va) = singles[ri];
+        let (b, vb) = singles[ci];
+        let ans_prod = (a * b).clamp(0.0, 1.0);
+        // First-order variance of the product.
+        let var_prod = b * b * va + a * a * vb;
+
+        if var2 + var_prod <= 0.0 {
+            return (ans2, 0.0);
+        }
+        let w2 = var_prod / (var_prod + var2);
+        let ans = (w2 * ans2 + (1.0 - w2) * ans_prod).clamp(0.0, 1.0);
+        // Inverse-variance-weighted combination of independent estimates.
+        let var = if var2 <= 0.0 || var_prod <= 0.0 {
+            0.0
+        } else {
+            1.0 / (1.0 / var2 + 1.0 / var_prod)
+        };
+        (ans, var)
+    }
+}
+
+/// The naive baseline: per-attribute fine histograms (no pairs, no repair),
+/// answers by the independence product of raw span sums. This is what
+/// "just reuse the existing frequency plane" would give — the bench's
+/// `queries` section measures how much the HDG machinery buys over it.
+#[derive(Debug, Clone)]
+pub struct NaiveEngine {
+    spec: GridSpec,
+    one_d: Vec<Vec<f64>>,
+}
+
+impl NaiveEngine {
+    /// Default fine granularity for the baseline's per-attribute
+    /// histograms — effectively "full domain" for continuous attributes.
+    pub const DEFAULT_BINS: usize = 256;
+
+    /// Builds the baseline from a collection over a
+    /// [`GridSpec::one_dimensional`] layout. Estimates are used raw.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] if `spec` has 2-D grids; dimension
+    /// errors as [`QueryEngine::from_result`].
+    pub fn from_result(spec: GridSpec, result: &CollectionResult) -> Result<Self> {
+        if !spec.pairs().is_empty() {
+            return Err(LdpError::InvalidParameter {
+                name: "spec",
+                message: "naive baseline wants a 1-D-only layout".to_owned(),
+            });
+        }
+        let (one_d, _) = split_grids(&spec, result)?;
+        Ok(NaiveEngine { spec, one_d })
+    }
+
+    /// Answers a query as the product of raw per-clause span sums, clamped
+    /// into `[0, 1]` at the end (being charitable to the baseline).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] if the query constrains an attribute
+    /// the spec does not grid.
+    pub fn answer(&self, query: &RangeQuery) -> Result<f64> {
+        let mut prod = 1.0;
+        for c in &query.clauses {
+            let dim = self
+                .spec
+                .dim_of_attr(c.attr)
+                .ok_or(LdpError::InvalidParameter {
+                    name: "query",
+                    message: format!("attribute {} is not gridded by this spec", c.attr),
+                })?;
+            let domain = &self.spec.dims()[dim].domain;
+            match Span::decompose(domain, self.spec.g1(), c.lo, c.hi) {
+                Some(span) => prod *= span.sum(&self.one_d[dim]),
+                None => return Ok(0.0),
+            }
+        }
+        Ok(prod.clamp(0.0, 1.0))
+    }
+
+    /// Answers a whole batch.
+    ///
+    /// # Errors
+    /// As [`NaiveEngine::answer`].
+    pub fn answer_batch(&self, queries: &[RangeQuery]) -> Result<Vec<f64>> {
+        queries.iter().map(|q| self.answer(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::marginal_discrepancy;
+    use ldp_analytics::Collector;
+    use ldp_core::Epsilon;
+    use ldp_data::census::generate_br;
+    use ldp_data::queries::br_query_workload;
+
+    fn census_engine(n: usize, eps: f64, seed: u64) -> (QueryEngine, Vec<RangeQuery>, Vec<f64>) {
+        let ds = generate_br(n, seed).unwrap();
+        let schema = ds.schema().clone();
+        let attrs: Vec<usize> = ["age", "total_income", "hours_worked", "years_schooling"]
+            .iter()
+            .map(|a| schema.index_of(a).unwrap())
+            .collect();
+        let eps = Epsilon::new(eps).unwrap();
+        let spec = GridSpec::build(&schema, &attrs, eps, ds.n()).unwrap();
+        let lowered = spec.lower_dataset(&ds).unwrap();
+        let result = Collector::new(grid_protocol(), eps)
+            .run(&lowered, 99)
+            .unwrap();
+        let engine = QueryEngine::from_result(spec, &result).unwrap();
+        let batch = br_query_workload(&schema).unwrap();
+        let truth: Vec<f64> = batch.iter().map(|q| q.selectivity(&ds).unwrap()).collect();
+        (engine, batch, truth)
+    }
+
+    #[test]
+    fn end_to_end_answers_track_plaintext() {
+        let (engine, batch, truth) = census_engine(40_000, 4.0, 7);
+        let answers = engine.answer_batch(&batch).unwrap();
+        for ((q, a), t) in batch.iter().zip(&answers).zip(&truth) {
+            assert!((0.0..=1.0).contains(a), "answer {a} out of range");
+            let plan = engine.plan(q).unwrap();
+            let (_, sigma) = engine.answer_with_sigma(&plan);
+            // 4 sigmas of noise plus a non-uniformity allowance.
+            assert!(
+                (a - t).abs() <= 4.0 * sigma + 0.05,
+                "answer {a} vs truth {t} (sigma {sigma}) for {q:?}"
+            );
+        }
+        let mre = mean_relative_error(&answers, &truth);
+        assert!(mre < 0.5, "mean relative error {mre} too large");
+    }
+
+    #[test]
+    fn engine_grids_are_repaired() {
+        let (engine, _, _) = census_engine(20_000, 1.0, 3);
+        for g in engine
+            .grids()
+            .one_d
+            .iter()
+            .chain(engine.grids().two_d.iter())
+        {
+            assert!(g.iter().all(|&v| v >= 0.0));
+            assert!((g.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert!(marginal_discrepancy(engine.spec(), engine.grids()) < 1e-7);
+    }
+
+    #[test]
+    fn empty_plan_answers_zero() {
+        let (engine, _, _) = census_engine(5_000, 1.0, 5);
+        let age = engine.spec().dims()[0].attr;
+        let q = RangeQuery::new(&[(age, 500.0, 600.0)]).unwrap();
+        let plan = engine.plan(&q).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(engine.answer(&plan), 0.0);
+    }
+
+    #[test]
+    fn from_result_validates_shape() {
+        let (engine, _, _) = census_engine(5_000, 1.0, 5);
+        let bogus = CollectionResult {
+            n: 10,
+            means: Vec::new(),
+            frequencies: vec![(0, vec![0.5, 0.5])],
+        };
+        assert!(QueryEngine::from_result(engine.spec().clone(), &bogus).is_err());
+    }
+
+    #[test]
+    fn hdg_beats_naive_on_the_census_workload() {
+        let n = 40_000;
+        let eps_val = 1.0;
+        let (engine, batch, truth) = census_engine(n, eps_val, 7);
+        let hdg = engine.answer_batch(&batch).unwrap();
+
+        let ds = generate_br(n, 7).unwrap();
+        let schema = ds.schema().clone();
+        let attrs: Vec<usize> = ["age", "total_income", "hours_worked", "years_schooling"]
+            .iter()
+            .map(|a| schema.index_of(a).unwrap())
+            .collect();
+        let eps = Epsilon::new(eps_val).unwrap();
+        let spec =
+            GridSpec::one_dimensional(&schema, &attrs, eps, n, NaiveEngine::DEFAULT_BINS).unwrap();
+        let lowered = spec.lower_dataset(&ds).unwrap();
+        let result = Collector::new(grid_protocol(), eps)
+            .run(&lowered, 99)
+            .unwrap();
+        let naive = NaiveEngine::from_result(spec, &result).unwrap();
+        let naive_answers = naive.answer_batch(&batch).unwrap();
+
+        let hdg_mre = mean_relative_error(&hdg, &truth);
+        let naive_mre = mean_relative_error(&naive_answers, &truth);
+        assert!(
+            hdg_mre < naive_mre,
+            "repaired grids ({hdg_mre}) must beat the naive baseline ({naive_mre})"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! # ldp-query — multi-dimensional range queries over LDP frequency grids
+//!
+//! An HDG-style analytics layer (after Yang et al., "Answering
+//! Multi-Dimensional Range Queries under Local Differential Privacy") on
+//! top of the collection plane of Wang et al. (ICDE 2019): answers
+//! OLAP-style conjunctive filters such as `age ∈ [30, 40] ∧ income ∈
+//! [5k, 25k]` from privately collected reports.
+//!
+//! The pipeline, end to end:
+//!
+//! 1. [`grid::GridSpec`] chooses 1-D (`g1`) and 2-D (`g2 × g2`) grid
+//!    granularities from `(ε, n, d)` and lowers each grid to one
+//!    categorical attribute. The lowered dataset rides the **existing**
+//!    `ClientEncoder` → `Aggregator` → `WordHistogram` collection plane
+//!    unchanged — same block scheduler, same RNG streams, same
+//!    determinism contract.
+//! 2. [`repair`] post-processes the snapshot's debiased estimates:
+//!    Norm-Sub non-negativity projection, then marginal consistency
+//!    between each 2-D grid and its two 1-D parents (consensus coarse
+//!    marginals + iterative proportional fitting), all in fixed iteration
+//!    order so answers are bit-identical at any worker count.
+//! 3. [`plan::QueryPlan`] decomposes each conjunct into covered and
+//!    partially-covered cells; [`engine::QueryEngine`] combines 1-D and
+//!    2-D evidence with inverse-variance weights and answers the batch.
+//!
+//! ```
+//! use ldp_analytics::Collector;
+//! use ldp_core::Epsilon;
+//! use ldp_data::census::{br_schema, generate_br};
+//! use ldp_data::RangeQuery;
+//! use ldp_query::{grid_protocol, GridSpec, QueryEngine};
+//!
+//! let ds = generate_br(20_000, 7)?;
+//! let eps = Epsilon::new(2.0)?;
+//! let schema = br_schema();
+//! let age = schema.index_of("age").unwrap();
+//! let income = schema.index_of("total_income").unwrap();
+//!
+//! // Grid layout from (ε, n, d); lower; collect over the existing plane.
+//! let spec = GridSpec::build(&schema, &[age, income], eps, ds.n())?;
+//! let lowered = spec.lower_dataset(&ds)?;
+//! let result = Collector::new(grid_protocol(), eps).run(&lowered, 42)?;
+//!
+//! // Repair once, answer many.
+//! let engine = QueryEngine::from_result(spec, &result)?;
+//! let q = RangeQuery::new(&[(age, 30.0, 40.0), (income, 0.0, 20_000.0)])?;
+//! let answer = engine.answer(&engine.plan(&q)?);
+//! let truth = q.selectivity(&ds)?;
+//! assert!((answer - truth).abs() < 0.1);
+//! # Ok::<(), ldp_core::LdpError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod grid;
+pub mod plan;
+pub mod repair;
+
+pub use engine::{grid_protocol, mean_relative_error, NaiveEngine, QueryEngine};
+pub use grid::{GridDim, GridSpec};
+pub use plan::{QueryPlan, Span};
+pub use repair::{marginal_discrepancy, norm_sub, RepairedGrids};
+
+// Re-export the workload types so engine consumers need only this crate.
+pub use ldp_data::{RangeClause, RangeQuery};

@@ -1,0 +1,236 @@
+//! Range decomposition: mapping conjunctive range predicates onto covered
+//! and partially-covered grid cells.
+//!
+//! A clause `attr ∈ [lo, hi]` decomposes over a `g`-cell grid into a
+//! [`Span`]: a contiguous run of cells with per-cell coverage weights —
+//! interior cells weigh 1, the two boundary cells weigh their covered
+//! fraction (the classic uniformity assumption for partial cells). A
+//! [`QueryPlan`] holds, per clause, the span at both the fine 1-D
+//! granularity `g1` and the coarse 2-D granularity `g2`, so the engine can
+//! read 1-D and 2-D evidence without re-deriving geometry per answer.
+
+use crate::grid::GridSpec;
+use ldp_core::{LdpError, NumericDomain, Result};
+use ldp_data::RangeQuery;
+
+/// A contiguous run of grid cells with coverage weights in `(0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// First covered cell.
+    pub first: usize,
+    /// `weights[i]` is the covered fraction of cell `first + i`.
+    pub weights: Vec<f64>,
+}
+
+impl Span {
+    /// Decomposes `[lo, hi]` (raw scale) over `g` cells of `domain`.
+    /// Returns `None` when the clamped interval is empty (the clause — and
+    /// with it the whole conjunctive query — selects nothing).
+    pub fn decompose(domain: &NumericDomain, g: usize, lo: f64, hi: f64) -> Option<Span> {
+        let lo = domain.clamp(lo);
+        let hi = domain.clamp(hi);
+        if hi <= lo {
+            // A point query still covers a sliver only if it sits strictly
+            // inside a cell; treat it as empty (selectivity 0 on continuous
+            // data).
+            return None;
+        }
+        let first = domain.grid_cell(lo, g) as usize;
+        let last = domain.grid_cell(hi, g) as usize;
+        let mut weights: Vec<f64> = (first..=last)
+            .map(|i| domain.cell_overlap(i as u32, g, lo, hi))
+            .collect();
+        // Trim zero-weight boundary cells (e.g. `hi` landing exactly on a
+        // cell's lower edge).
+        let mut first = first;
+        while weights.first().is_some_and(|&w| w <= 0.0) {
+            weights.remove(0);
+            first += 1;
+        }
+        while weights.last().is_some_and(|&w| w <= 0.0) {
+            weights.pop();
+        }
+        if weights.is_empty() {
+            return None;
+        }
+        Some(Span { first, weights })
+    }
+
+    /// Weighted sum of `est` over the span — the decomposed range answer.
+    pub fn sum(&self, est: &[f64]) -> f64 {
+        self.weights
+            .iter()
+            .zip(&est[self.first..self.first + self.weights.len()])
+            .map(|(w, e)| w * e)
+            .sum()
+    }
+
+    /// Σ w² — multiplied by the per-cell variance this is the noise
+    /// variance of [`Span::sum`].
+    pub fn var_cells(&self) -> f64 {
+        self.weights.iter().map(|w| w * w).sum()
+    }
+}
+
+/// One planned conjunct: which dim it constrains and its spans at both
+/// granularities.
+#[derive(Debug, Clone)]
+pub struct PlannedClause {
+    /// Dim index within the [`GridSpec`].
+    pub dim: usize,
+    /// Span over the dim's 1-D grid (`g1` cells).
+    pub fine: Span,
+    /// Span over the dim's 2-D-axis cells (`g2` cells).
+    pub coarse: Span,
+}
+
+/// A compiled query: per-clause spans plus the 2-D grids covering each pair
+/// of constrained dims. Build once with [`QueryPlan::compile`], answer many
+/// times.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Planned clauses in canonical (dim-ascending) order; empty when some
+    /// clause selects nothing (the answer is identically 0).
+    pub clauses: Vec<PlannedClause>,
+    /// For each clause pair `(i, j)`, `i < j`, in lexicographic order: the
+    /// pair-grid index in the spec.
+    pub pair_grids: Vec<(usize, usize, usize)>,
+    empty: bool,
+}
+
+impl QueryPlan {
+    /// Compiles `query` against the grid layout.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] if a clause names an attribute the
+    /// spec does not grid.
+    pub fn compile(spec: &GridSpec, query: &RangeQuery) -> Result<QueryPlan> {
+        let mut clauses = Vec::with_capacity(query.clauses.len());
+        for c in &query.clauses {
+            let dim = spec.dim_of_attr(c.attr).ok_or(LdpError::InvalidParameter {
+                name: "query",
+                message: format!("attribute {} is not gridded by this spec", c.attr),
+            })?;
+            let domain = &spec.dims()[dim].domain;
+            let fine = Span::decompose(domain, spec.g1(), c.lo, c.hi);
+            let coarse = Span::decompose(domain, spec.g2(), c.lo, c.hi);
+            match (fine, coarse) {
+                (Some(fine), Some(coarse)) => clauses.push(PlannedClause { dim, fine, coarse }),
+                _ => {
+                    return Ok(QueryPlan {
+                        clauses: Vec::new(),
+                        pair_grids: Vec::new(),
+                        empty: true,
+                    })
+                }
+            }
+        }
+        let mut pair_grids = Vec::new();
+        for i in 0..clauses.len() {
+            for j in i + 1..clauses.len() {
+                let (a, b) = (clauses[i].dim, clauses[j].dim);
+                // Clauses are dim-ascending (RangeQuery canonicalizes by
+                // attribute, and dims follow attribute order only if the
+                // spec was built that way) — normalize to the spec's (a<b).
+                let (lo, hi, swapped) = if a < b { (a, b, false) } else { (b, a, true) };
+                let grid = spec.two_d_index(lo, hi).ok_or(LdpError::InvalidParameter {
+                    name: "query",
+                    message: format!("spec has no 2-D grid for dims ({lo}, {hi})"),
+                })?;
+                let (ri, ci) = if swapped { (j, i) } else { (i, j) };
+                pair_grids.push((ri, ci, grid));
+            }
+        }
+        Ok(QueryPlan {
+            clauses,
+            pair_grids,
+            empty: false,
+        })
+    }
+
+    /// Whether some clause selects nothing (answer identically 0).
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::Epsilon;
+    use ldp_data::census::br_schema;
+
+    #[test]
+    fn span_covers_interior_fully_and_boundaries_fractionally() {
+        let d = NumericDomain::new(0.0, 10.0).unwrap();
+        // [2.5, 7.5] over 5 cells of width 2: half of cell 1, all of 2, and
+        // three quarters of cell 3.
+        let s = Span::decompose(&d, 5, 2.5, 7.5).unwrap();
+        assert_eq!(s.first, 1);
+        assert_eq!(s.weights.len(), 3);
+        assert!((s.weights[0] - 0.75).abs() < 1e-12);
+        assert!((s.weights[1] - 1.0).abs() < 1e-12);
+        assert!((s.weights[2] - 0.75).abs() < 1e-12);
+        let est = vec![0.2; 5];
+        assert!((s.sum(&est) - 0.2 * 2.5).abs() < 1e-12);
+        assert!((s.var_cells() - (0.5625 + 1.0 + 0.5625)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_trims_zero_weight_boundary_cells() {
+        let d = NumericDomain::new(0.0, 10.0).unwrap();
+        // [2, 6] is exactly cells 1 and 2 of 5; cell 3 starts at 6 and must
+        // not appear.
+        let s = Span::decompose(&d, 5, 2.0, 6.0).unwrap();
+        assert_eq!(s.first, 1);
+        assert_eq!(s.weights, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn span_clamps_to_the_domain_and_detects_empty() {
+        let d = NumericDomain::new(0.0, 10.0).unwrap();
+        let s = Span::decompose(&d, 4, -100.0, 100.0).unwrap();
+        assert_eq!(s.first, 0);
+        assert_eq!(s.weights, vec![1.0; 4]);
+        assert!(Span::decompose(&d, 4, 20.0, 30.0).is_none());
+        assert!(Span::decompose(&d, 4, 3.0, 3.0).is_none());
+    }
+
+    #[test]
+    fn compile_maps_clauses_to_pair_grids() {
+        let schema = br_schema();
+        let attrs: Vec<usize> = ["age", "total_income", "hours_worked"]
+            .iter()
+            .map(|n| schema.index_of(n).unwrap())
+            .collect();
+        let spec = GridSpec::build(&schema, &attrs, Epsilon::new(1.0).unwrap(), 50_000).unwrap();
+        let q = RangeQuery::new(&[(attrs[0], 30.0, 40.0), (attrs[2], 20.0, 50.0)]).unwrap();
+        let plan = QueryPlan::compile(&spec, &q).unwrap();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.clauses.len(), 2);
+        assert_eq!(plan.pair_grids.len(), 1);
+        let (ri, ci, grid) = plan.pair_grids[0];
+        assert_eq!((ri, ci), (0, 1));
+        assert_eq!(grid, spec.two_d_index(0, 2).unwrap());
+    }
+
+    #[test]
+    fn compile_rejects_ungridded_attributes() {
+        let schema = br_schema();
+        let attrs = [schema.index_of("age").unwrap()];
+        let spec = GridSpec::build(&schema, &attrs, Epsilon::new(1.0).unwrap(), 10_000).unwrap();
+        let income = schema.index_of("total_income").unwrap();
+        let q = RangeQuery::new(&[(income, 0.0, 10.0)]).unwrap();
+        assert!(QueryPlan::compile(&spec, &q).is_err());
+    }
+
+    #[test]
+    fn compile_flags_empty_queries() {
+        let schema = br_schema();
+        let attrs = [schema.index_of("age").unwrap()];
+        let spec = GridSpec::build(&schema, &attrs, Epsilon::new(1.0).unwrap(), 10_000).unwrap();
+        let q = RangeQuery::new(&[(attrs[0], 200.0, 300.0)]).unwrap();
+        let plan = QueryPlan::compile(&spec, &q).unwrap();
+        assert!(plan.is_empty());
+    }
+}

@@ -1,0 +1,340 @@
+//! Consistency post-processing over noisy grid estimates: non-negativity
+//! projection (Norm-Sub) plus marginal consistency between each 2-D grid and
+//! its two 1-D parents.
+//!
+//! Everything here is *answer-time* post-processing of the snapshot's
+//! debiased estimate vectors — no report, RNG stream, or merge order is
+//! touched, so worker-count invariance is inherited from the snapshot's
+//! bit-identity. Within this module every loop runs in a fixed order (dims,
+//! then pairs, ascending), every reduction is a left fold, and iteration
+//! counts depend only on deterministic `f64` comparisons: repaired answers
+//! are bit-identical wherever the input estimates are.
+//!
+//! The pipeline:
+//!
+//! 1. **Norm-Sub** each grid onto the simplex of mass 1 (Wang et al.,
+//!    "LDP Frequency Estimation with Consistency": zero the negatives,
+//!    shift the positive cells uniformly, repeat).
+//! 2. For each attribute, form the **consensus coarse marginal** at `g2`
+//!    resolution: the inverse-variance-weighted average of the 1-D grid's
+//!    group sums and every containing 2-D grid's marginal.
+//! 3. **Impose** the consensus: rescale each 1-D group to its consensus
+//!    total, and iteratively proportionally fit (Sinkhorn) each 2-D grid to
+//!    its two consensus marginals. Rescaling preserves non-negativity, so no
+//!    second projection pass is needed and the procedure is (approximately)
+//!    idempotent.
+
+use crate::grid::GridSpec;
+
+/// Sinkhorn sweeps stop once both marginals match within this.
+const IPF_TOL: f64 = 1e-12;
+/// Hard cap on Sinkhorn sweeps. Typical grids converge in tens of sweeps;
+/// near-degenerate supports converge slowly, and repair runs once per
+/// engine build over at most `16×16` cells, so a high cap is cheap.
+const IPF_MAX_SWEEPS: usize = 5_000;
+/// Uniform mass blended into each 2-D grid before proportional fitting.
+/// Norm-Sub leaves exact zeros, and a zero-support pattern can make the
+/// target marginals unreachable (IPF stalls); a strictly positive matrix
+/// converges geometrically. The blend is far below the noise floor of any
+/// cell estimate, so it acts as a prior only where the data says nothing.
+const IPF_SMOOTHING: f64 = 1e-4;
+/// Below this a group/row total is treated as empty and refilled uniformly.
+const TINY: f64 = 1e-300;
+
+/// The repaired, mutually consistent grid estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairedGrids {
+    /// One vector of `g1` cell frequencies per dim, in dim order.
+    pub one_d: Vec<Vec<f64>>,
+    /// One vector of `g2·g2` cell frequencies per pair (row-major: row =
+    /// first dim), in pair order.
+    pub two_d: Vec<Vec<f64>>,
+}
+
+/// Norm-Sub: projects `est` onto the non-negative vectors of total mass
+/// `target` by repeatedly zeroing negative cells and shifting the remaining
+/// positive cells by a common constant. Terminates in at most `est.len()`
+/// rounds (each round zeroes at least one more cell or finishes).
+///
+/// If no cell is positive, the mass is spread uniformly.
+pub fn norm_sub(est: &mut [f64], target: f64) {
+    let n = est.len();
+    if n == 0 {
+        return;
+    }
+    debug_assert!(target >= 0.0 && target.is_finite());
+    for _ in 0..=n {
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for v in est.iter() {
+            if *v > 0.0 {
+                sum += *v;
+                cnt += 1;
+            }
+        }
+        if cnt == 0 {
+            let u = target / n as f64;
+            est.iter_mut().for_each(|v| *v = u);
+            return;
+        }
+        let delta = (target - sum) / cnt as f64;
+        let mut any_negative = false;
+        for v in est.iter_mut() {
+            if *v > 0.0 {
+                *v += delta;
+                any_negative |= *v < 0.0;
+            } else {
+                *v = 0.0;
+            }
+        }
+        if !any_negative {
+            return;
+        }
+    }
+    // Unreachable in exact arithmetic; guard against pathological rounding
+    // by clamping and rescaling.
+    est.iter_mut().for_each(|v| *v = v.max(0.0));
+    let s: f64 = est.iter().sum();
+    if s > 0.0 {
+        let r = target / s;
+        est.iter_mut().for_each(|v| *v *= r);
+    }
+}
+
+/// Repairs raw debiased grid estimates into a mutually consistent set: every
+/// grid non-negative with total mass 1, and every 2-D grid's row/column
+/// marginals agreeing with its 1-D parents' coarse group sums (to Sinkhorn
+/// tolerance).
+///
+/// `one_d[i]` must have length `spec.g1()` and `two_d[p]` length
+/// `spec.g2()²`, in `spec` dim/pair order.
+///
+/// # Panics
+/// Panics on mismatched grid counts or lengths (the engine constructs these
+/// from the same `GridSpec`, so a mismatch is a programming error).
+pub fn repair(
+    spec: &GridSpec,
+    mut one_d: Vec<Vec<f64>>,
+    mut two_d: Vec<Vec<f64>>,
+) -> RepairedGrids {
+    let d = spec.dims().len();
+    let g1 = spec.g1();
+    let g2 = spec.g2();
+    let c = spec.group();
+    assert_eq!(one_d.len(), d, "one 1-D grid per dim");
+    assert_eq!(two_d.len(), spec.pairs().len(), "one 2-D grid per pair");
+    for g in &one_d {
+        assert_eq!(g.len(), g1, "1-D grid length");
+    }
+    for g in &two_d {
+        assert_eq!(g.len(), g2 * g2, "2-D grid length");
+    }
+
+    // 1. Non-negativity: project every grid onto the mass-1 simplex.
+    for g in &mut one_d {
+        norm_sub(g, 1.0);
+    }
+    for g in &mut two_d {
+        norm_sub(g, 1.0);
+    }
+
+    // 2. Consensus coarse marginals, one per attribute. Weights are inverse
+    // variances: a group sum of `c` 1-D cells has variance c·V, a 2-D
+    // marginal of `g2` cells has g2·V, with the same per-cell V everywhere —
+    // so the weights reduce to 1/c and 1/g2.
+    let mut consensus: Vec<Vec<f64>> = Vec::with_capacity(d);
+    for (a, fine) in one_d.iter().enumerate() {
+        let mut mu = vec![0.0; g2];
+        let mut weight_total = 0.0;
+        let w1 = 1.0 / c as f64;
+        for t in 0..g2 {
+            let s: f64 = fine[t * c..(t + 1) * c].iter().sum();
+            mu[t] = w1 * s;
+        }
+        weight_total += w1;
+        let w2 = 1.0 / g2 as f64;
+        for (p, &(x, y)) in spec.pairs().iter().enumerate() {
+            if x == a {
+                for (t, m) in mu.iter_mut().enumerate() {
+                    let s: f64 = (0..g2).map(|u| two_d[p][t * g2 + u]).sum();
+                    *m += w2 * s;
+                }
+                weight_total += w2;
+            } else if y == a {
+                for (t, m) in mu.iter_mut().enumerate() {
+                    let s: f64 = (0..g2).map(|u| two_d[p][u * g2 + t]).sum();
+                    *m += w2 * s;
+                }
+                weight_total += w2;
+            }
+        }
+        mu.iter_mut().for_each(|m| *m /= weight_total);
+        // The weighted average of mass-1 marginals is mass-1 up to rounding;
+        // a final projection keeps it exact and non-negative.
+        norm_sub(&mut mu, 1.0);
+        consensus.push(mu);
+    }
+
+    // 3a. Impose on the 1-D grids: rescale each group of `c` cells to its
+    // consensus total (uniform refill when the group carries no mass).
+    for a in 0..d {
+        for t in 0..g2 {
+            let group = &mut one_d[a][t * c..(t + 1) * c];
+            let s: f64 = group.iter().sum();
+            if s > TINY {
+                let r = consensus[a][t] / s;
+                group.iter_mut().for_each(|v| *v *= r);
+            } else {
+                let u = consensus[a][t] / c as f64;
+                group.iter_mut().for_each(|v| *v = u);
+            }
+        }
+    }
+
+    // 3b. Impose on the 2-D grids: blend in a uniform sliver so the support
+    // admits the targets, then Sinkhorn-sweep toward row marginals
+    // consensus[x] and column marginals consensus[y].
+    for (p, &(x, y)) in spec.pairs().iter().enumerate() {
+        let u = IPF_SMOOTHING / (g2 * g2) as f64;
+        two_d[p]
+            .iter_mut()
+            .for_each(|v| *v = (1.0 - IPF_SMOOTHING) * *v + u);
+        sinkhorn(&mut two_d[p], g2, &consensus[x], &consensus[y]);
+    }
+
+    RepairedGrids { one_d, two_d }
+}
+
+/// Iterative proportional fitting of a `g×g` row-major matrix to the given
+/// row and column marginals. Rows (then columns) are rescaled to their
+/// targets; an empty row/column with positive target is refilled uniformly,
+/// which keeps the support adequate and the sweeps convergent.
+fn sinkhorn(cells: &mut [f64], g: usize, rows: &[f64], cols: &[f64]) {
+    for _ in 0..IPF_MAX_SWEEPS {
+        for (r, &target) in rows.iter().enumerate() {
+            let row = &mut cells[r * g..(r + 1) * g];
+            let s: f64 = row.iter().sum();
+            if s > TINY {
+                let f = target / s;
+                row.iter_mut().for_each(|v| *v *= f);
+            } else {
+                let u = target / g as f64;
+                row.iter_mut().for_each(|v| *v = u);
+            }
+        }
+        for (cidx, &target) in cols.iter().enumerate() {
+            let s: f64 = (0..g).map(|r| cells[r * g + cidx]).sum();
+            if s > TINY {
+                let f = target / s;
+                (0..g).for_each(|r| cells[r * g + cidx] *= f);
+            } else {
+                let u = target / g as f64;
+                (0..g).for_each(|r| cells[r * g + cidx] = u);
+            }
+        }
+        // The column pass just made the columns exact, so convergence is
+        // measured on the rows it may have disturbed.
+        let mut row_err = 0.0f64;
+        for (r, &target) in rows.iter().enumerate() {
+            let s: f64 = cells[r * g..(r + 1) * g].iter().sum();
+            row_err = row_err.max((s - target).abs());
+        }
+        if row_err < IPF_TOL {
+            return;
+        }
+    }
+}
+
+/// Max absolute disagreement between each 2-D grid's marginals and its 1-D
+/// parents' coarse group sums — the quantity `repair` drives toward zero
+/// (exposed for tests and diagnostics).
+pub fn marginal_discrepancy(spec: &GridSpec, grids: &RepairedGrids) -> f64 {
+    let g2 = spec.g2();
+    let c = spec.group();
+    let mut worst = 0.0f64;
+    for (p, &(x, y)) in spec.pairs().iter().enumerate() {
+        for t in 0..g2 {
+            let parent_x: f64 = grids.one_d[x][t * c..(t + 1) * c].iter().sum();
+            let row: f64 = (0..g2).map(|u| grids.two_d[p][t * g2 + u]).sum();
+            worst = worst.max((parent_x - row).abs());
+            let parent_y: f64 = grids.one_d[y][t * c..(t + 1) * c].iter().sum();
+            let col: f64 = (0..g2).map(|u| grids.two_d[p][u * g2 + t]).sum();
+            worst = worst.max((parent_y - col).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_sub_projects_onto_simplex() {
+        let mut v = vec![0.5, -0.2, 0.4, -0.1, 0.3];
+        norm_sub(&mut v, 1.0);
+        assert!(v.iter().all(|&x| x >= 0.0));
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Order between surviving cells is preserved.
+        assert!(v[0] > v[2] && v[2] > v[4]);
+    }
+
+    #[test]
+    fn norm_sub_handles_all_nonpositive() {
+        let mut v = vec![-0.5, -0.1, 0.0];
+        norm_sub(&mut v, 0.9);
+        assert!(v.iter().all(|&x| (x - 0.3).abs() < 1e-12));
+    }
+
+    #[test]
+    fn norm_sub_cascades_newly_negative_cells() {
+        // The uniform shift drives the small positive cell negative; a
+        // second round must zero it and re-shift.
+        let mut v = vec![2.0, 0.01, -1.0];
+        norm_sub(&mut v, 1.0);
+        assert!(v.iter().all(|&x| x >= 0.0));
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(v[2], 0.0);
+    }
+
+    #[test]
+    fn norm_sub_is_idempotent() {
+        let mut v = vec![0.7, -0.3, 0.2, 0.6];
+        norm_sub(&mut v, 1.0);
+        let once = v.clone();
+        norm_sub(&mut v, 1.0);
+        for (a, b) in v.iter().zip(&once) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sinkhorn_fits_both_marginals() {
+        let g = 3;
+        let mut m = vec![0.2, 0.1, 0.0, 0.05, 0.3, 0.05, 0.0, 0.1, 0.2];
+        let rows = [0.5, 0.3, 0.2];
+        let cols = [0.25, 0.45, 0.3];
+        sinkhorn(&mut m, g, &rows, &cols);
+        for (r, &t) in rows.iter().enumerate() {
+            let s: f64 = m[r * g..(r + 1) * g].iter().sum();
+            assert!((s - t).abs() < 1e-9, "row {r}");
+        }
+        for (c, &t) in cols.iter().enumerate() {
+            let s: f64 = (0..g).map(|r| m[r * g + c]).sum();
+            assert!((s - t).abs() < 1e-9, "col {c}");
+        }
+        assert!(m.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn sinkhorn_refills_empty_rows() {
+        let g = 2;
+        let mut m = vec![0.0, 0.0, 0.3, 0.7];
+        let rows = [0.4, 0.6];
+        let cols = [0.5, 0.5];
+        sinkhorn(&mut m, g, &rows, &cols);
+        let s0: f64 = m[0..2].iter().sum();
+        assert!((s0 - 0.4).abs() < 1e-9);
+        assert!(m.iter().all(|&x| x >= 0.0));
+    }
+}

@@ -12,6 +12,7 @@
 //! * [`core`] ([`ldp_core`]) — mechanisms and theory,
 //! * [`data`] ([`ldp_data`]) — datasets and workload generators,
 //! * [`analytics`] ([`ldp_analytics`]) — aggregator-side estimation,
+//! * [`query`] ([`ldp_query`]) — HDG-style multi-dimensional range queries,
 //! * [`ml`] ([`ldp_ml`]) — empirical risk minimization under LDP.
 //!
 //! ## Quick start: estimate a mean under ε-LDP
@@ -59,3 +60,4 @@ pub use ldp_analytics as analytics;
 pub use ldp_core as core;
 pub use ldp_data as data;
 pub use ldp_ml as ml;
+pub use ldp_query as query;
