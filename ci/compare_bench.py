@@ -183,11 +183,21 @@ def compare(committed, measured, min_ratio):
                     continue
                 wire_matched += 1
                 label = "wire {} eps={} d={} k={}".format(*wire_cell_key(cell))
-                for exact in ("reports", "total_bytes"):
-                    if cell[exact] != ref[exact]:
+                # ``wal_replayed`` (records recovered by replaying the WAL
+                # the wal arm writes) is deterministic like the byte counts;
+                # gate it exactly whenever the committed artifact carries it
+                # (older artifacts predate the wal arm). A measured cell
+                # that silently drops the field fails the same way a drift
+                # does — ``cell.get`` yields None, which never equals the
+                # committed count.
+                exact_fields = ["reports", "total_bytes"]
+                if "wal_replayed" in ref:
+                    exact_fields.append("wal_replayed")
+                for exact in exact_fields:
+                    if cell.get(exact) != ref[exact]:
                         failures.append(
                             f"{label}: {exact} drifted "
-                            f"({ref[exact]} -> {cell[exact]}) — the wire codec "
+                            f"({ref[exact]} -> {cell.get(exact)}) — the wire codec "
                             f"changed the canonical byte image"
                         )
                 for field in wire_fields:
@@ -383,8 +393,10 @@ def self_test():
             "k": 16,
             "reports": 20000,
             "total_bytes": 123456,
+            "wal_replayed": 20000,
             "encode_reports_per_sec": 1000.0,
             "decode_reports_per_sec": 2000.0,
+            "wal_reports_per_sec": 500.0,
         }
         cell.update(over)
         return cell
@@ -408,7 +420,7 @@ def self_test():
         rep = {
             "arms": ["baseline", "fast", "batched"],
             "cells": [grid_cell()],
-            "wire": {"arms": ["encode", "decode"], "cells": [wire_cell()]},
+            "wire": {"arms": ["encode", "decode", "wal"], "cells": [wire_cell()]},
             "queries": {"users": 30000, "cells": [query_cell()]},
             "worker_sweep": {"cells": [{"estimate_checksum": "0xfff"}]},
         }
@@ -455,6 +467,56 @@ def self_test():
         "total_bytes drifted",
         report(),
         report(wire={"arms": ["encode", "decode"], "cells": [wire_cell(total_bytes=123457)]}),
+    )
+    expect(
+        "wal replayed-count drift fails",
+        "wal_replayed drifted",
+        report(),
+        report(
+            wire={
+                "arms": ["encode", "decode", "wal"],
+                "cells": [wire_cell(wal_replayed=19999)],
+            }
+        ),
+    )
+    expect(
+        "dropped wal_replayed field fails",
+        "wal_replayed drifted",
+        report(),
+        report(
+            wire={
+                "arms": ["encode", "decode", "wal"],
+                "cells": [{k: v for k, v in wire_cell().items() if k != "wal_replayed"}],
+            }
+        ),
+    )
+    expect(
+        "wal rate collapse fails",
+        "wal_reports_per_sec regressed",
+        report(),
+        report(
+            wire={
+                "arms": ["encode", "decode", "wal"],
+                "cells": [wire_cell(wal_reports_per_sec=1.0)],
+            }
+        ),
+    )
+    expect(
+        "committed artifact predating the wal arm passes",
+        None,
+        report(
+            wire={
+                "arms": ["encode", "decode"],
+                "cells": [
+                    {
+                        k: v
+                        for k, v in wire_cell().items()
+                        if k not in ("wal_replayed", "wal_reports_per_sec")
+                    }
+                ],
+            }
+        ),
+        report(),
     )
     expect(
         "checksum drift fails",

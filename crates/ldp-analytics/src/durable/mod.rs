@@ -1,0 +1,643 @@
+//! Crash-safe durability under [`ReportService`]: a write-ahead log, epoch
+//! checkpoints, and deterministic kill–restart recovery.
+//!
+//! ## The contract
+//!
+//! [`DurableService`] wraps a [`ReportService`] so that an `Admitted` ack
+//! is only ever sent for a report whose WAL record is as durable as the
+//! configured [`FsyncPolicy`] promises. A process kill at *any* instant
+//! then loses at most unacked work: on restart, [`Recovery::replay`]
+//! installs the newest checkpoint, replays the log's admitted records
+//! through the untouched production path
+//! ([`crate::service::WireMessage::decode`] +
+//! [`ReportService::handle`]), truncates the torn tail a mid-append crash
+//! leaves, and the recovered epoch snapshots are **bit-identical** —
+//! every mean and frequency compared via `to_bits()` — to a run that never
+//! crashed. The crash-recovery suite gates on exactly that, plus the
+//! conservation invariant `admitted == wal_replayed + checkpointed`.
+//!
+//! ## The pieces
+//!
+//! - `wal`: the log — a binding header record (protocol, ε, schema,
+//!   base epoch, ledger key, run seed) followed by one frame per admitted
+//!   `Submit`, byte-identical to its wire payload. Torn tails truncate
+//!   silently; corruption *before* the tail is a typed
+//!   [`ldp_core::LdpError::WalCorrupt`] with the byte offset, mirroring
+//!   [`crate::service::StreamFault`] semantics.
+//! - `checkpoint`: full-state snapshots (aggregator partials keyed by
+//!   ordinal, the budget ledger as keyed hashes, the stream counters)
+//!   written with [`ldp_core::fsio`]'s fsync-hardened tmp+rename. After a
+//!   checkpoint commits, the log rotates down to its header — the
+//!   checkpoint has made the old records redundant.
+//! - `recovery`: checkpoint install + ordered replay, deduplicating
+//!   through the ledger so a crash between checkpoint-commit and rotation
+//!   cannot double-spend anyone's budget.
+//! - [`CrashSchedule`]: a seeded kill switch consulted between every
+//!   append / fsync / checkpoint-stage / checkpoint-commit / rotate step,
+//!   so the integration suite can drop the process at a reproducible
+//!   instant and prove recovery from whatever the disk held.
+
+mod checkpoint;
+mod recovery;
+mod wal;
+
+pub use checkpoint::{
+    Checkpoint, CHECKPOINT_FILE, KIND_CHECKPOINT_EPOCH, KIND_CHECKPOINT_LEDGER,
+    KIND_CHECKPOINT_META,
+};
+pub use recovery::{Recovery, RecoveryReport};
+pub use wal::{scan, WalHeader, WalScan, WalWriter, KIND_WAL_HEADER, KIND_WAL_SUBMIT, WAL_FILE};
+
+use crate::service::{EpochSnapshot, ReportService, ServiceConfig, WireMessage};
+use ldp_core::rng::{seeded_rng, uniform_index};
+use ldp_core::{fsio, IoFault, LdpError, Result};
+use std::path::{Path, PathBuf};
+
+/// When appended WAL records are forced onto stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: the ack-after-durable contract holds
+    /// for each individual report. The safest and slowest policy.
+    EveryRecord,
+    /// Group commit: `fsync` once per `n` appended records. A crash can
+    /// lose up to `n - 1` acked-but-unsynced records; throughput scales
+    /// accordingly. `EveryN(1)` behaves like [`FsyncPolicy::EveryRecord`].
+    EveryN(u64),
+    /// `fsync` only at explicit flush boundaries (`FlushEpoch`,
+    /// `Shutdown`, [`DurableService::flush`]). Fastest; the durability
+    /// boundary is the flush, not the record.
+    OnFlush,
+}
+
+/// The instants a [`CrashSchedule`] can kill the process at — each sits
+/// between two steps of the durable write paths, where a real power cut
+/// could land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// A WAL record reached the OS but no fsync has run: the record may
+    /// or may not survive; recovery sees a torn or missing tail.
+    AfterAppend,
+    /// A WAL fsync completed: everything appended so far is durable.
+    AfterFsync,
+    /// The checkpoint temp file is written and synced, but not renamed:
+    /// recovery must ignore the stray `.tmp` and use the old state.
+    AfterCheckpointStage,
+    /// The checkpoint rename is durable but the log has not rotated:
+    /// recovery replays a log whose records the checkpoint already
+    /// covers — the ledger must deduplicate every one.
+    AfterCheckpointCommit,
+    /// The rotated (header-only) log replaced the old one.
+    AfterRotate,
+}
+
+impl CrashPoint {
+    /// Every injectable point, in write-path order.
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::AfterAppend,
+        CrashPoint::AfterFsync,
+        CrashPoint::AfterCheckpointStage,
+        CrashPoint::AfterCheckpointCommit,
+        CrashPoint::AfterRotate,
+    ];
+}
+
+/// A deterministic kill: trips the `occurrence`-th time execution passes
+/// `point`, and every durable operation from then on fails with the
+/// injected-crash error — the process is to be treated as dead and
+/// reopened via [`Recovery::replay`].
+#[derive(Debug, Clone)]
+pub struct CrashSchedule {
+    point: CrashPoint,
+    occurrence: u64,
+    seen: u64,
+    tripped: bool,
+}
+
+impl CrashSchedule {
+    /// Kill at the `occurrence`-th (1-based) pass of `point`.
+    pub fn new(point: CrashPoint, occurrence: u64) -> Self {
+        CrashSchedule {
+            point,
+            occurrence: occurrence.max(1),
+            seen: 0,
+            tripped: false,
+        }
+    }
+
+    /// A seed-derived schedule: uniform point, occurrence in `1..=8`.
+    /// Same seed, same kill — the property the kill–restart suite's fixed
+    /// seeds rely on.
+    pub fn seeded(seed: u64) -> Self {
+        let mut rng = seeded_rng(seed ^ 0xdead_0c4a_5af3_57a7);
+        let point = CrashPoint::ALL[uniform_index(&mut rng, CrashPoint::ALL.len() as u32) as usize];
+        let occurrence = u64::from(uniform_index(&mut rng, 8)) + 1;
+        CrashSchedule::new(point, occurrence)
+    }
+
+    /// The point this schedule kills at.
+    pub fn point(&self) -> CrashPoint {
+        self.point
+    }
+
+    /// Which pass of the point kills (1-based).
+    pub fn occurrence(&self) -> u64 {
+        self.occurrence
+    }
+
+    /// True once the kill has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Consulted by the durable write paths at each [`CrashPoint`].
+    ///
+    /// # Errors
+    /// The injected-crash error (see [`is_injected_crash`]) when this
+    /// pass trips the schedule, and on every call after.
+    pub fn note(&mut self, point: CrashPoint) -> Result<()> {
+        if self.tripped {
+            return Err(injected_crash());
+        }
+        if point == self.point {
+            self.seen += 1;
+            if self.seen >= self.occurrence {
+                self.tripped = true;
+                return Err(injected_crash());
+            }
+        }
+        Ok(())
+    }
+}
+
+fn injected_crash() -> LdpError {
+    LdpError::InvalidParameter {
+        name: "injected_crash",
+        message: "simulated process kill from the crash schedule".into(),
+    }
+}
+
+/// True for the error a tripped [`CrashSchedule`] injects — the harness's
+/// cue to drop the instance and recover, as distinguishable from a real
+/// I/O failure as a kill signal is.
+pub fn is_injected_crash(e: &LdpError) -> bool {
+    matches!(
+        e,
+        LdpError::InvalidParameter {
+            name: "injected_crash",
+            ..
+        }
+    )
+}
+
+/// True for errors raised by the durability layer itself — disk failures
+/// on the log or checkpoint paths, or an injected crash — rather than by
+/// request validation. The transport maps these to a retryable
+/// `Overloaded` shed: nothing about the *message* was wrong, the server
+/// just could not make it durable right now.
+pub fn is_storage_error(e: &LdpError) -> bool {
+    matches!(
+        e,
+        LdpError::InvalidParameter { name, .. }
+            if *name == "injected_crash"
+                || name.starts_with("wal")
+                || name.starts_with("checkpoint")
+                || name.starts_with("durable")
+    )
+}
+
+fn note(crash: &mut Option<CrashSchedule>, point: CrashPoint) -> Result<()> {
+    match crash {
+        Some(schedule) => schedule.note(point),
+        None => Ok(()),
+    }
+}
+
+fn disk_err(op: &'static str, e: &std::io::Error) -> LdpError {
+    LdpError::InvalidParameter {
+        name: op,
+        message: format!("durable i/o failed: {}", IoFault::from_io(e)),
+    }
+}
+
+/// Construction parameters for a [`DurableService`].
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// The wrapped service's parameters.
+    pub service: ServiceConfig,
+    /// When WAL appends are forced to stable storage.
+    pub fsync: FsyncPolicy,
+    /// The collection run's seed, bound into the log header so recovered
+    /// state can never be mixed into a different run.
+    pub run_seed: u64,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            service: ServiceConfig::default(),
+            fsync: FsyncPolicy::EveryRecord,
+            run_seed: 0,
+        }
+    }
+}
+
+/// A [`ReportService`] behind a write-ahead log and epoch checkpoints.
+///
+/// Every admitted `Submit` is appended to the log *before* the caller gets
+/// its `Ok` (and hence before any transport ack); [`Self::checkpoint`] captures
+/// the full state atomically and rotates the log. Opening a directory
+/// always runs recovery first, so a kill–restart cycle is just `drop` +
+/// [`DurableService::open`].
+#[derive(Debug)]
+pub struct DurableService {
+    service: ReportService,
+    config: DurableConfig,
+    dir: PathBuf,
+    /// `None` until a `Hello` establishes the session (there is nothing to
+    /// bind a log header to before that).
+    wal: Option<WalWriter>,
+    header: Option<WalHeader>,
+    crash: Option<CrashSchedule>,
+    checkpoints: u64,
+}
+
+impl DurableService {
+    /// Opens (and first recovers) the durable directory.
+    ///
+    /// # Errors
+    /// Recovery failures — see [`Recovery::replay`].
+    pub fn open(dir: &Path, config: DurableConfig) -> Result<(Self, RecoveryReport)> {
+        Self::open_with_crash(dir, config, None)
+    }
+
+    /// [`DurableService::open`] with a crash schedule armed; the harness
+    /// entry point.
+    ///
+    /// # Errors
+    /// As [`DurableService::open`].
+    pub fn open_with_crash(
+        dir: &Path,
+        config: DurableConfig,
+        crash: Option<CrashSchedule>,
+    ) -> Result<(Self, RecoveryReport)> {
+        std::fs::create_dir_all(dir).map_err(|e| disk_err("durable_dir", &e))?;
+        let (service, header, report) = Recovery::replay(dir, &config)?;
+        let wal_path = dir.join(WAL_FILE);
+        let wal = match &header {
+            // A crash can land after the checkpoint rename with the log
+            // missing or rotated away mid-swap; recreate it from the
+            // binding either way.
+            Some(h) if !wal_path.exists() => Some(WalWriter::create(&wal_path, h, config.fsync)?),
+            Some(_) => Some(WalWriter::open_end(&wal_path, config.fsync)?),
+            None => None,
+        };
+        Ok((
+            DurableService {
+                service,
+                config,
+                dir: dir.to_path_buf(),
+                wal,
+                header,
+                crash,
+                checkpoints: 0,
+            },
+            report,
+        ))
+    }
+
+    /// The wrapped service (read-only; all mutation goes through
+    /// [`DurableService::handle`] so it cannot bypass the log).
+    pub fn service(&self) -> &ReportService {
+        &self.service
+    }
+
+    /// Checkpoints taken by this instance.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Submit records appended by this instance (recovered records are a
+    /// previous incarnation's).
+    pub fn wal_records(&self) -> u64 {
+        self.wal.as_ref().map_or(0, WalWriter::records)
+    }
+
+    /// True once an armed crash schedule has fired; the instance is
+    /// "dead" and every further durable operation returns the injected
+    /// crash.
+    pub fn crashed(&self) -> bool {
+        self.crash.as_ref().is_some_and(CrashSchedule::tripped)
+    }
+
+    /// Non-destructive snapshot of one epoch (delegates to the service).
+    ///
+    /// # Errors
+    /// As [`ReportService::snapshot_epoch`].
+    pub fn snapshot_epoch(&self, epoch: u64) -> Result<EpochSnapshot> {
+        self.service.snapshot_epoch(epoch)
+    }
+
+    /// Processes one message with durability interposed:
+    ///
+    /// - `Hello`: establishes the session, then durably creates the log
+    ///   with its binding header (idempotent re-hellos reuse it);
+    /// - `Submit`: admitted by the service first (all three validation
+    ///   gates), then appended; the `Ok` — and any ack built from it —
+    ///   happens strictly after the append returns per the fsync policy;
+    /// - `FlushEpoch`: flushes the log (the `OnFlush` durability
+    ///   boundary), then snapshots;
+    /// - `Shutdown`: flushes the log.
+    ///
+    /// # Errors
+    /// Service rejections pass through unchanged (a duplicate is still
+    /// [`LdpError::DuplicateReport`] and is *not* logged). A WAL append
+    /// failure after an in-memory admit is surfaced as-is: the transport
+    /// maps it to a retryable `Overloaded`, and since the admit kept the
+    /// in-memory ledger entry, the client's idempotent retry resolves to
+    /// a duplicate ack rather than a double-count.
+    pub fn handle(&mut self, msg: &WireMessage) -> Result<Option<EpochSnapshot>> {
+        match msg {
+            WireMessage::Hello { .. } => {
+                self.service.handle(msg)?;
+                if self.wal.is_none() {
+                    let (protocol, epsilon, specs, base_epoch) = self
+                        .service
+                        .session_params()
+                        .expect("hello just established the session");
+                    let header = WalHeader {
+                        protocol,
+                        epsilon,
+                        specs: specs.to_vec(),
+                        base_epoch,
+                        ledger_key: self.service.config().ledger_key,
+                        run_seed: self.config.run_seed,
+                    };
+                    let wal =
+                        WalWriter::create(&self.dir.join(WAL_FILE), &header, self.config.fsync)?;
+                    self.header = Some(header);
+                    self.wal = Some(wal);
+                }
+                Ok(None)
+            }
+            WireMessage::Submit { .. } => {
+                self.service.handle(msg)?;
+                let wal = self
+                    .wal
+                    .as_mut()
+                    .expect("service admitted a submit, so a hello created the log");
+                wal.append(msg, &mut self.crash)?;
+                Ok(None)
+            }
+            WireMessage::FlushEpoch { .. } => {
+                self.flush()?;
+                self.service.handle(msg)
+            }
+            WireMessage::Shutdown => {
+                self.flush()?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Counts one malformed rejection observed outside the service's own
+    /// loops (see [`ReportService::note_malformed`]) — the transport
+    /// absorber's passthrough.
+    pub fn note_malformed(&mut self) {
+        self.service.note_malformed();
+    }
+
+    /// Tears down the wrapper and returns the wrapped service — the
+    /// drain-then-stop tail of the transport server. The final flush is
+    /// best-effort: at this point the process is exiting, and a dead disk
+    /// or tripped crash schedule has no one left to retry.
+    pub fn into_service(mut self) -> ReportService {
+        let _ = self.flush();
+        self.service
+    }
+
+    /// Forces every appended record onto stable storage.
+    ///
+    /// # Errors
+    /// I/O failures or the injected crash.
+    pub fn flush(&mut self) -> Result<()> {
+        match self.wal.as_mut() {
+            Some(wal) => wal.sync(&mut self.crash),
+            None => Ok(()),
+        }
+    }
+
+    /// Takes an epoch checkpoint and rotates the log:
+    ///
+    /// 1. capture the full service state and stage it to
+    ///    `checkpoint.bin.tmp` (written + fsynced, not yet visible);
+    /// 2. commit: atomic rename + parent-directory fsync — from this
+    ///    instant recovery uses the new checkpoint;
+    /// 3. rotate: swap in a header-only log the same way — the records
+    ///    the checkpoint covers are compacted away.
+    ///
+    /// A crash between 2 and 3 leaves a log whose records the checkpoint
+    /// already holds; recovery deduplicates them through the ledger.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] before any session exists; I/O
+    /// failures; the injected crash at any armed point.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let header = self
+            .header
+            .clone()
+            .ok_or_else(|| LdpError::InvalidParameter {
+                name: "checkpoint",
+                message: "no session established; nothing to checkpoint".into(),
+            })?;
+        let image = Checkpoint::capture(&self.service, &header).encode()?;
+        let checkpoint_path = self.dir.join(CHECKPOINT_FILE);
+        let staged =
+            fsio::stage(&checkpoint_path, &image).map_err(|e| disk_err("checkpoint_stage", &e))?;
+        note(&mut self.crash, CrashPoint::AfterCheckpointStage)?;
+        fsio::commit(&checkpoint_path, &staged).map_err(|e| disk_err("checkpoint_commit", &e))?;
+        note(&mut self.crash, CrashPoint::AfterCheckpointCommit)?;
+
+        // Rotate: drop the open handle, then atomically swap in a fresh
+        // header-only log and reopen it for appending.
+        self.wal = None;
+        let wal_path = self.dir.join(WAL_FILE);
+        let fresh = wal::header_only_log(&header)?;
+        let staged = fsio::stage(&wal_path, &fresh).map_err(|e| disk_err("wal_rotate", &e))?;
+        fsio::commit(&wal_path, &staged).map_err(|e| disk_err("wal_rotate", &e))?;
+        note(&mut self.crash, CrashPoint::AfterRotate)?;
+        self.wal = Some(WalWriter::open_end(&wal_path, self.config.fsync)?);
+        self.checkpoints += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Protocol;
+    use crate::service::encode_report;
+    use crate::ClientEncoder;
+    use ldp_core::rng::seeded_rng;
+    use ldp_core::{AttrSpec, AttrValue, Epsilon, NumericKind, OracleKind};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ldp_durable_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn test_protocol() -> Protocol {
+        Protocol::Sampling {
+            numeric: NumericKind::Hybrid,
+            oracle: OracleKind::Oue,
+        }
+    }
+
+    fn test_specs() -> Vec<AttrSpec> {
+        vec![AttrSpec::Numeric, AttrSpec::Categorical { k: 4 }]
+    }
+
+    fn hello() -> WireMessage {
+        WireMessage::Hello {
+            protocol: test_protocol(),
+            epsilon: Epsilon::new(1.0).unwrap(),
+            specs: test_specs(),
+            epoch: 0,
+        }
+    }
+
+    fn submits(n: u64) -> Vec<WireMessage> {
+        let specs = test_specs();
+        let encoder =
+            ClientEncoder::new(test_protocol(), Epsilon::new(1.0).unwrap(), specs.clone()).unwrap();
+        let mut rng = seeded_rng(41);
+        (0..n)
+            .map(|user| {
+                let report = encoder
+                    .encode(
+                        &[
+                            AttrValue::Numeric(0.25),
+                            AttrValue::Categorical((user % 4) as u32),
+                        ],
+                        &mut rng,
+                    )
+                    .unwrap();
+                WireMessage::Submit {
+                    user,
+                    epoch: 0,
+                    block: user % 3,
+                    report: encode_report(&report, &specs),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wal_header_round_trips_and_binds() {
+        let header = WalHeader {
+            protocol: test_protocol(),
+            epsilon: Epsilon::new(0.5).unwrap(),
+            specs: test_specs(),
+            base_epoch: 3,
+            ledger_key: 0xfeed,
+            run_seed: 99,
+        };
+        let decoded = WalHeader::decode(&header.encode()).unwrap();
+        assert!(header.matches(&decoded));
+        let mut other = decoded.clone();
+        other.run_seed = 100;
+        assert!(!header.matches(&other));
+        assert!(WalHeader::decode(&[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn open_append_recover_round_trip() {
+        let dir = temp_dir("round_trip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut durable, report) = DurableService::open(&dir, DurableConfig::default()).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        durable.handle(&hello()).unwrap();
+        for msg in submits(20) {
+            durable.handle(&msg).unwrap();
+        }
+        let before = durable.snapshot_epoch(0).unwrap();
+        drop(durable);
+
+        let (recovered, report) = DurableService::open(&dir, DurableConfig::default()).unwrap();
+        assert_eq!(report.wal_replayed, 20);
+        assert_eq!(report.checkpointed, 0);
+        assert_eq!(report.recovered_admits(), 20);
+        let after = recovered.snapshot_epoch(0).unwrap();
+        assert_eq!(after.admitted, before.admitted);
+        let (a, b) = (before.result.unwrap(), after.result.unwrap());
+        assert_eq!(a.means.len(), b.means.len());
+        for ((i, x), (j, y)) in a.means.iter().zip(b.means.iter()) {
+            assert_eq!(i, j);
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rotates_and_recovery_splits_sources() {
+        let dir = temp_dir("checkpoint");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut durable, _) = DurableService::open(&dir, DurableConfig::default()).unwrap();
+        durable.handle(&hello()).unwrap();
+        let all = submits(30);
+        for msg in &all[..18] {
+            durable.handle(msg).unwrap();
+        }
+        durable.checkpoint().unwrap();
+        assert_eq!(durable.checkpoints(), 1);
+        for msg in &all[18..] {
+            durable.handle(msg).unwrap();
+        }
+        drop(durable);
+
+        let (recovered, report) = DurableService::open(&dir, DurableConfig::default()).unwrap();
+        assert_eq!(report.checkpointed, 18);
+        assert_eq!(report.wal_replayed, 12);
+        assert_eq!(report.wal_skipped, 0);
+        assert_eq!(report.recovered_admits(), 30);
+        assert_eq!(recovered.snapshot_epoch(0).unwrap().admitted, 30);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_schedule_is_deterministic_and_trips_once() {
+        let a = CrashSchedule::seeded(7);
+        let b = CrashSchedule::seeded(7);
+        assert_eq!(a.point(), b.point());
+        assert_eq!(a.occurrence(), b.occurrence());
+
+        let mut s = CrashSchedule::new(CrashPoint::AfterAppend, 2);
+        assert!(s.note(CrashPoint::AfterFsync).is_ok());
+        assert!(s.note(CrashPoint::AfterAppend).is_ok());
+        let err = s.note(CrashPoint::AfterAppend).unwrap_err();
+        assert!(is_injected_crash(&err));
+        assert!(s.tripped());
+        // Dead stays dead, whatever the point.
+        let err = s.note(CrashPoint::AfterRotate).unwrap_err();
+        assert!(is_injected_crash(&err));
+    }
+
+    #[test]
+    fn duplicate_submits_are_rejected_not_logged() {
+        let dir = temp_dir("dup");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut durable, _) = DurableService::open(&dir, DurableConfig::default()).unwrap();
+        durable.handle(&hello()).unwrap();
+        let msgs = submits(2);
+        durable.handle(&msgs[0]).unwrap();
+        assert!(matches!(
+            durable.handle(&msgs[0]),
+            Err(LdpError::DuplicateReport { .. })
+        ));
+        assert_eq!(durable.wal_records(), 1);
+        drop(durable);
+        let (_, report) = DurableService::open(&dir, DurableConfig::default()).unwrap();
+        assert_eq!(report.wal_records, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

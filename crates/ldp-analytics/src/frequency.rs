@@ -14,6 +14,7 @@
 //! scaling restores unbiasedness).
 
 use crate::wordhist::WordHistogram;
+use ldp_core::multidim::wire::{BitReader, BitWriter};
 use ldp_core::{CategoricalReport, DebiasParams, FrequencyOracle, LdpError, Result};
 
 /// Streaming accumulator for the value frequencies of one categorical
@@ -221,6 +222,45 @@ impl FrequencyAccumulator {
                 .map(|c| self.scale * debias.debias_count(c, self.reports))
                 .collect(),
         )
+    }
+
+    /// Exact serialized size of [`FrequencyAccumulator::encode_state`] in
+    /// bits: the report count plus one exact 64-bit hit count per category.
+    /// `k`, `scale` and the debias pair are *not* on the wire — both sides
+    /// derive them from the shared session schema — so a checkpoint can
+    /// never smuggle in mismatched debias parameters.
+    pub fn state_bits(k: u32) -> usize {
+        64 + 64 * k as usize
+    }
+
+    /// Appends the accumulator's count state — `reports`, then each
+    /// category's folded hit count (direct hits plus the word plane, the
+    /// same exact integers [`FrequencyAccumulator::counts`] returns) — to
+    /// `w`. All counts are exact `u64`s, so a decode on a same-schema
+    /// accumulator reproduces every future estimate bit for bit.
+    pub fn encode_state(&self, w: &mut BitWriter) {
+        w.write_bits(self.reports as u64, 64);
+        for c in self.counts() {
+            w.write_bits(c, 64);
+        }
+    }
+
+    /// Overwrites this accumulator's count state with state read from `r`
+    /// (inverse of [`FrequencyAccumulator::encode_state`]). The folded
+    /// counts land in the direct-count lane and the word plane resets —
+    /// exactly the count-preserving fold [`FrequencyAccumulator::merge`]
+    /// performs — while `k`, `scale` and the debias pair stay the ones this
+    /// accumulator was constructed with.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] on a truncated buffer.
+    pub fn decode_state(&mut self, r: &mut BitReader<'_>) -> Result<()> {
+        self.reports = r.read_bits(64)? as usize;
+        self.hist = None;
+        for c in &mut self.counts {
+            *c = r.read_bits(64)?;
+        }
+        Ok(())
     }
 
     /// Absorbs one report. The oracle only contributes its

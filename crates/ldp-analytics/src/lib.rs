@@ -25,6 +25,11 @@
 //!   [`transport::ReportClient`] whose retries the budget ledger makes
 //!   idempotent, and a deterministic chaos harness proving clean/chaos
 //!   snapshot parity bit for bit.
+//! * [`durable`] — crash safety under the service: a write-ahead log of
+//!   admitted submits behind a binding header, epoch checkpoints written
+//!   atomically and fsync-hardened, and [`durable::Recovery`] replay that
+//!   survives a kill at any instant with bit-identical recovered
+//!   snapshots (proven by the seeded [`durable::CrashSchedule`] harness).
 //! * [`ledger`] — the per-epoch privacy-budget ledger behind the service:
 //!   a keyed user-id seen-set rejecting (and counting) any second report
 //!   from one user inside an epoch.
@@ -39,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod confidence;
+pub mod durable;
 pub mod frequency;
 pub mod ledger;
 pub mod mean;
@@ -49,6 +55,10 @@ pub mod session;
 pub mod transport;
 pub mod wordhist;
 
+pub use durable::{
+    CrashPoint, CrashSchedule, DurableConfig, DurableService, FsyncPolicy, Recovery,
+    RecoveryReport, WalHeader,
+};
 pub use frequency::FrequencyAccumulator;
 pub use ledger::BudgetLedger;
 pub use mean::MeanAccumulator;

@@ -5,6 +5,7 @@
 //! Algorithm 4's `d/k` scaling already happened user-side). The accumulator
 //! is mergeable so the pipeline can shard users across threads.
 
+use ldp_core::multidim::wire::{BitReader, BitWriter};
 use ldp_core::multidim::SparseReport;
 use ldp_core::{AttrReport, LdpError, Result};
 
@@ -116,6 +117,39 @@ impl MeanAccumulator {
             .into_iter()
             .map(|x| x.clamp(-1.0, 1.0))
             .collect())
+    }
+
+    /// Exact serialized size of [`MeanAccumulator::encode_state`] in bits:
+    /// the report count plus one IEEE-754 word per attribute. `d` is *not*
+    /// on the wire — both sides derive it from the shared schema — which is
+    /// what lets checkpoint decoding reject any length mismatch outright.
+    pub fn state_bits(d: usize) -> usize {
+        64 + 64 * d
+    }
+
+    /// Appends the accumulator state — `n`, then each running sum as its
+    /// raw `f64::to_bits` word — to `w`. Bit-exact: decoding on a
+    /// same-shape accumulator reproduces every future estimate to the bit,
+    /// which is the property epoch checkpoints are gated on.
+    pub fn encode_state(&self, w: &mut BitWriter) {
+        w.write_bits(self.n as u64, 64);
+        for s in &self.sums {
+            w.write_bits(s.to_bits(), 64);
+        }
+    }
+
+    /// Overwrites this accumulator with state read from `r` (inverse of
+    /// [`MeanAccumulator::encode_state`]); the dimensionality stays the one
+    /// this accumulator was constructed with.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] on a truncated buffer.
+    pub fn decode_state(&mut self, r: &mut BitReader<'_>) -> Result<()> {
+        self.n = r.read_bits(64)? as usize;
+        for s in &mut self.sums {
+            *s = f64::from_bits(r.read_bits(64)?);
+        }
+        Ok(())
     }
 }
 

@@ -278,7 +278,9 @@ impl WireMessage {
         }
     }
 
-    fn payload(&self) -> Vec<u8> {
+    // `pub(crate)` so the durable WAL can log the byte-identical payload a
+    // `Submit` travels the wire as (replay then reuses `decode` unchanged).
+    pub(crate) fn payload(&self) -> Vec<u8> {
         let mut w = BitWriter::new();
         match self {
             WireMessage::Hello {
@@ -1165,6 +1167,89 @@ impl ReportService {
             }
         }
         Ok(())
+    }
+
+    // ---- durability hooks (see `crate::durable`) -----------------------
+
+    /// The construction parameters (the durable layer binds
+    /// `config.ledger_key` into its log header so a checkpoint can never be
+    /// replayed into a service hashing users under a different key).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The established session's parameters
+    /// `(protocol, epsilon, specs, base_epoch)`, or `None` before the
+    /// first `Hello`. The durable log header is exactly these four values
+    /// (plus the ledger key), so recovery can re-issue the `Hello` itself.
+    pub fn session_params(&self) -> Option<(Protocol, Epsilon, &[AttrSpec], u64)> {
+        self.session
+            .as_ref()
+            .map(|s| (s.protocol, s.epsilon, s.specs.as_slice(), s.base_epoch))
+    }
+
+    /// Exact-length partial-state encoding of one epoch's aggregator (see
+    /// [`Aggregator::encode_partials`]); `None` for an epoch no report has
+    /// reached.
+    pub fn encode_epoch_partials(&self, epoch: u64) -> Option<Vec<u8>> {
+        self.epochs.get(&epoch).map(Aggregator::encode_partials)
+    }
+
+    /// Reinstates one epoch's aggregator from
+    /// [`encode_epoch_partials`](ReportService::encode_epoch_partials)
+    /// bytes, cloning the session template so the schema/protocol context
+    /// is identical to the one the state was captured under.
+    ///
+    /// # Errors
+    /// [`LdpError::MalformedFrame`] before a session is established;
+    /// [`LdpError::InvalidParameter`] if the epoch already holds state
+    /// (checkpoints restore into a fresh service, never over live data) or
+    /// the bytes fail the exact-length partial codec.
+    pub fn restore_epoch_partials(&mut self, epoch: u64, bytes: &[u8]) -> Result<()> {
+        let sess = self
+            .session
+            .as_ref()
+            .ok_or_else(|| malformed("restore before hello".into()))?;
+        let mut agg = sess.template.clone();
+        agg.decode_partials(bytes)?;
+        if self.epochs.contains_key(&epoch) {
+            return Err(LdpError::InvalidParameter {
+                name: "epoch",
+                message: format!("epoch {epoch} already holds aggregate state"),
+            });
+        }
+        self.epochs.insert(epoch, agg);
+        Ok(())
+    }
+
+    /// Replaces the privacy-budget ledger with recovered state, so replayed
+    /// `Submit`s for already-checkpointed users dedup instead of
+    /// double-spending.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] if the recovered ledger was hashed
+    /// under a different key than this service's — its user hashes would
+    /// silently never match.
+    pub fn restore_ledger(&mut self, ledger: BudgetLedger) -> Result<()> {
+        if ledger.key() != self.config.ledger_key {
+            return Err(LdpError::InvalidParameter {
+                name: "ledger_key",
+                message: format!(
+                    "recovered ledger key {:#x} does not match service key {:#x}",
+                    ledger.key(),
+                    self.config.ledger_key
+                ),
+            });
+        }
+        self.ledger = ledger;
+        Ok(())
+    }
+
+    /// Restores the lifetime stream counters captured in a checkpoint, so
+    /// a recovered snapshot's `rejected_malformed` matches the clean run's.
+    pub fn restore_counters(&mut self, frames: u64, rejected_malformed: u64) {
+        self.frames = frames;
+        self.rejected_malformed = rejected_malformed;
     }
 }
 

@@ -886,6 +886,84 @@ impl Aggregator {
         self.parts.len()
     }
 
+    /// Exact serialized size in bits of one ordinal-keyed partial in
+    /// [`Aggregator::encode_partials`]: the ordinal, the mean state, then
+    /// one frequency state per categorical slot. A schema constant — which
+    /// is what lets [`Aggregator::decode_partials`] compute the only legal
+    /// payload length before reading a single field.
+    fn partial_state_bits(&self) -> usize {
+        64 + MeanAccumulator::state_bits(self.shape.d)
+            + self
+                .shape
+                .cats
+                .iter()
+                .map(|&(k, _)| FrequencyAccumulator::state_bits(k))
+                .sum::<usize>()
+    }
+
+    /// Serializes every ordinal-keyed partial — the complete aggregate
+    /// state minus the schema, which both sides already share — as an
+    /// exact-length `BitWriter` payload. All counts are exact integers and
+    /// every running sum travels as its raw `f64::to_bits` word, so a
+    /// decode on a same-session aggregator followed by
+    /// [`Aggregator::snapshot`] reproduces the original snapshot bit for
+    /// bit. This is the epoch-checkpoint payload of
+    /// [`crate::durable`].
+    pub fn encode_partials(&self) -> Vec<u8> {
+        let mut w = wire::BitWriter::new();
+        w.write_bits(self.parts.len() as u64, 32);
+        for (ordinal, part) in &self.parts {
+            w.write_bits(*ordinal, 64);
+            part.means.encode_state(&mut w);
+            for f in &part.freqs {
+                f.encode_state(&mut w);
+            }
+        }
+        w.finish()
+    }
+
+    /// Replaces this aggregator's partials with state decoded from an
+    /// [`Aggregator::encode_partials`] payload. The aggregator must have
+    /// been built for the same protocol/ε/schema (the payload carries no
+    /// schema of its own — a length mismatch against this aggregator's
+    /// shape is rejected outright, trailing junk included).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] on a payload whose length disagrees
+    /// with this aggregator's schema or that repeats an ordinal.
+    pub fn decode_partials(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = wire::BitReader::new(bytes);
+        let count = r.read_bits(32)? as usize;
+        let total_bits = 32 + count * self.partial_state_bits();
+        if bytes.len() != total_bits.div_ceil(8) {
+            return Err(LdpError::InvalidParameter {
+                name: "partial_state",
+                message: format!(
+                    "payload is {} bytes but {count} partials of this schema need {}",
+                    bytes.len(),
+                    total_bits.div_ceil(8)
+                ),
+            });
+        }
+        let mut parts = BTreeMap::new();
+        for _ in 0..count {
+            let ordinal = r.read_bits(64)?;
+            let mut part = Partial::new(&self.shape);
+            part.means.decode_state(&mut r)?;
+            for f in &mut part.freqs {
+                f.decode_state(&mut r)?;
+            }
+            if parts.insert(ordinal, part).is_some() {
+                return Err(LdpError::InvalidParameter {
+                    name: "partial_state",
+                    message: format!("ordinal {ordinal} encoded twice"),
+                });
+            }
+        }
+        self.parts = parts;
+        Ok(())
+    }
+
     /// Absorbs one report into this aggregator's own partial.
     ///
     /// Validates the report against the schema and protocol (arity, entry

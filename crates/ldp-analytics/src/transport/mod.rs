@@ -141,7 +141,7 @@ pub mod net;
 pub mod server;
 
 pub use backoff::Backoff;
-pub use chaos::{duplex, ChaosConfig, ChaosStream, FaultCounts, PipeStream};
+pub use chaos::{duplex, ChaosConfig, ChaosStream, CrashSwitch, FaultCounts, PipeStream};
 pub use client::{ClientConfig, ClientStats, Connect, FlushReceipt, ReportClient, SubmitOutcome};
 #[cfg(feature = "net")]
 pub use net::{NetConfig, TcpConnector, TcpReportServer};

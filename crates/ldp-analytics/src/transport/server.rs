@@ -31,14 +31,18 @@
 //! connection threads (or drop their handles) first.
 
 use std::io::{Read, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 
 use ldp_core::frame::{self, FrameRead, FRAME_HEADER_BYTES};
+use ldp_core::Result;
 
+use crate::durable::{self, DurableConfig, DurableService, RecoveryReport};
 use crate::service::{
-    AckOutcome, ReportService, ResponseMessage, ServiceConfig, StreamFault, WireMessage,
+    AckOutcome, EpochSnapshot, ReportService, ResponseMessage, ServiceConfig, StreamFault,
+    WireMessage,
 };
 
 /// Construction parameters for a [`ReportServer`].
@@ -72,6 +76,8 @@ pub struct TransportStats {
     malformed_messages: AtomicU64,
     shed: AtomicU64,
     submits: AtomicU64,
+    storage_sheds: AtomicU64,
+    injected_crashes: AtomicU64,
 }
 
 impl TransportStats {
@@ -105,6 +111,21 @@ impl TransportStats {
     /// admitted / duplicate / rejected verdict from the service).
     pub fn submits(&self) -> u64 {
         self.submits.load(Ordering::Relaxed)
+    }
+
+    /// Messages answered `Overloaded` because the durability layer could
+    /// not make them durable (WAL/checkpoint I/O failure or injected
+    /// crash) — the ack-after-durable contract refusing to lie rather
+    /// than acking volatile state.
+    pub fn storage_sheds(&self) -> u64 {
+        self.storage_sheds.load(Ordering::Relaxed)
+    }
+
+    /// Crashes injected by a [`crate::durable::CrashSchedule`] that the
+    /// absorber observed (the transport-side mirror of
+    /// [`crate::transport::FaultCounts::crashes`]).
+    pub fn injected_crashes(&self) -> u64 {
+        self.injected_crashes.load(Ordering::Relaxed)
     }
 }
 
@@ -268,23 +289,92 @@ impl ConnHandle {
     }
 }
 
+/// The state the absorber owns: a bare service, or one behind the
+/// write-ahead log when the server was started durable.
+#[derive(Debug)]
+enum Backend {
+    Plain(Box<ReportService>),
+    Durable(Box<DurableService>),
+}
+
+impl Backend {
+    fn handle(&mut self, msg: &WireMessage) -> Result<Option<EpochSnapshot>> {
+        match self {
+            Backend::Plain(service) => service.handle(msg),
+            Backend::Durable(durable) => durable.handle(msg),
+        }
+    }
+
+    fn note_malformed(&mut self) {
+        match self {
+            Backend::Plain(service) => service.note_malformed(),
+            Backend::Durable(durable) => durable.note_malformed(),
+        }
+    }
+
+    /// Checkpoints durable state after a flushed epoch; a no-op for the
+    /// plain backend.
+    fn checkpoint(&mut self) -> Result<()> {
+        match self {
+            Backend::Plain(_) => Ok(()),
+            Backend::Durable(durable) => durable.checkpoint(),
+        }
+    }
+
+    fn into_service(self) -> ReportService {
+        match self {
+            Backend::Plain(service) => *service,
+            Backend::Durable(durable) => durable.into_service(),
+        }
+    }
+}
+
 /// A running report server: one absorber thread owning a
 /// [`ReportService`], fed by any number of [`ConnHandle`]s.
 #[derive(Debug)]
 pub struct ReportServer {
     handle: ConnHandle,
-    absorber: JoinHandle<ReportService>,
+    absorber: JoinHandle<Backend>,
 }
 
 impl ReportServer {
     /// Starts the absorber thread around a fresh service.
     pub fn start(config: ServerConfig) -> Self {
+        let service = ReportService::new(config.service.clone());
+        Self::start_backend(&config, Backend::Plain(Box::new(service)))
+    }
+
+    /// Starts the absorber around a [`DurableService`] on `dir`: recovery
+    /// runs first (the returned [`RecoveryReport`] says what it rebuilt),
+    /// and from then on every `Admitted` ack is sent only after the
+    /// submit's WAL record is as durable as `durable.fsync` promises. A
+    /// report the durability layer cannot log is answered `Overloaded` —
+    /// retryable, and the ledger keeps the eventual retry at-most-once.
+    ///
+    /// `durable.service` is overridden by `config.service` so the two
+    /// configs cannot disagree about the ledger key.
+    ///
+    /// # Errors
+    /// Recovery failures — see [`crate::durable::Recovery::replay`].
+    pub fn start_durable(
+        config: ServerConfig,
+        dir: &Path,
+        mut durable: DurableConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        durable.service = config.service.clone();
+        let (service, report) = DurableService::open(dir, durable)?;
+        Ok((
+            Self::start_backend(&config, Backend::Durable(Box::new(service))),
+            report,
+        ))
+    }
+
+    fn start_backend(config: &ServerConfig, backend: Backend) -> Self {
         let capacity = config.queue_capacity.max(1);
         let (tx, rx) = mpsc::sync_channel::<Job>(capacity);
         let stats = Arc::new(TransportStats::default());
-        let service = ReportService::new(config.service);
         let absorber_stats = Arc::clone(&stats);
-        let absorber = thread::spawn(move || absorb(rx, service, &absorber_stats));
+        let absorber = thread::spawn(move || absorb(rx, backend, &absorber_stats));
         ReportServer {
             handle: ConnHandle {
                 tx,
@@ -314,47 +404,61 @@ impl ReportServer {
     pub fn finish(self) -> ReportService {
         let ReportServer { handle, absorber } = self;
         drop(handle);
-        absorber.join().expect("absorber thread panicked")
+        absorber
+            .join()
+            .expect("absorber thread panicked")
+            .into_service()
     }
 }
 
-/// The absorber loop: single-threaded ownership of the service, one
+/// Counts a storage-layer failure and renders the retryable verdict. The
+/// durability layer refused (or failed) to make the message durable, so
+/// the honest answer is `Overloaded`: the client backs off and retries,
+/// and the ledger keeps the eventual retry at-most-once.
+fn storage_shed(stats: &TransportStats, error: &ldp_core::LdpError) {
+    stats.storage_sheds.fetch_add(1, Ordering::Relaxed);
+    if durable::is_injected_crash(error) {
+        stats.injected_crashes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The absorber loop: single-threaded ownership of the backend, one
 /// verdict per job, exits when every sender is gone.
-fn absorb(
-    rx: mpsc::Receiver<Job>,
-    mut service: ReportService,
-    stats: &TransportStats,
-) -> ReportService {
+fn absorb(rx: mpsc::Receiver<Job>, mut backend: Backend, stats: &TransportStats) -> Backend {
     while let Ok(job) = rx.recv() {
         let response = match job.kind {
             JobKind::Malformed => {
-                service.note_malformed();
+                backend.note_malformed();
                 ResponseMessage::Ack {
                     user: 0,
                     epoch: 0,
                     outcome: AckOutcome::Rejected,
                 }
             }
-            JobKind::Msg(msg) => verdict(&mut service, stats, &msg),
+            JobKind::Msg(msg) => verdict(&mut backend, stats, &msg),
         };
         // A vanished connection cannot receive its verdict; the state
         // change (if any) stands and the ledger covers the client's retry.
         let _ = job.reply.send(response);
     }
-    service
+    backend
 }
 
-/// Applies one message to the service and renders the wire verdict.
-fn verdict(
-    service: &mut ReportService,
-    stats: &TransportStats,
-    msg: &WireMessage,
-) -> ResponseMessage {
+/// Applies one message to the backend and renders the wire verdict.
+fn verdict(backend: &mut Backend, stats: &TransportStats, msg: &WireMessage) -> ResponseMessage {
     match msg {
-        WireMessage::Hello { .. } => match service.handle(msg) {
+        WireMessage::Hello { .. } => match backend.handle(msg) {
             Ok(_) => ResponseMessage::HelloAck,
+            Err(ref e) if durable::is_storage_error(e) => {
+                storage_shed(stats, e);
+                ResponseMessage::Ack {
+                    user: 0,
+                    epoch: 0,
+                    outcome: AckOutcome::Overloaded,
+                }
+            }
             Err(_) => {
-                service.note_malformed();
+                backend.note_malformed();
                 ResponseMessage::Ack {
                     user: 0,
                     epoch: 0,
@@ -364,11 +468,17 @@ fn verdict(
         },
         WireMessage::Submit { user, epoch, .. } => {
             stats.submits.fetch_add(1, Ordering::Relaxed);
-            let outcome = match service.handle(msg) {
+            // In durable mode `Ok` means the WAL record reached the disk
+            // under the configured fsync policy: ack-after-durable.
+            let outcome = match backend.handle(msg) {
                 Ok(_) => AckOutcome::Admitted,
                 Err(ldp_core::LdpError::DuplicateReport { .. }) => AckOutcome::Duplicate,
+                Err(ref e) if durable::is_storage_error(e) => {
+                    storage_shed(stats, e);
+                    AckOutcome::Overloaded
+                }
                 Err(_) => {
-                    service.note_malformed();
+                    backend.note_malformed();
                     AckOutcome::Rejected
                 }
             };
@@ -378,16 +488,25 @@ fn verdict(
                 outcome,
             }
         }
-        WireMessage::FlushEpoch { epoch } => match service.handle(msg) {
-            Ok(Some(snap)) => ResponseMessage::SnapshotAck {
-                epoch: snap.epoch,
-                admitted: snap.admitted,
-                rejected_duplicates: snap.rejected_duplicates,
-                rejected_malformed: snap.rejected_malformed,
-                users: snap.result.map_or(0, |r| r.n as u64),
-            },
+        WireMessage::FlushEpoch { epoch } => match backend.handle(msg) {
+            Ok(Some(snap)) => {
+                // An epoch boundary is the compaction point: checkpoint
+                // the durable state and rotate the log. A failure here
+                // loses no data — the log still covers everything — so it
+                // only counts as a storage shed, the snapshot ack stands.
+                if let Err(ref e) = backend.checkpoint() {
+                    storage_shed(stats, e);
+                }
+                ResponseMessage::SnapshotAck {
+                    epoch: snap.epoch,
+                    admitted: snap.admitted,
+                    rejected_duplicates: snap.rejected_duplicates,
+                    rejected_malformed: snap.rejected_malformed,
+                    users: snap.result.map_or(0, |r| r.n as u64),
+                }
+            }
             Ok(None) | Err(_) => {
-                service.note_malformed();
+                backend.note_malformed();
                 ResponseMessage::Ack {
                     user: 0,
                     epoch: *epoch,

@@ -29,14 +29,14 @@ pub fn emit(name: &str, report: &str) {
 /// only ever observe the old artifact or the complete new one (shared by
 /// the `throughput` and `audit` binaries' `--out` flags).
 ///
+/// Delegates to [`ldp_core::fsio::write_atomic`], which additionally
+/// `fsync`s the temp file before the rename and the parent directory after
+/// it — the same crash-durable sequence the checkpoint writer in
+/// `ldp_analytics::durable` uses, so a power cut right after a bench run
+/// cannot leave a torn or unlinked artifact.
+///
 /// # Errors
-/// I/O failures creating the temp file or renaming it into place.
+/// I/O failures creating the temp file, syncing, or renaming it into place.
 pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
-    let target = std::path::Path::new(path);
-    let mut tmp = target.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::Path::new(&tmp);
-    std::fs::write(tmp, contents)?;
-    // Same-directory rename: atomic on POSIX, and never a cross-device move.
-    std::fs::rename(tmp, target)
+    ldp_core::fsio::write_atomic(std::path::Path::new(path), contents.as_bytes())
 }

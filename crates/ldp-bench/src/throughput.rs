@@ -45,6 +45,7 @@
 
 use crate::cli::Args;
 use crate::table::{fixed, Table};
+use ldp_analytics::durable::{scan, FsyncPolicy, WalHeader, WalWriter};
 use ldp_analytics::service::{decode_report, encode_report, WireMessage};
 use ldp_analytics::{
     BestEffortNumeric, ClientEncoder, Collector, FrequencyAccumulator, MeanAccumulator, Protocol,
@@ -187,6 +188,19 @@ pub struct WireCell {
     /// then `decode_report` on the carried bytes — the per-report codec
     /// cost of the socket transport with the socket itself factored out.
     pub roundtrip_reports_per_sec: f64,
+    /// Reports/sec through the durability path one admitted `Submit`
+    /// takes: append every message to a fresh write-ahead log
+    /// (`FsyncPolicy::OnFlush`, one fsync at the end), then read the file
+    /// back and `scan` it — frame walk, checksum verify, decode — as
+    /// recovery replay would. Disk-bound arms are noisier than the pure
+    /// codec arms; the replayed count below is what's gated exactly.
+    pub wal_reports_per_sec: f64,
+    /// Submit records recovered by `scan` from the log written in the wal
+    /// arm. Deterministic (every append must survive the read-back) and
+    /// asserted equal to [`WIRE_REPORTS`] before timing ends — gated
+    /// exactly by `ci/compare_bench.py`, so a WAL framing change that
+    /// loses or duplicates even one record fails loudly.
+    pub wal_replayed: u64,
 }
 
 /// One range-query cell: the HDG pipeline (grid lowering → collection →
@@ -861,7 +875,7 @@ pub const WIRE_REPORTS: usize = 20_000;
 /// The wire-codec arms, in `<arm>_reports_per_sec` field order. Recorded
 /// in the JSON's `wire` object so `ci/compare_bench.py` gates whatever
 /// arms both sides declare.
-pub const WIRE_ARMS: [&str; 3] = ["encode", "decode", "roundtrip"];
+pub const WIRE_ARMS: [&str; 4] = ["encode", "decode", "roundtrip", "wal"];
 
 /// Times the canonical report codec — the bytes a `ReportService` client
 /// puts inside every `Submit` frame — over a fixed perturbed workload.
@@ -938,7 +952,20 @@ fn run_wire(args: &Args) -> Vec<WireCell> {
                 .collect();
             let mut frame_buf: Vec<u8> = Vec::new();
             let mut frame_scratch: Vec<u8> = Vec::new();
-            let [encode, decode, roundtrip] = time_arms(
+            let header = WalHeader {
+                protocol,
+                epsilon: e,
+                specs: w.specs.clone(),
+                base_epoch: 0,
+                ledger_key: ldp_analytics::ServiceConfig::default().ledger_key,
+                run_seed: args.seed,
+            };
+            let wal_path = std::env::temp_dir().join(format!(
+                "ldp-bench-wire-wal-{}-{label}-{k_dom}.log",
+                std::process::id()
+            ));
+            let mut wal_replayed = 0u64;
+            let [encode, decode, roundtrip, wal] = time_arms(
                 WIRE_REPORTS,
                 [
                     &mut || {
@@ -974,8 +1001,29 @@ fn run_wire(args: &Args) -> Vec<WireCell> {
                             );
                         }
                     },
+                    &mut || {
+                        let mut writer =
+                            WalWriter::create(&wal_path, &header, FsyncPolicy::OnFlush)
+                                .expect("temp wal");
+                        for msg in &submits {
+                            writer.append(msg, &mut None).expect("wal append");
+                        }
+                        writer.sync(&mut None).expect("wal fsync");
+                        drop(writer);
+                        let image = std::fs::read(&wal_path).expect("wal read-back");
+                        let replay = scan(&image).expect("clean log");
+                        assert_eq!(
+                            replay.submits.len(),
+                            WIRE_REPORTS,
+                            "{label} k={k_dom}: wal replay lost records"
+                        );
+                        assert_eq!(replay.truncated_bytes, 0, "{label} k={k_dom}: torn tail");
+                        wal_replayed = replay.submits.len() as u64;
+                        std::hint::black_box(replay.valid_bytes);
+                    },
                 ],
             );
+            let _ = std::fs::remove_file(&wal_path);
             cells.push(WireCell {
                 protocol: label.to_string(),
                 eps,
@@ -987,6 +1035,8 @@ fn run_wire(args: &Args) -> Vec<WireCell> {
                 encode_reports_per_sec: encode,
                 decode_reports_per_sec: decode,
                 roundtrip_reports_per_sec: roundtrip,
+                wal_reports_per_sec: wal,
+                wal_replayed,
             });
         }
     }
@@ -1397,6 +1447,7 @@ impl ThroughputReport {
                 "encode r/s",
                 "decode r/s",
                 "roundtrip r/s",
+                "wal r/s",
             ],
         );
         for c in &self.wire {
@@ -1410,6 +1461,7 @@ impl ThroughputReport {
                 format!("{:.0}", c.encode_reports_per_sec),
                 format!("{:.0}", c.decode_reports_per_sec),
                 format!("{:.0}", c.roundtrip_reports_per_sec),
+                format!("{:.0}", c.wal_reports_per_sec),
             ]);
         }
         out.push('\n');
@@ -1527,7 +1579,8 @@ impl ThroughputReport {
                 "    {{\"protocol\": \"{}\", \"eps\": {}, \"d\": {}, \"k\": {}, \
                  \"reports\": {}, \"total_bytes\": {}, \"bytes_per_report\": {:.2}, \
                  \"encode_reports_per_sec\": {:.1}, \"decode_reports_per_sec\": {:.1}, \
-                 \"roundtrip_reports_per_sec\": {:.1}}}{}\n",
+                 \"roundtrip_reports_per_sec\": {:.1}, \"wal_reports_per_sec\": {:.1}, \
+                 \"wal_replayed\": {}}}{}\n",
                 c.protocol,
                 c.eps,
                 c.d,
@@ -1538,6 +1591,8 @@ impl ThroughputReport {
                 c.encode_reports_per_sec,
                 c.decode_reports_per_sec,
                 c.roundtrip_reports_per_sec,
+                c.wal_reports_per_sec,
+                c.wal_replayed,
                 if i + 1 == self.wire.len() { "" } else { "," }
             ));
         }
@@ -1735,11 +1790,14 @@ mod tests {
         assert!(json.contains("scatter_reports_per_sec"));
         assert!(json.contains("estimate_checksum"));
         assert!(json.contains("worker_sweep"));
-        assert!(json
-            .contains("\"wire\": {\"arms\": [\"encode\", \"decode\", \"roundtrip\"], \"cells\":"));
+        assert!(json.contains(
+            "\"wire\": {\"arms\": [\"encode\", \"decode\", \"roundtrip\", \"wal\"], \"cells\":"
+        ));
         assert!(json.contains("encode_reports_per_sec"));
         assert!(json.contains("decode_reports_per_sec"));
         assert!(json.contains("roundtrip_reports_per_sec"));
+        assert!(json.contains("wal_reports_per_sec"));
+        assert!(json.contains("\"wal_replayed\": 20000"));
         assert!(json.contains("total_bytes"));
         assert!(json.contains(&format!(
             "\"queries\": {{\"users\": {QUERY_USERS}, \"cells\":"
@@ -1759,9 +1817,11 @@ mod tests {
         }
         for c in &report.wire {
             assert!(c.total_bytes > 0);
+            assert_eq!(c.wal_replayed as usize, c.reports);
             assert!(c.encode_reports_per_sec.is_finite() && c.encode_reports_per_sec > 0.0);
             assert!(c.decode_reports_per_sec.is_finite() && c.decode_reports_per_sec > 0.0);
             assert!(c.roundtrip_reports_per_sec.is_finite() && c.roundtrip_reports_per_sec > 0.0);
+            assert!(c.wal_reports_per_sec.is_finite() && c.wal_reports_per_sec > 0.0);
         }
         // Rates are positive and finite in every cell.
         for c in &report.cells {
@@ -1795,6 +1855,8 @@ mod tests {
             assert_eq!(a.protocol, b.protocol);
             assert_eq!(a.reports, WIRE_REPORTS);
             assert_eq!(a.total_bytes, b.total_bytes, "{} k={}", a.protocol, a.k_dom);
+            assert_eq!(a.wal_replayed, WIRE_REPORTS as u64);
+            assert_eq!(b.wal_replayed, WIRE_REPORTS as u64);
         }
     }
 }

@@ -143,6 +143,22 @@ pub enum LdpError {
         /// [`source`](std::error::Error::source)).
         cause: IoFault,
     },
+    /// A write-ahead-log record *before the tail* failed its integrity
+    /// check: records up to `offset` replayed cleanly, the record starting
+    /// at `offset` is provably corrupt, and durable bytes follow it — so
+    /// this is disk corruption or tampering, not a torn final write.
+    /// Recovery refuses to guess past it (mirroring how a corrupt stream
+    /// frame poisons only its own payload but a corrupt *length* field
+    /// desyncs the reader). A corrupt or truncated record at the very end
+    /// of the log is NOT this error: that is the expected signature of a
+    /// crash mid-append, and recovery truncates it away silently.
+    WalCorrupt {
+        /// Byte offset (from the start of the log file) of the corrupt
+        /// record's frame header.
+        offset: u64,
+        /// Human-readable description of the integrity violation.
+        message: String,
+    },
 }
 
 impl fmt::Display for LdpError {
@@ -204,6 +220,12 @@ impl fmt::Display for LdpError {
             }
             LdpError::ConnectionLost { op, cause } => {
                 write!(f, "connection lost during {op} ({cause})")
+            }
+            LdpError::WalCorrupt { offset, message } => {
+                write!(
+                    f,
+                    "write-ahead log corrupt at byte offset {offset}: {message}"
+                )
             }
         }
     }
@@ -277,6 +299,17 @@ mod tests {
             msg.contains("0x00000000deadbeef") && msg.contains("epoch 3"),
             "{msg}"
         );
+
+        let e = LdpError::WalCorrupt {
+            offset: 1337,
+            message: "checksum mismatch".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("1337") && msg.contains("checksum mismatch"),
+            "{msg}"
+        );
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Crash-safe filesystem primitives shared by the durability layer and the
+//! bench harness.
+//!
+//! A plain `write` + `rename` survives a *process* crash (the rename is
+//! atomic on POSIX) but not a *machine* crash: the freshly renamed file's
+//! data may still sit in the page cache, and so may the directory entry
+//! itself. [`write_atomic`] closes both windows with the canonical
+//! sequence — write tmp, fsync tmp, rename, fsync parent directory — so
+//! after it returns the new content is durable *and* no crash at any
+//! intermediate step can leave a torn target file: readers see either the
+//! old content or the new, never a prefix.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Atomically and durably replace `path` with `contents`.
+///
+/// Steps, in order:
+/// 1. write `contents` to `path` + `".tmp"` (same directory, so the rename
+///    can never be a cross-device move);
+/// 2. `fsync` the tmp file — its bytes are on stable storage before the
+///    name swap makes them reachable;
+/// 3. `rename` tmp over `path` — atomic on POSIX;
+/// 4. open the parent directory and `fsync` it, making the rename itself
+///    durable (without this, a power cut can resurrect the old file even
+///    though the write "succeeded").
+///
+/// On filesystems where directories cannot be `fsync`ed (step 4 fails with
+/// an error), the rename has still happened; the error is surfaced so
+/// callers that require full durability can react.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = stage(path, contents)?;
+    commit(path, &tmp)
+}
+
+/// Steps 1–2 of [`write_atomic`]: durably write `contents` to the sibling
+/// temp file and return its path, *without* making it reachable under
+/// `path`. A crash after `stage` leaves at worst a stray `.tmp` file — the
+/// target is untouched. Split out so crash-injection harnesses can place a
+/// simulated kill between the stage and the [`commit`] while exercising the
+/// exact production code path.
+pub fn stage(path: &Path, contents: &[u8]) -> io::Result<std::path::PathBuf> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+
+    let mut file = File::create(&tmp)?;
+    file.write_all(contents)?;
+    file.sync_all()?;
+    drop(file);
+    Ok(tmp)
+}
+
+/// Steps 3–4 of [`write_atomic`]: atomically rename the staged temp file
+/// over `path` and `fsync` the parent directory so the swap survives a
+/// power cut.
+pub fn commit(path: &Path, tmp: &Path) -> io::Result<()> {
+    std::fs::rename(tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// `fsync` the directory containing `path`, committing any rename or
+/// creation of `path` itself to stable storage.
+pub fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ldp_fsio_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn writes_then_replaces_without_leaving_tmp() {
+        let path = temp_path("replace");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        assert!(
+            !Path::new(&tmp_name).exists(),
+            "tmp file must not survive a successful write"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_contents_are_valid() {
+        let path = temp_path("empty");
+        write_atomic(&path, b"").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_parent_directory_is_a_typed_error() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ldp_fsio_missing_{}", std::process::id()));
+        p.push("nested");
+        p.push("file.bin");
+        assert!(write_atomic(&p, b"x").is_err());
+    }
+}

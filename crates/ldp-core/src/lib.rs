@@ -57,6 +57,7 @@ mod mechanism;
 pub mod audit;
 pub mod categorical;
 pub mod frame;
+pub mod fsio;
 pub mod math;
 pub mod multidim;
 pub mod numeric;

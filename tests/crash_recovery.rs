@@ -1,0 +1,276 @@
+//! Kill–restart parity: a collection run killed repeatedly at seeded
+//! crash points must recover, finish, and end bit-identical to a run
+//! that never crashed.
+//!
+//! The harness is fully deterministic: report bytes come from per-user
+//! seeded rngs and every kill from an explicit [`CrashSchedule`] injected
+//! into the durability layer, so a failing `(seed, crash point)` pair
+//! replays exactly. Each seed dies at least once at **every** crash point
+//! — after a WAL append, after its fsync, after staging a checkpoint,
+//! after committing it, and after rotating the log — which walks recovery
+//! through every distinct on-disk state the lifecycle can be killed in.
+//!
+//! What must hold despite the kills:
+//!
+//! * the final recovered snapshot's `admitted`, `n`, and every mean and
+//!   frequency are bit-identical (`f64::to_bits`) to the clean run's;
+//! * conservation: after every restart, the admits the recovery report
+//!   accounts for (`checkpointed + wal_replayed`) equal the ledger's own
+//!   total — no report is lost, none is counted twice;
+//! * at-most-once: retrying the submit that was in flight when the
+//!   process died lands as a counted `DuplicateReport`, never a second
+//!   budget spend.
+
+use std::path::{Path, PathBuf};
+
+use ldp::analytics::durable::{CrashPoint, CrashSchedule, DurableConfig, DurableService};
+use ldp::analytics::pipeline::Protocol;
+use ldp::analytics::service::{encode_report, EpochSnapshot, ReportService, WireMessage};
+use ldp::analytics::{ClientEncoder, ServiceConfig};
+use ldp::core::multidim::{AttrSpec, AttrValue};
+use ldp::core::rng::seeded_rng;
+use ldp::core::{Epsilon, LdpError, NumericKind, OracleKind};
+use rand::Rng;
+
+const SEEDS: [u64; 3] = [7, 21, 1337];
+const USERS: u64 = 60;
+const CHECKPOINT_EVERY: u64 = 7;
+
+fn specs() -> Vec<AttrSpec> {
+    vec![
+        AttrSpec::Numeric,
+        AttrSpec::Categorical { k: 5 },
+        AttrSpec::Numeric,
+    ]
+}
+
+fn protocol() -> Protocol {
+    Protocol::Sampling {
+        numeric: NumericKind::Hybrid,
+        oracle: OracleKind::Oue,
+    }
+}
+
+fn epsilon() -> Epsilon {
+    Epsilon::new(1.2).unwrap()
+}
+
+fn hello() -> WireMessage {
+    WireMessage::Hello {
+        protocol: protocol(),
+        epsilon: epsilon(),
+        specs: specs(),
+        epoch: 0,
+    }
+}
+
+fn config(seed: u64) -> DurableConfig {
+    DurableConfig {
+        run_seed: seed,
+        ..DurableConfig::default()
+    }
+}
+
+/// One deterministic wire-ready submit per user. Both the clean and the
+/// crash-ridden run feed exactly these messages.
+fn encode_all(seed: u64) -> Vec<WireMessage> {
+    let encoder = ClientEncoder::new(protocol(), epsilon(), specs()).unwrap();
+    (0..USERS)
+        .map(|user| {
+            let mut rng = seeded_rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ user);
+            let record = vec![
+                AttrValue::Numeric(rng.random::<f64>() * 2.0 - 1.0),
+                AttrValue::Categorical(rng.random::<u64>() as u32 % 5),
+                AttrValue::Numeric(rng.random::<f64>() * 2.0 - 1.0),
+            ];
+            let report = encoder.encode(&record, &mut rng).unwrap();
+            WireMessage::Submit {
+                user,
+                epoch: 0,
+                block: user / 16,
+                report: encode_report(&report, &specs()),
+            }
+        })
+        .collect()
+}
+
+/// The reference: every report fed straight into one in-memory service.
+fn clean_snapshot(submits: &[WireMessage]) -> EpochSnapshot {
+    let mut service = ReportService::new(ServiceConfig::default());
+    service.handle(&hello()).unwrap();
+    for msg in submits {
+        service.handle(msg).unwrap();
+    }
+    service.snapshot_epoch(0).unwrap()
+}
+
+/// Every crash point, each killed at a fixed occurrence — deep enough
+/// into the run that real records are at stake, early enough that every
+/// schedule is guaranteed to trip.
+fn kill_schedule() -> Vec<CrashSchedule> {
+    vec![
+        CrashSchedule::new(CrashPoint::AfterAppend, 3),
+        CrashSchedule::new(CrashPoint::AfterFsync, 2),
+        CrashSchedule::new(CrashPoint::AfterCheckpointStage, 1),
+        CrashSchedule::new(CrashPoint::AfterCheckpointCommit, 1),
+        CrashSchedule::new(CrashPoint::AfterRotate, 1),
+    ]
+}
+
+fn scratch(seed: u64) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ldp-crash-recovery-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the collection to completion on `dir`, dying once per schedule
+/// entry; returns how many kills actually happened.
+fn run_with_kills(dir: &Path, seed: u64, submits: &[WireMessage]) -> u64 {
+    let mut schedules = kill_schedule().into_iter();
+    let mut kills = 0u64;
+    let mut next = 0usize;
+    loop {
+        let (mut service, report) =
+            DurableService::open_with_crash(dir, config(seed), schedules.next()).unwrap();
+        // Conservation after every restart: the recovery report and the
+        // recovered ledger must account for exactly the same admits.
+        let ledger_admits: u64 = {
+            let ledger = service.service().ledger();
+            let epochs: Vec<u64> = ledger.epochs().collect();
+            epochs.iter().map(|&e| ledger.admitted(e)).sum()
+        };
+        assert_eq!(
+            report.recovered_admits(),
+            ledger_admits,
+            "seed {seed}: recovery accounting disagrees with the ledger"
+        );
+        assert_eq!(report.wal_rejected, 0, "seed {seed}: corrupt replay record");
+        if service.service().session_params().is_none() {
+            service.handle(&hello()).unwrap();
+        }
+        let mut died = false;
+        while next < submits.len() {
+            match service.handle(&submits[next]) {
+                Ok(_) => next += 1,
+                // The previous attempt died *after* the append was
+                // durable: the restart replayed it, and this retry must
+                // cost nothing — at-most-once by the ledger, not by luck.
+                Err(LdpError::DuplicateReport { .. }) => next += 1,
+                Err(_) => {
+                    assert!(service.crashed(), "seed {seed}: non-crash failure");
+                    died = true;
+                    break;
+                }
+            }
+            if next as u64 % CHECKPOINT_EVERY == 0 && next > 0 && service.checkpoint().is_err() {
+                assert!(service.crashed(), "seed {seed}: non-crash failure");
+                died = true;
+                break;
+            }
+        }
+        if died {
+            kills += 1;
+            drop(service); // the "process" is dead: no flush, no shutdown
+            continue;
+        }
+        service.flush().unwrap();
+        return kills;
+    }
+}
+
+#[test]
+fn killed_runs_recover_bit_identical_snapshots() {
+    for seed in SEEDS {
+        let submits = encode_all(seed);
+        let clean = clean_snapshot(&submits);
+        let dir = scratch(seed);
+
+        let kills = run_with_kills(&dir, seed, &submits);
+        assert!(
+            kills >= kill_schedule().len() as u64,
+            "seed {seed}: only {kills} kills — a crash point never tripped"
+        );
+
+        // One final kill–restart: the snapshot under test comes from a
+        // *recovered* service, not the one that happened to finish.
+        let (recovered, report) = DurableService::open(&dir, config(seed)).unwrap();
+        assert_eq!(
+            report.recovered_admits(),
+            USERS,
+            "seed {seed}: conservation failed — admitted != checkpointed + replayed"
+        );
+        assert_eq!(report.wal_rejected, 0);
+        assert_eq!(recovered.service().ledger().total_rejected(), 0);
+
+        let snap = recovered.snapshot_epoch(0).unwrap();
+        assert_eq!(snap.admitted, USERS, "seed {seed}");
+        let a = clean.result.as_ref().unwrap();
+        let b = snap.result.as_ref().unwrap();
+        assert_eq!(a.n, b.n, "seed {seed}");
+        assert_eq!(a.means.len(), b.means.len());
+        for ((i, x), (j, y)) in a.means.iter().zip(b.means.iter()) {
+            assert_eq!(i, j);
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "seed {seed}: mean {i} diverged after recovery"
+            );
+        }
+        assert_eq!(a.frequencies.len(), b.frequencies.len());
+        for ((i, xs), (j, ys)) in a.frequencies.iter().zip(b.frequencies.iter()) {
+            assert_eq!(i, j);
+            for (c, (x, y)) in xs.iter().zip(ys).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "seed {seed}: frequency {i}/{c} diverged after recovery"
+                );
+            }
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The duplicate a kill forces (append durable, ack lost, client retries)
+/// is counted in the live run but must never reach the log: a recovered
+/// service sees each user exactly once.
+#[test]
+fn retried_submits_never_double_spend_across_restarts() {
+    let seed = 99u64;
+    let submits = encode_all(seed);
+    let dir = scratch(seed);
+
+    // Die right after the first record's fsync, then retry it.
+    let (mut service, _) = DurableService::open_with_crash(
+        &dir,
+        config(seed),
+        Some(CrashSchedule::new(CrashPoint::AfterFsync, 1)),
+    )
+    .unwrap();
+    service.handle(&hello()).unwrap();
+    assert!(service.handle(&submits[0]).is_err());
+    assert!(service.crashed());
+    drop(service);
+
+    let (mut service, report) = DurableService::open(&dir, config(seed)).unwrap();
+    assert_eq!(report.wal_replayed, 1, "the appended record must survive");
+    assert!(matches!(
+        service.handle(&submits[0]),
+        Err(LdpError::DuplicateReport { .. })
+    ));
+    assert_eq!(service.wal_records(), 0, "duplicates must never be logged");
+    for msg in &submits[1..] {
+        service.handle(msg).unwrap();
+    }
+    service.flush().unwrap();
+    drop(service);
+
+    let (recovered, report) = DurableService::open(&dir, config(seed)).unwrap();
+    assert_eq!(report.recovered_admits(), USERS);
+    assert_eq!(recovered.service().ledger().total_rejected(), 0);
+    assert_eq!(recovered.snapshot_epoch(0).unwrap().admitted, USERS);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
